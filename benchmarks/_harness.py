@@ -1,0 +1,68 @@
+"""Shared plumbing for the benchmark suite.
+
+Every bench regenerates one exhibit (the paper's Figure 1 / Table 1, or
+an extension experiment from DESIGN.md) and must leave a human-readable
+artifact behind: :func:`report` prints the exhibit and also writes it to
+``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture. Benchmarks run the simulation exactly once
+(``benchmark.pedantic(rounds=1)``) -- we are timing a reproduction, not
+micro-optimizing it -- and stash headline numbers in
+``benchmark.extra_info`` so they land in pytest-benchmark's JSON.
+
+Sizes are chosen to finish in tens of seconds; override with the
+``PIER_BENCH_SCALE`` environment variable (e.g. ``=full`` for the
+paper-scale 300-node, 30-minute Figure 1 run).
+"""
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_scale():
+    """True when the user asked for paper-scale runs."""
+    return os.environ.get("PIER_BENCH_SCALE", "").lower() == "full"
+
+
+def report(name, text):
+    """Print an exhibit and persist it under benchmarks/results/."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "{}.txt".format(name)
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def fmt_table(headers, rows):
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    rendered = [[_fmt(v) for v in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return "{:,.1f}".format(value)
+    if isinstance(value, int):
+        return "{:,}".format(value)
+    return str(value)
+
+
+def _numeric(cell):
+    return cell.replace(",", "").replace(".", "").replace("-", "").isdigit()

@@ -1,0 +1,70 @@
+"""The paper's demo: continuous network monitoring on "PlanetLab".
+
+Run with:  python examples/planetlab_monitoring.py
+
+Reproduces the Figure 1 scenario end to end: a 150-host synthetic
+PlanetLab (continental sites, wide-area latencies), per-host outbound
+data-rate generators, and the continuous PIER query
+
+    SELECT SUM(rate_kbps), COUNT(*) FROM node_stats
+    EVERY 30 SECONDS WINDOW 30 SECONDS
+
+running while hosts churn and a mid-run outage takes out a slice of
+the testbed. Prints the time series and an ASCII rendering of both
+curves (aggregate rate + responding node count).
+"""
+
+from repro.apps.monitoring import MonitoringApp
+from repro.workloads.planetlab import build_planetlab_network
+
+HOSTS = 150
+DURATION = 600.0
+
+
+def ascii_series(series, key, width=50):
+    values = [row[key] for row in series]
+    top = max(values) or 1
+    lines = []
+    for row, value in zip(series, values):
+        bar = "#" * max(1, int(width * value / top))
+        lines.append("  t={:>4.0f}s |{:<{w}}| {:,.0f}".format(
+            row[0], bar, value, w=width))
+    return "\n".join(lines)
+
+
+def main():
+    print("Building {} PlanetLab-like hosts across 5 continents...".format(HOSTS))
+    net = build_planetlab_network(HOSTS, seed=11)
+    app = MonitoringApp(net, sample_period=5.0, window=30.0).install()
+
+    site = net.any_address()
+    print("Query site:", site)
+    net.start_churn(mean_session=3600.0, mean_downtime=180.0,
+                    on_join=app.on_join, exclude=[site])
+
+    net.advance(app.window)
+    app.start_query(node=site, every=30.0, lifetime=DURATION)
+
+    print("Running; injecting a 20-host outage at t={}s...".format(DURATION / 2))
+    net.advance(DURATION / 2)
+    victims = [a for a in net.live_addresses() if a != site][:20]
+    for address in victims:
+        net.crash_node(address)
+    net.advance(90)
+    for address in victims:
+        if not net.node(address).alive:
+            net.recover_node(address)
+            app.on_join(address)
+    net.advance(DURATION / 2)
+
+    print("\nFigure 1 -- network-wide outbound rate (SUM over responding nodes):")
+    print(ascii_series(app.series, key=1))
+    print("\nResponding nodes per epoch:")
+    print(ascii_series(app.series, key=2))
+    counts = [c for _t, _s, c in app.series]
+    print("\nPeak responding: {} / {}; trough during outage: {}".format(
+        max(counts), HOSTS, min(counts)))
+
+
+if __name__ == "__main__":
+    main()

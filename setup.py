@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline build environment ships setuptools but not ``wheel``, so
+PEP 660 editable installs (which shell out to ``bdist_wheel``) fail.
+With this shim and no ``[build-system]`` table in pyproject.toml, pip
+falls back to the legacy ``setup.py develop`` editable path, which works
+everywhere. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro: a reproduction of PIER, the Internet-scale query processor.
+
+From *Querying at Internet Scale* (Chun, Hellerstein, Huebsch, Jeffery,
+Loo, Mardanbeigi, Roscoe, Rhea, Shenker, Stoica -- SIGMOD 2004 demo)
+and the companion design paper *Querying the Internet with PIER*
+(VLDB 2003).
+
+Quick start::
+
+    from repro import PierNetwork
+
+    net = PierNetwork(nodes=32, seed=1)
+    net.create_local_table("t", [("k", "INT"), ("v", "FLOAT")])
+    net.insert("node0", "t", [(1, 2.5), (2, 4.0)])
+    print(net.run_sql("SELECT SUM(v) AS total FROM t").rows)
+
+See :class:`repro.core.network.PierNetwork` for the full facade, and
+``examples/`` for the paper's demo scenarios (PlanetLab monitoring,
+intrusion-detection top-10, file-sharing search, topology mapping).
+"""
+
+from repro.core.coordinator import EpochResult, QueryHandle
+from repro.core.network import PierConfig, PierNetwork
+
+__version__ = "1.0.0"
+
+__all__ = ["EpochResult", "PierConfig", "PierNetwork", "QueryHandle", "__version__"]

@@ -1,0 +1,18 @@
+"""The applications the demo paper runs on PIER.
+
+* :mod:`monitoring` -- PlanetLab system monitoring: the continuous
+  network-wide SUM of outbound data rates (the paper's Figure 1).
+* :mod:`snort` -- network-wide intrusion-detection aggregation: the
+  top-ten Snort rules (the paper's Table 1).
+* :mod:`filesharing` -- keyword-based file-sharing search over a DHT
+  inverted index (reference [3], the hybrid search paper).
+* :mod:`topology` -- network topology mapping with recursive queries
+  (reference [2]).
+"""
+
+from repro.apps.monitoring import MonitoringApp
+from repro.apps.snort import SnortApp
+from repro.apps.filesharing import FileSharingApp
+from repro.apps.topology import TopologyApp
+
+__all__ = ["FileSharingApp", "MonitoringApp", "SnortApp", "TopologyApp"]

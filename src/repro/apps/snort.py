@@ -1,0 +1,34 @@
+"""Network-wide intrusion detection -- the paper's Table 1.
+
+Each node runs Snort locally (we synthesize its alert table); PIER
+answers "the top ten intrusion rules across the whole network" with a
+GROUP BY over every node's local table, aggregated in-network, plus the
+ORDER BY ... LIMIT 10 finishing cut at the query site.
+"""
+
+from repro.workloads.snort_rules import SnortWorkload
+
+
+class SnortApp:
+    def __init__(self, net, table="snort_alerts"):
+        self.net = net
+        self.table = table
+        self.workload = SnortWorkload(net, table=table)
+
+    def install(self):
+        self.workload.install_all()
+        return self
+
+    def top_rules(self, k=10, node=None):
+        """Run the Table 1 query; returns EpochResult."""
+        return self.net.run_sql(self.workload.top_k_sql(k), node=node)
+
+    def format_table(self, result):
+        """Render rows the way the paper prints Table 1."""
+        lines = ["{:<6} {:<42} {:>9}".format("Rule", "Rule Description", "Hits")]
+        for rule_id, descr, hits in result.rows:
+            lines.append("{:<6} {:<42} {:>9,}".format(rule_id, descr, hits))
+        return "\n".join(lines)
+
+    def ground_truth(self, k=10):
+        return self.workload.ground_truth_top_k(k)

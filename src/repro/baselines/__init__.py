@@ -1,0 +1,14 @@
+"""Baselines PIER is compared against.
+
+* :mod:`centralized` -- ship every raw row to the query site and
+  aggregate there: the pre-PIER way to monitor a testbed, and the
+  bandwidth bogeyman in-network aggregation exists to beat.
+* :mod:`flooding` -- Gnutella-style TTL-limited query flooding: the
+  pre-DHT way to search a file-sharing network, the foil in the hybrid
+  search paper the demo cites.
+"""
+
+from repro.baselines.centralized import CentralizedAggregation
+from repro.baselines.flooding import FloodingNetwork
+
+__all__ = ["CentralizedAggregation", "FloodingNetwork"]

@@ -1,0 +1,139 @@
+"""Gnutella-style flooding search: the pre-DHT baseline.
+
+An unstructured overlay (random graph of fixed degree) where a keyword
+query floods outward with a TTL; every node holding a matching file
+replies directly to the origin. Messages grow with the whole
+neighborhood (O(degree^TTL), capped at N), recall depends on the TTL
+reaching the data -- the two axes the hybrid-search comparison plots
+against the DHT's O(log N) lookups with full recall.
+
+Runs on its own simulated network (same latency model family) so it
+can be driven with the identical corpus used by
+:class:`repro.apps.filesharing.FileSharingApp`.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.latency import GeoLatency
+from repro.sim.network import Network
+from repro.sim.node import SimNode
+from repro.util.rng import SeededRng
+
+
+class FloodNode(SimNode):
+    def __init__(self, network, address):
+        super().__init__(network, address)
+        self.neighbors = []
+        self.files = {}  # file_id -> set of terms
+        self._seen = set()
+        self.overlay = None  # set by FloodingNetwork
+
+    def handle_message(self, src, payload):
+        kind = payload["kind"]
+        if kind == "flood_query":
+            self._handle_query(payload)
+        elif kind == "flood_hit":
+            self.overlay.record_hits(payload)
+
+    def _handle_query(self, payload):
+        qid = payload["qid"]
+        if qid in self._seen:
+            return
+        self._seen.add(qid)
+        terms = payload["terms"]
+        matches = [
+            fid for fid, fterms in self.files.items()
+            if all(t in fterms for t in terms)
+        ]
+        if matches:
+            self.send(payload["origin"], {
+                "kind": "flood_hit", "qid": qid,
+                "node": self.address, "files": matches,
+            })
+        if payload["ttl"] > 0:
+            fwd = dict(payload)
+            fwd["ttl"] = payload["ttl"] - 1
+            for neighbor in self.neighbors:
+                if neighbor != payload.get("via"):
+                    copy = dict(fwd)
+                    copy["via"] = self.address
+                    self.send(neighbor, copy)
+
+
+class FloodingNetwork:
+    """An unstructured search overlay over the same corpus."""
+
+    def __init__(self, addresses, degree=4, seed=0, latency_scale=0.15):
+        self.rng = SeededRng(seed, "flood")
+        self.clock = SimClock()
+        self.latency = GeoLatency(self.rng.fork("lat"), scale=latency_scale)
+        self.net = Network(self.clock, self.latency, self.rng.fork("net"))
+        self.nodes = {}
+        self._qid = 0
+        self._hits = {}  # qid -> {"files": set, "first_at": t or None}
+        for address in addresses:
+            self.latency.place_random(address)
+            node = FloodNode(self.net, address)
+            node.overlay = self
+            self.nodes[address] = node
+        self._wire_random_graph(degree)
+
+    def _wire_random_graph(self, degree):
+        # Ring backbone guarantees connectivity (Gnutella bootstrap
+        # lists had the same effect); random extra links give the
+        # small-world shortcuts real overlays exhibit.
+        addresses = list(self.nodes)
+        n = len(addresses)
+        for i, address in enumerate(addresses):
+            self.nodes[address].neighbors = [addresses[(i + 1) % n]]
+        for address in addresses:
+            node = self.nodes[address]
+            others = [a for a in addresses if a != address]
+            want = max(0, min(degree, len(others)) - len(node.neighbors))
+            for pick in self.rng.sample(others, min(want + 2, len(others))):
+                if pick not in node.neighbors and len(node.neighbors) < degree:
+                    node.neighbors.append(pick)
+        # Make adjacency symmetric so queries can travel both ways.
+        for address, node in self.nodes.items():
+            for neighbor in node.neighbors:
+                back = self.nodes[neighbor]
+                if address not in back.neighbors:
+                    back.neighbors.append(address)
+
+    def load_corpus(self, corpus):
+        """``corpus``: file_id -> (owner_address, [terms]) -- the same
+        structure FileSharingApp builds."""
+        for file_id, (owner, terms) in corpus.items():
+            node = self.nodes.get(owner)
+            if node is not None:
+                node.files[file_id] = set(terms)
+
+    def search(self, terms, origin=None, ttl=4, wait=8.0):
+        """Flood a query; returns (files_found, stats)."""
+        origin = origin if origin is not None else next(iter(self.nodes))
+        self._qid += 1
+        qid = self._qid
+        self._hits[qid] = {"files": set(), "first_at": None, "t0": self.clock.now}
+        before = self.net.counters.get("messages_sent")
+        payload = {
+            "kind": "flood_query", "qid": qid, "terms": list(terms),
+            "ttl": ttl, "origin": origin, "via": None,
+        }
+        self.nodes[origin].handle_message(origin, payload)
+        self.clock.run_for(wait)
+        record = self._hits.pop(qid)
+        stats = {
+            "messages": self.net.counters.get("messages_sent") - before,
+            "first_hit_latency": (
+                None if record["first_at"] is None
+                else record["first_at"] - record["t0"]
+            ),
+        }
+        return sorted(record["files"]), stats
+
+    def record_hits(self, payload):
+        record = self._hits.get(payload["qid"])
+        if record is None:
+            return
+        if not record["files"] and payload["files"]:
+            record["first_at"] = self.clock.now
+        record["files"].update(payload["files"])

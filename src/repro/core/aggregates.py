@@ -1,0 +1,195 @@
+"""Aggregate functions with decomposable partial states.
+
+In-network aggregation needs every aggregate in the classic
+init/add/merge/final form (Gray et al.'s algebraic aggregates): nodes
+accumulate local partials, the aggregation tree *merges* partials at
+every hop, and only the root runs *final*. AVG therefore carries
+(sum, count), never a ratio.
+"""
+
+from repro.util.errors import PlanError
+
+
+class Aggregate:
+    """One aggregate function in decomposable form."""
+
+    name = "abstract"
+
+    def init(self):
+        raise NotImplementedError
+
+    def add(self, state, value):
+        raise NotImplementedError
+
+    def merge(self, left, right):
+        raise NotImplementedError
+
+    def final(self, state):
+        return state
+
+
+class CountStar(Aggregate):
+    name = "COUNT(*)"
+
+    def init(self):
+        return 0
+
+    def add(self, state, value):
+        return state + 1
+
+    def merge(self, left, right):
+        return left + right
+
+
+class Count(Aggregate):
+    """COUNT(expr): counts non-null values."""
+
+    name = "COUNT"
+
+    def init(self):
+        return 0
+
+    def add(self, state, value):
+        return state + (0 if value is None else 1)
+
+    def merge(self, left, right):
+        return left + right
+
+
+class Sum(Aggregate):
+    name = "SUM"
+
+    def init(self):
+        return None  # SUM of no rows is NULL, per SQL
+
+    def add(self, state, value):
+        if value is None:
+            return state
+        return value if state is None else state + value
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left + right
+
+
+class Min(Aggregate):
+    name = "MIN"
+
+    def init(self):
+        return None
+
+    def add(self, state, value):
+        if value is None:
+            return state
+        return value if state is None else min(state, value)
+
+    merge = add
+
+
+class Max(Aggregate):
+    name = "MAX"
+
+    def init(self):
+        return None
+
+    def add(self, state, value):
+        if value is None:
+            return state
+        return value if state is None else max(state, value)
+
+    merge = add
+
+
+class CountDistinct(Aggregate):
+    """COUNT(DISTINCT expr): partial state is the value set itself.
+
+    Unlike the other aggregates this one is not constant-size -- the
+    tree combiner merges sets, so intermediate messages carry the
+    distinct values seen so far. That is exactly how PIER had to do it
+    too: distinct-counting is not algebraically compressible without
+    sketches, which the original also did not ship.
+    """
+
+    name = "COUNT_DISTINCT"
+
+    def init(self):
+        return frozenset()
+
+    def add(self, state, value):
+        if value is None:
+            return state
+        return state | {value}
+
+    def merge(self, left, right):
+        return left | right
+
+    def final(self, state):
+        return len(state)
+
+
+class Avg(Aggregate):
+    """AVG via a (sum, count) partial -- merge-safe, unlike a ratio."""
+
+    name = "AVG"
+
+    def init(self):
+        return (0, 0)
+
+    def add(self, state, value):
+        if value is None:
+            return state
+        return (state[0] + value, state[1] + 1)
+
+    def merge(self, left, right):
+        return (left[0] + right[0], left[1] + right[1])
+
+    def final(self, state):
+        total, count = state
+        return total / count if count else None
+
+
+_REGISTRY = {
+    "COUNT(*)": CountStar(),
+    "COUNT": Count(),
+    "COUNT_DISTINCT": CountDistinct(),
+    "SUM": Sum(),
+    "MIN": Min(),
+    "MAX": Max(),
+    "AVG": Avg(),
+}
+
+
+def aggregate_by_name(name):
+    agg = _REGISTRY.get(name.upper())
+    if agg is None:
+        raise PlanError("unknown aggregate {!r}".format(name))
+    return agg
+
+
+class AggSpec:
+    """One aggregate column in a GROUP BY: function + input + output name.
+
+    ``arg`` is an expression over the input schema, or None for
+    COUNT(*). These specs live inside plan params and are shared by the
+    partial and final operators of the same aggregate.
+    """
+
+    def __init__(self, func_name, arg, output_name):
+        self.func_name = func_name.upper()
+        self.agg = aggregate_by_name(
+            "COUNT(*)" if self.func_name == "COUNT" and arg is None else self.func_name
+        )
+        self.arg = arg
+        self.output_name = output_name
+
+    def compile_arg(self, schema):
+        if self.arg is None:
+            return lambda row: None
+        return self.arg.compile(schema)
+
+    def __repr__(self):
+        arg = "*" if self.arg is None else self.arg.display()
+        return "{}({}) AS {}".format(self.func_name, arg, self.output_name)

@@ -1,0 +1,303 @@
+"""The query site: dissemination, collection, finishing, lifecycle.
+
+Any node can be a query site. Submitting a query broadcasts its plan
+over the overlay (and, for continuous queries, re-broadcasts it
+periodically so nodes that crash and recover re-adopt it -- plans are
+soft state like everything else). Result rows stream back as direct
+messages; at each epoch's deadline the coordinator applies the
+*finishing* step (global ORDER BY / LIMIT over collected rows -- the
+one thing that cannot be fully in-network) and hands an
+:class:`EpochResult` to the caller.
+
+Recursive queries additionally watch progress reports and close early
+on quiescence: no node has produced a novel tuple for ``quiet_period``
+seconds means the fixpoint is reached.
+"""
+
+
+class EpochResult:
+    """What one epoch of one query produced."""
+
+    def __init__(self, qid, epoch, t0, rows, columns, reporters, closed_at):
+        self.qid = qid
+        self.epoch = epoch
+        self.t0 = t0
+        self.rows = rows
+        self.columns = columns
+        self.reporters = reporters  # addresses that contributed rows
+        self.closed_at = closed_at
+
+    def dicts(self):
+        if self.columns is None:
+            return [dict(enumerate(row)) for row in self.rows]
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __repr__(self):
+        return "EpochResult({!r}, epoch={}, {} rows, {} reporters)".format(
+            self.qid, self.epoch, len(self.rows), len(self.reporters)
+        )
+
+
+class QueryHandle:
+    """The caller's view of a submitted query."""
+
+    def __init__(self, coordinator, qid, plan, t0, on_epoch):
+        self.coordinator = coordinator
+        self.qid = qid
+        self.plan = plan
+        self.t0 = t0
+        self.on_epoch = on_epoch
+        self.results = {}  # epoch -> EpochResult
+        self.raw = {}  # epoch -> list of rows (append-mode)
+        self.raw_replace = {}  # epoch -> {node: rows} (replace-mode)
+        self.reporters = {}  # epoch -> set of addresses
+        self.bloom_partials = {}  # (epoch, op_id) -> {side: filter}
+        self.last_progress = t0
+        self.finished = False
+
+    def result(self, epoch=0):
+        return self.results.get(epoch)
+
+    def latest_result(self):
+        if not self.results:
+            return None
+        return self.results[max(self.results)]
+
+    def stop(self):
+        self.coordinator.stop(self.qid)
+
+
+class Coordinator:
+    def __init__(self, engine, base_timing=None):
+        self.engine = engine
+        self.dht = engine.dht
+        self.clock = engine.clock
+        self._seq = 0
+        self.active = {}  # qid -> QueryHandle
+        engine.coordinator = self
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, plan, on_epoch=None):
+        self._seq += 1
+        qid = "{}#{}".format(self.engine.address, self._seq)
+        t0 = self.clock.now
+        handle = QueryHandle(self, qid, plan, t0, on_epoch)
+        self.active[qid] = handle
+        self._broadcast_plan(handle, refresh=0)
+        if plan.mode == "continuous":
+            self._schedule_close(handle, 1)
+            self._schedule_refresh(handle, 1)
+        else:
+            self._schedule_close(handle, 0)
+            if plan.mode == "recursive":
+                self._schedule_quiescence_check(handle)
+        bloom_offset = plan.metadata.get("bloom_broadcast_offset")
+        if bloom_offset is not None:
+            self.engine.set_timer(bloom_offset, self._broadcast_bloom, handle, 0)
+        return handle
+
+    def _broadcast_plan(self, handle, refresh):
+        self.dht.broadcast({
+            "ctl": "plan",
+            "token": "plan|{}|{}".format(handle.qid, refresh),
+            "qid": handle.qid,
+            "plan": handle.plan,
+            "t0": handle.t0,
+            "origin": self.engine.address,
+        })
+
+    def _schedule_refresh(self, handle, n):
+        period = self.engine.config.plan_refresh_period
+        plan = handle.plan
+        if plan.lifetime is not None and n * period >= plan.lifetime:
+            return
+
+        def refresh():
+            if handle.finished or handle.qid not in self.active:
+                return
+            self._broadcast_plan(handle, refresh=n)
+            self._schedule_refresh(handle, n + 1)
+
+        self.engine.set_timer(period, refresh)
+
+    # ------------------------------------------------------------------
+    # Epoch close + finishing
+    # ------------------------------------------------------------------
+    def _schedule_close(self, handle, epoch):
+        plan = handle.plan
+        t_k = handle.t0 + (epoch * plan.every if plan.mode == "continuous" else 0)
+        close_at = t_k + plan.deadline
+        self.engine.set_timer(
+            max(0.0, close_at - self.clock.now), self._close_epoch, handle, epoch, t_k
+        )
+
+    def _close_epoch(self, handle, epoch, t_k):
+        if handle.finished or handle.qid not in self.active:
+            return
+        rows = handle.raw.pop(epoch, [])
+        for node_rows in handle.raw_replace.pop(epoch, {}).values():
+            rows.extend(node_rows)
+        rows = self._finish(handle.plan, rows)
+        result = EpochResult(
+            handle.qid, epoch, t_k, rows,
+            handle.plan.metadata.get("columns"),
+            handle.reporters.pop(epoch, set()),
+            self.clock.now,
+        )
+        handle.results[epoch] = result
+        if handle.on_epoch is not None:
+            handle.on_epoch(result)
+        plan = handle.plan
+        if plan.mode == "continuous":
+            next_epoch = epoch + 1
+            if plan.lifetime is None or next_epoch * plan.every <= plan.lifetime:
+                self._schedule_close(handle, next_epoch)
+            else:
+                self._finish_query(handle)
+        else:
+            self._finish_query(handle)
+
+    def _finish(self, plan, rows):
+        """Query-site finishing: reconcile group owners, finalize
+        aggregates, HAVING, projection, and the global sort/cut that
+        in-network operators cannot do."""
+        finishing = plan.finishing
+        aggregate = finishing.get("aggregate")
+        if aggregate is not None:
+            rows = self._finish_aggregate(aggregate, rows)
+        order_by = finishing.get("order_by")
+        if order_by:
+            from repro.core.operators.topk import sort_rows
+
+            rows = sort_rows(rows, order_by, finishing["schema"])
+        limit = finishing.get("limit")
+        if limit is not None:
+            rows = rows[:limit]
+        return list(rows)
+
+    def _finish_aggregate(self, aggregate, rows):
+        """Merge (group_values, states) rows from (possibly duplicate)
+        group owners, finalize, filter, and project into SELECT order."""
+        agg_specs = aggregate["agg_specs"]
+        merged = {}
+        for gvals, states in rows:
+            held = merged.get(gvals)
+            if held is None:
+                merged[gvals] = list(states)
+            else:
+                for i, spec in enumerate(agg_specs):
+                    held[i] = spec.agg.merge(held[i], states[i])
+        internal_schema = aggregate["internal_schema"]
+        having = aggregate["having"]
+        having_fn = having.compile(internal_schema) if having is not None else None
+        select_fns = [e.compile(internal_schema) for e in aggregate["select_exprs"]]
+        out = []
+        for gvals, states in merged.items():
+            finals = tuple(
+                spec.agg.final(state)
+                for spec, state in zip(agg_specs, states)
+            )
+            internal_row = tuple(gvals) + finals
+            if having_fn is not None and not having_fn(internal_row):
+                continue
+            out.append(tuple(fn(internal_row) for fn in select_fns))
+        return out
+
+    def _finish_query(self, handle):
+        handle.finished = True
+        self.active.pop(handle.qid, None)
+
+    def stop(self, qid):
+        handle = self.active.pop(qid, None)
+        if handle is None:
+            return
+        handle.finished = True
+        self.dht.broadcast({
+            "ctl": "stop",
+            "token": "stop|{}".format(qid),
+            "qid": qid,
+        })
+
+    # ------------------------------------------------------------------
+    # Inbound messages (wired through the engine)
+    # ------------------------------------------------------------------
+    def on_result(self, payload):
+        handle = self.active.get(payload["qid"])
+        if handle is None or handle.finished:
+            return
+        epoch = payload["epoch"]
+        if epoch in handle.results:
+            return  # epoch already closed; late rows are dropped
+        rows = [tuple(r) for r in payload["rows"]]
+        if payload.get("replace"):
+            # Streaming refinement: keep only this node's latest batch.
+            handle.raw_replace.setdefault(epoch, {})[payload["node"]] = rows
+        else:
+            handle.raw.setdefault(epoch, []).extend(rows)
+        handle.reporters.setdefault(epoch, set()).add(payload["node"])
+
+    def on_progress(self, payload):
+        handle = self.active.get(payload["qid"])
+        if handle is not None:
+            handle.last_progress = self.clock.now
+
+    def on_bloom(self, payload):
+        handle = self.active.get(payload["qid"])
+        if handle is None:
+            return
+        key = (payload["epoch"], payload["op_id"])
+        merged = handle.bloom_partials.setdefault(key, {})
+        side = payload["side"]
+        incoming = payload["filter"]
+        if side in merged:
+            merged[side] = merged[side].union(incoming)
+        else:
+            merged[side] = incoming
+
+    def _broadcast_bloom(self, handle, epoch):
+        if handle.finished:
+            return
+        for (ep, op_id), filters in handle.bloom_partials.items():
+            if ep != epoch:
+                continue
+            self.dht.broadcast({
+                "ctl": "bloom",
+                "token": "bloom|{}|{}|{}".format(handle.qid, ep, op_id),
+                "qid": handle.qid,
+                "epoch": ep,
+                "op_id": op_id,
+                "filters": filters,
+            })
+
+    # ------------------------------------------------------------------
+    # Recursive quiescence
+    # ------------------------------------------------------------------
+    def _schedule_quiescence_check(self, handle):
+        quiet = handle.plan.metadata.get("quiet_period", 3.0)
+        min_runtime = handle.plan.metadata.get("min_runtime", 3.0)
+
+        def check():
+            if handle.finished or handle.qid not in self.active:
+                return
+            now = self.clock.now
+            if now >= handle.t0 + min_runtime and now - handle.last_progress >= quiet:
+                # Fixpoint: no novel tuples anywhere for a full quiet
+                # period. Close epoch 0 early and tear the query down.
+                self._close_epoch(handle, 0, handle.t0)
+                self.dht.broadcast({
+                    "ctl": "stop",
+                    "token": "stop|{}".format(handle.qid),
+                    "qid": handle.qid,
+                })
+                return
+            self.engine.set_timer(1.0, check)
+
+        self.engine.set_timer(min_runtime, check)
+
+    def on_crash(self):
+        """The query site died; its queries die with it (soft state)."""
+        for handle in self.active.values():
+            handle.finished = True
+        self.active = {}

@@ -1,0 +1,203 @@
+"""Per-node, per-epoch execution of an operator graph.
+
+PIER's engine is push-based and non-blocking: scans push rows through
+selections/projections into stateful operators (joins, group-bys),
+which hold state until their *flush deadline* fires; exchanges move
+rows between nodes through the DHT. An :class:`EpochExecution` is one
+node's instantiation of one plan for one epoch -- one-shot queries have
+a single epoch, continuous queries one per period.
+
+End-of-stream is deliberately absent: a planetary-scale system cannot
+agree on "all rows have arrived", so operators flush on plan-specified
+deadlines and the query site closes the epoch at the plan's deadline.
+Late rows are dropped -- the soft-state philosophy the paper leans on.
+"""
+
+from repro.util.errors import PlanError
+
+
+class LocalQueryContext:
+    """What operator instances see of their environment."""
+
+    def __init__(self, engine, plan, query_id, epoch, t0, origin):
+        self.engine = engine
+        self.dht = engine.dht
+        self.clock = engine.clock
+        self.plan = plan
+        self.query_id = query_id
+        self.epoch = epoch
+        self.t0 = t0  # epoch start (plan-global sim time)
+        self.origin = origin  # query-site address for result return
+
+    def namespace(self, op_id, port):
+        """DHT namespace for rows bound for (op, port) in this epoch."""
+        return "q|{}|{}|{}|{}".format(self.query_id, self.epoch, op_id, port)
+
+    def upcall_name(self, op_id, port):
+        """Intercept name for aggregation-tree combining on this edge."""
+        return "t|{}|{}|{}|{}".format(self.query_id, self.epoch, op_id, port)
+
+    def fragment(self, table_name):
+        return self.engine.fragment(table_name)
+
+    def send_to_origin(self, payload):
+        self.dht.direct(self.origin, payload)
+
+
+class Operator:
+    """Base class for operator instances.
+
+    Lifecycle: ``start`` (once, after wiring; scans emit here), then any
+    number of ``push(row, port)`` calls, then ``flush`` at the plan's
+    deadline for this op (stateful ops emit held state), finally
+    ``teardown``. ``control`` receives coordinator control messages
+    (e.g. a merged Bloom filter).
+    """
+
+    def __init__(self, ctx, spec):
+        self.ctx = ctx
+        self.spec = spec
+        self.consumers = []  # (operator instance, port)
+
+    def wire(self, consumer, port):
+        self.consumers.append((consumer, port))
+
+    def start(self):
+        pass
+
+    def push(self, row, port=0):
+        raise NotImplementedError(
+            "{} does not accept input".format(type(self).__name__)
+        )
+
+    def flush(self):
+        pass
+
+    def control(self, payload):
+        pass
+
+    def teardown(self):
+        pass
+
+    def emit(self, row):
+        for consumer, port in self.consumers:
+            consumer.push(row, port)
+
+    def reset_batch(self):
+        """A cumulative upstream operator is about to re-emit its full
+        state (streaming refinement after stragglers). Stateless ops
+        just propagate; replace-mode sinks clear their current batch.
+        """
+        for consumer, _port in self.consumers:
+            consumer.reset_batch()
+
+    def __repr__(self):
+        return "{}({!r})".format(type(self).__name__, self.spec.op_id)
+
+
+class EpochExecution:
+    """One node's live instantiation of a plan for one epoch."""
+
+    def __init__(self, engine, plan, query_id, epoch, t0, origin):
+        from repro.core.operators import create_operator
+
+        self.engine = engine
+        self.plan = plan
+        self.query_id = query_id
+        self.epoch = epoch
+        self.t0 = t0
+        self.origin = origin
+        self.ctx = LocalQueryContext(engine, plan, query_id, epoch, t0, origin)
+        self.ops = {}
+        self._flush_timers = []
+        self.closed = False
+
+        for spec in plan.specs.values():
+            self.ops[spec.op_id] = create_operator(self.ctx, spec)
+        for spec in plan.specs.values():
+            producer = self.ops[spec.op_id]
+            for consumer_id, port in plan.consumers_of(spec.op_id):
+                producer.wire(self.ops[consumer_id], port)
+
+    def start(self):
+        """Register network endpoints, start ops (sources last)."""
+        self._register_endpoints()
+        sources = {s.op_id for s in self.plan.sources()}
+        for op_id, op in self.ops.items():
+            if op_id not in sources:
+                op.start()
+        for op_id in sources:
+            self.ops[op_id].start()
+        self._schedule_flushes()
+
+    def _register_endpoints(self):
+        """Tell the engine which exchange namespaces feed which ops."""
+        for spec in self.plan.ops_of_kind("exchange"):
+            consumers = self.plan.consumers_of(spec.op_id)
+            if len(consumers) != 1:
+                raise PlanError(
+                    "exchange {!r} must feed exactly one op".format(spec.op_id)
+                )
+            consumer_id, port = consumers[0]
+            mode = spec.params.get("mode", "rehash")
+            if mode in ("rehash", "tree"):
+                ns = self.ctx.namespace(consumer_id, port)
+                combine = spec.params.get("combine") if mode == "tree" else None
+                self.engine.register_exchange_input(
+                    ns, self, consumer_id, port, combine
+                )
+
+    def _schedule_flushes(self):
+        now = self.engine.clock.now
+        for op_id, offset in self.plan.flush_offsets.items():
+            if op_id not in self.ops:
+                continue
+            delay = max(0.0, self.t0 + offset - now)
+            timer = self.engine.set_timer(delay, self._flush_op, op_id)
+            self._flush_timers.append(timer)
+
+    def _flush_op(self, op_id):
+        if not self.closed:
+            self.ops[op_id].flush()
+
+    def deliver(self, op_id, port, row):
+        """A row arrived over an exchange for one of our operators."""
+        if not self.closed:
+            self.ops[op_id].push(row, port)
+
+    def control(self, op_id, payload):
+        """Deliver a control payload to one op, or to a filter group.
+
+        Bloom control messages target a group id shared by both stage
+        ops of a join rather than a single op id.
+        """
+        if self.closed:
+            return
+        op = self.ops.get(op_id)
+        if op is not None:
+            op.control(payload)
+            return
+        for candidate in self.ops.values():
+            if candidate.spec.params.get("group") == op_id:
+                candidate.control(payload)
+
+    def close(self):
+        if self.closed:
+            return
+        self.closed = True
+        for timer in self._flush_timers:
+            timer.cancel()
+        self._flush_timers = []
+        for spec in self.plan.ops_of_kind("exchange"):
+            consumers = self.plan.consumers_of(spec.op_id)
+            if consumers:
+                consumer_id, port = consumers[0]
+                ns = self.ctx.namespace(consumer_id, port)
+                self.engine.unregister_exchange_input(ns)
+        for op in self.ops.values():
+            op.teardown()
+
+    def __repr__(self):
+        return "EpochExecution({!r}, epoch={}, node={})".format(
+            self.query_id, self.epoch, self.engine.address
+        )

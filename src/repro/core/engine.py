@@ -1,0 +1,320 @@
+"""The per-node PIER engine.
+
+One engine runs on every node, glued to that node's DHT API. It:
+
+* holds the node's table fragments (local rows, stream windows) and
+  publishes rows into DHT tables,
+* adopts query plans that arrive by broadcast and schedules their
+  epochs (one for one-shot/recursive plans, a chain for continuous),
+* registers exchange namespaces with the DHT so rehashed rows reach the
+  right operator instance -- and buffers early arrivals that beat the
+  plan broadcast to this node,
+* reports recursion progress to the query site for quiescence
+  detection.
+
+Engines keep only soft state: a crash loses fragments, executions and
+adopted queries; a recovered node re-adopts continuous queries from
+the coordinator's periodic plan re-broadcasts.
+"""
+
+from repro.core.aggregation_tree import TreeCombiner
+from repro.core.dataflow import EpochExecution
+from repro.db.table import make_fragment
+
+
+class EngineConfig:
+    """Per-engine timing knobs (plan-independent)."""
+
+    def __init__(
+        self,
+        teardown_slack=2.0,
+        tree_hold_delay=0.8,
+        progress_batch_delay=0.5,
+        plan_refresh_period=60.0,
+        publish_ttl=120.0,
+    ):
+        self.teardown_slack = teardown_slack
+        self.tree_hold_delay = tree_hold_delay
+        self.progress_batch_delay = progress_batch_delay
+        self.plan_refresh_period = plan_refresh_period
+        self.publish_ttl = publish_ttl
+
+
+class _QueryRecord:
+    """An engine's view of one adopted query."""
+
+    __slots__ = ("qid", "plan", "t0", "origin", "stopped", "next_epoch_timer")
+
+    def __init__(self, qid, plan, t0, origin):
+        self.qid = qid
+        self.plan = plan
+        self.t0 = t0
+        self.origin = origin
+        self.stopped = False
+        self.next_epoch_timer = None
+
+
+class PierEngine:
+    def __init__(self, dht, catalog, config=None, rng=None):
+        self.dht = dht
+        self.catalog = catalog
+        self.config = config if config is not None else EngineConfig()
+        self.rng = rng
+        self.clock = dht.clock
+        self.address = dht.address
+
+        self.fragments = {}
+        self.executions = {}  # (qid, epoch) -> EpochExecution
+        self.queries = {}  # qid -> _QueryRecord
+        self.combiners = {}  # ns -> TreeCombiner
+        self._undelivered = {}  # ns -> [rows arriving before registration]
+        self._progress_pending = {}  # (qid, epoch) -> count
+        self._progress_timer = None
+        self._publish_seq = 0
+        self._maintained = {}  # (table, instance_id) -> republish timer
+        self.coordinator = None  # set by Coordinator.attach
+
+        dht.on_broadcast(self._on_broadcast)
+        dht.on_direct(self._on_direct)
+        dht.set_default_delivery(self._on_unclaimed_delivery)
+
+    # ------------------------------------------------------------------
+    # Data management
+    # ------------------------------------------------------------------
+    def fragment(self, table_name):
+        """This node's fragment of a local/stream table (created lazily)."""
+        fragment = self.fragments.get(table_name)
+        if fragment is None:
+            fragment = make_fragment(self.catalog.lookup(table_name))
+            self.fragments[table_name] = fragment
+        return fragment
+
+    def local_insert(self, table_name, rows):
+        self.fragment(table_name).insert_many(rows)
+
+    def stream_append(self, table_name, row, timestamp=None):
+        ts = timestamp if timestamp is not None else self.clock.now
+        self.fragment(table_name).append(ts, row)
+
+    def publish(self, table_name, row, ttl=None, keep_alive=False):
+        """Insert into a DHT table: the row travels to its partition owner.
+
+        With ``keep_alive`` the row becomes *maintained* soft state:
+        this node re-puts it every ttl/3 so it survives the storing
+        node's crashes (the replacement owner receives the next re-put).
+        Maintenance stops when this node crashes or calls
+        :meth:`stop_publishing` -- after which the row simply expires,
+        which is the only deletion mechanism PIER has.
+        """
+        table_def = self.catalog.lookup(table_name)
+        if isinstance(row, dict):
+            row = table_def.schema.row_from_dict(row)
+        else:
+            row = table_def.schema.coerce_row(row)
+        rid = row[table_def.schema.index_of(table_def.partition_key)]
+        self._publish_seq += 1
+        instance_id = (self.address, self._publish_seq)
+        if ttl is None:
+            ttl = table_def.ttl if table_def.ttl is not None else self.config.publish_ttl
+        self.dht.put(table_name, rid, instance_id, row, ttl)
+        if keep_alive:
+            self._keep_alive(table_name, rid, instance_id, row, ttl)
+        return instance_id
+
+    def _keep_alive(self, table_name, rid, instance_id, row, ttl):
+        key = (table_name, instance_id)
+        period = ttl / 3.0
+
+        def republish():
+            if key not in self._maintained:
+                return
+            self.dht.put(table_name, rid, instance_id, row, ttl)
+            self._maintained[key] = self.set_timer(period, republish)
+
+        self._maintained[key] = self.set_timer(period, republish)
+
+    def stop_publishing(self, table_name, instance_id):
+        """Let a maintained row age out (soft-state deletion)."""
+        timer = self._maintained.pop((table_name, instance_id), None)
+        if timer is not None:
+            timer.cancel()
+
+    def set_timer(self, delay, callback, *args):
+        return self.dht.set_timer(delay, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Plan adoption and epoch scheduling
+    # ------------------------------------------------------------------
+    def _on_broadcast(self, payload, origin_ref, depth):
+        if not isinstance(payload, dict):
+            return
+        ctl = payload.get("ctl")
+        if ctl == "plan":
+            self._adopt_query(payload)
+        elif ctl == "stop":
+            self._stop_query(payload["qid"])
+        elif ctl == "bloom":
+            execution = self.executions.get((payload["qid"], payload["epoch"]))
+            if execution is not None:
+                execution.control(payload["op_id"], {"filters": payload["filters"]})
+
+    def _adopt_query(self, payload):
+        qid = payload["qid"]
+        if qid in self.queries:
+            return  # refresh broadcast for a query we already run
+        record = _QueryRecord(qid, payload["plan"], payload["t0"], payload["origin"])
+        self.queries[qid] = record
+        plan = record.plan
+        if plan.mode == "continuous":
+            # First epoch strictly after adoption; a late joiner starts
+            # at the next epoch boundary instead of replaying history.
+            elapsed = max(0.0, self.clock.now - record.t0)
+            k = int(elapsed // plan.every) + 1
+            self._schedule_epoch(record, k)
+        else:
+            self._start_epoch(record, 0, record.t0)
+
+    def _schedule_epoch(self, record, k):
+        plan = record.plan
+        if record.stopped:
+            return
+        if plan.lifetime is not None and k * plan.every > plan.lifetime:
+            self.queries.pop(record.qid, None)  # soft-state expiry
+            return
+        t_k = record.t0 + k * plan.every
+        delay = max(0.0, t_k - self.clock.now)
+        record.next_epoch_timer = self.set_timer(
+            delay, self._start_epoch, record, k, t_k
+        )
+
+    def _start_epoch(self, record, k, t_k):
+        if record.stopped:
+            return
+        execution = EpochExecution(
+            self, record.plan, record.qid, k, t_k, record.origin
+        )
+        self.executions[(record.qid, k)] = execution
+        execution.start()
+        close_at = t_k + record.plan.deadline + self.config.teardown_slack
+        self.set_timer(max(0.0, close_at - self.clock.now),
+                       self._close_epoch, record.qid, k)
+        if record.plan.mode == "continuous":
+            self._schedule_epoch(record, k + 1)
+
+    def _close_epoch(self, qid, epoch):
+        execution = self.executions.pop((qid, epoch), None)
+        if execution is not None:
+            execution.close()
+        record = self.queries.get(qid)
+        if record is not None and record.plan.mode != "continuous":
+            record.stopped = True
+            self.queries.pop(qid, None)
+
+    def _stop_query(self, qid):
+        record = self.queries.pop(qid, None)
+        if record is None:
+            return
+        record.stopped = True
+        if record.next_epoch_timer is not None:
+            record.next_epoch_timer.cancel()
+        for (open_qid, epoch) in list(self.executions):
+            if open_qid == qid:
+                self.executions.pop((open_qid, epoch)).close()
+
+    # ------------------------------------------------------------------
+    # Exchange plumbing
+    # ------------------------------------------------------------------
+    def register_exchange_input(self, ns, execution, op_id, port, combine=None):
+        """Claim an exchange namespace for a local operator input.
+
+        ``combine`` carries tree-mode parameters ({"agg_specs": ...});
+        when present a :class:`TreeCombiner` intercept is installed so
+        this node merges pass-through partials for that edge.
+        """
+
+        def deliver(payload, route_msg):
+            execution.deliver(op_id, port, payload["data"])
+
+        self.dht.register_delivery(ns, deliver)
+        if combine is not None:
+            upcall = execution.ctx.upcall_name(op_id, port)
+            route_ns = execution.ctx.namespace(op_id, "x")
+            combiner = TreeCombiner(
+                self.dht, ns, route_ns, upcall, combine["agg_specs"],
+                combine.get("hold", self.config.tree_hold_delay),
+            )
+            self.combiners[ns] = combiner
+            self.dht.register_intercept(upcall, combiner.handler)
+        for data in self._undelivered.pop(ns, ()):
+            execution.deliver(op_id, port, data)
+
+    def unregister_exchange_input(self, ns):
+        self.dht.unregister_delivery(ns)
+        combiner = self.combiners.pop(ns, None)
+        if combiner is not None:
+            combiner.close()
+            self.dht.unregister_intercept(combiner.upcall)
+        self._undelivered.pop(ns, None)
+
+    def _on_unclaimed_delivery(self, payload, route_msg):
+        # Rows can beat the plan broadcast to this node; hold them until
+        # the execution registers (they age out with the query record).
+        self._undelivered.setdefault(payload["ns"], []).append(payload["data"])
+
+    # ------------------------------------------------------------------
+    # Recursion progress (quiescence detection support)
+    # ------------------------------------------------------------------
+    def note_progress(self, qid, epoch, count):
+        key = (qid, epoch)
+        self._progress_pending[key] = self._progress_pending.get(key, 0) + count
+        if self._progress_timer is None:
+            self._progress_timer = self.set_timer(
+                self.config.progress_batch_delay, self._send_progress
+            )
+
+    def _send_progress(self):
+        self._progress_timer = None
+        pending, self._progress_pending = self._progress_pending, {}
+        for (qid, epoch), count in pending.items():
+            record = self.queries.get(qid)
+            if record is None or count == 0:
+                continue
+            self.dht.direct(record.origin, {
+                "op": "qprog", "qid": qid, "epoch": epoch,
+                "node": self.address, "new": count,
+            })
+
+    # ------------------------------------------------------------------
+    # Direct messages (results, progress, filters) go to the coordinator
+    # ------------------------------------------------------------------
+    def _on_direct(self, payload, src):
+        if self.coordinator is None or not isinstance(payload, dict):
+            return
+        op = payload.get("op")
+        if op == "qres":
+            self.coordinator.on_result(payload)
+        elif op == "qprog":
+            self.coordinator.on_progress(payload)
+        elif op == "qbloom":
+            self.coordinator.on_bloom(payload)
+
+    # ------------------------------------------------------------------
+    # Failure semantics
+    # ------------------------------------------------------------------
+    def on_crash(self):
+        """Node failed: all engine state is soft and is dropped."""
+        self.fragments = {}
+        self.executions = {}
+        self.queries = {}
+        self.combiners = {}
+        self._undelivered = {}
+        self._progress_pending = {}
+        self._progress_timer = None
+        self._maintained = {}  # the publisher died; its rows will expire
+        if self.coordinator is not None:
+            self.coordinator.on_crash()
+
+    def __repr__(self):
+        return "PierEngine({!r}, {} queries, {} executions)".format(
+            self.address, len(self.queries), len(self.executions)
+        )

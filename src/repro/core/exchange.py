@@ -1,0 +1,71 @@
+"""Exchange: the operator that moves rows between nodes.
+
+Everything networked in a PIER plan funnels through exchanges, in one
+of two modes:
+
+* ``rehash`` -- classic parallel-DB repartitioning, by DHT ``route``:
+  a row goes to whichever node owns ``hash(edge_namespace, key)``.
+  Joins use it for both inputs; grouped aggregation uses it to bring
+  each group's partials to one owner.
+* ``tree`` -- rehash plus an *upcall* at every routing hop: partial
+  aggregates heading for the same owner meet mid-route and are merged
+  by :mod:`repro.core.aggregation_tree`, so the wire carries combined
+  states instead of per-node partials. This is the paper's "multihop,
+  in-network aggregation".
+
+Key specs (``params["key"]``):
+
+* ``{"kind": "exprs", "exprs": [...], "schema": s}`` -- hash computed columns,
+* ``{"kind": "group"}`` -- row is ``(group_values, states)``; hash group_values,
+* ``{"kind": "row"}`` -- hash the whole row (recursion's dup-elim partitioning),
+* ``{"kind": "const"}`` -- single rendezvous key (global aggregates).
+"""
+
+from repro.core.dataflow import Operator
+from repro.core.operators import register_operator
+from repro.dht.chord import storage_key
+from repro.util.errors import PlanError
+
+
+@register_operator("exchange")
+class Exchange(Operator):
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        consumers = ctx.plan.consumers_of(spec.op_id)
+        if len(consumers) != 1:
+            raise PlanError("exchange {!r} must feed exactly one op".format(spec.op_id))
+        consumer_id, port = consumers[0]
+        self._ns = ctx.namespace(consumer_id, port)
+        # Routing must be port-independent: a join's two inputs have to
+        # co-locate equal keys, so both exchanges hash under the consumer's
+        # shared namespace and only the delivery tag carries the port.
+        self._route_ns = ctx.namespace(consumer_id, "x")
+        self.mode = spec.params.get("mode", "rehash")
+        if self.mode not in ("rehash", "tree"):
+            raise PlanError("unknown exchange mode {!r}".format(self.mode))
+        self._upcall = (
+            ctx.upcall_name(consumer_id, port) if self.mode == "tree" else None
+        )
+        self._key_fn = self._build_key_fn(spec.params["key"])
+
+    def _build_key_fn(self, key_spec):
+        kind = key_spec["kind"]
+        if kind == "exprs":
+            compiled = [e.compile(key_spec["schema"]) for e in key_spec["exprs"]]
+            return lambda row: tuple(fn(row) for fn in compiled)
+        if kind == "group":
+            return lambda row: row[0]
+        if kind == "row":
+            return lambda row: row
+        if kind == "const":
+            return lambda row: "__root__"
+        raise PlanError("unknown exchange key kind {!r}".format(kind))
+
+    def push(self, row, port=0):
+        rid = self._key_fn(row)
+        key = storage_key(self._route_ns, rid)
+        self.ctx.dht.route(
+            key,
+            {"op": "deliver", "ns": self._ns, "data": row},
+            upcall=self._upcall,
+        )

@@ -1,0 +1,75 @@
+"""Bloom join support: the rehash-reducing pre-filter stage.
+
+PIER's Bloom join (VLDB 2003): before rehashing R and S for a join,
+each node summarizes its local join keys in a Bloom filter; the filters
+are OR-ed together per side and redistributed; every node then rehashes
+only the tuples whose keys pass the *opposite* side's filter. For
+selective joins this cuts the dominant cost -- rehash bandwidth -- at
+the price of two small filter round-trips.
+
+A ``bloom_stage`` operator does both halves for one side:
+
+1. buffer arriving rows and fold their keys into a local filter,
+2. at its flush deadline, ship the filter to the query site (which
+   merges and broadcasts -- the original used designated filter nodes;
+   the merge point only changes a constant),
+3. on the merged-filters control message, release the buffered rows
+   that pass the opposite side's filter.
+"""
+
+from repro.core.dataflow import Operator
+from repro.core.operators import register_operator
+from repro.util.bloom import BloomFilter
+
+
+@register_operator("bloom_stage")
+class BloomStage(Operator):
+    """Params: ``side`` ("left"/"right"), ``key_exprs``, ``schema``,
+    ``capacity``, ``fp_rate``."""
+
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        schema = spec.params["schema"]
+        compiled = [e.compile(schema) for e in spec.params["key_exprs"]]
+        if len(compiled) == 1:
+            fn = compiled[0]
+            self._key_fn = lambda row: (fn(row),)
+        else:
+            self._key_fn = lambda row: tuple(f(row) for f in compiled)
+        self.side = spec.params["side"]
+        self._filter = BloomFilter.for_capacity(
+            spec.params.get("capacity", 1024), spec.params.get("fp_rate", 0.03)
+        )
+        self._buffered = []
+        self._released = False
+
+    def push(self, row, port=0):
+        self._buffered.append(row)
+        self._filter.add(self._key_fn(row))
+
+    def flush(self):
+        """Ship the local filter to the query site for merging."""
+        self.ctx.send_to_origin({
+            "op": "qbloom",
+            "qid": self.ctx.query_id,
+            "epoch": self.ctx.epoch,
+            # Merged per filter *group*, shared by both sides of a join.
+            "op_id": self.spec.params.get("group", self.spec.op_id),
+            "side": self.side,
+            "filter": self._filter,
+        })
+
+    def control(self, payload):
+        """Merged filters arrived: release rows passing the opposite side."""
+        if self._released:
+            return
+        self._released = True
+        opposite = "right" if self.side == "left" else "left"
+        other_filter = payload["filters"].get(opposite)
+        rows, self._buffered = self._buffered, []
+        for row in rows:
+            if other_filter is None or self._key_fn(row) in other_filter:
+                self.emit(row)
+
+    def teardown(self):
+        self._buffered = []

@@ -1,0 +1,20 @@
+"""Select (filter): drop rows failing a predicate.
+
+Params: ``predicate`` (Expr), ``schema`` (input Schema). The predicate
+compiles once per instantiation; per-row evaluation is a closure call.
+SQL-style null semantics: a None predicate result filters the row out.
+"""
+
+from repro.core.dataflow import Operator
+from repro.core.operators import register_operator
+
+
+@register_operator("select")
+class Select(Operator):
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        self._predicate = spec.params["predicate"].compile(spec.params["schema"])
+
+    def push(self, row, port=0):
+        if self._predicate(row):
+            self.emit(row)

@@ -1,0 +1,93 @@
+"""Group-by aggregation in two network phases.
+
+``partial`` instances run where the data lives: they fold raw rows into
+per-group aggregate states and, at their flush deadline, emit compact
+``(group_values, states)`` pairs -- these are what the exchange ships
+(and what the aggregation tree merges per hop). ``final`` instances run
+at each group's DHT owner: they merge arriving partials and emit
+finished rows (group columns then aggregate results) at their own
+deadline.
+
+A node with zero matching rows emits nothing, so global aggregates
+naturally report over the *responding* nodes only -- the semantics
+Figure 1 of the paper plots.
+
+Params (partial): ``group_exprs``, ``agg_specs``, ``schema``.
+Params (final): ``agg_specs``.
+"""
+
+from repro.core.dataflow import Operator
+from repro.core.operators import register_operator
+
+
+@register_operator("groupby_partial")
+class GroupByPartial(Operator):
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        schema = spec.params["schema"]
+        self._group_fns = [e.compile(schema) for e in spec.params["group_exprs"]]
+        self._agg_specs = spec.params["agg_specs"]
+        self._arg_fns = [a.compile_arg(schema) for a in self._agg_specs]
+        self._groups = {}
+
+    def push(self, row, port=0):
+        gvals = tuple(fn(row) for fn in self._group_fns)
+        states = self._groups.get(gvals)
+        if states is None:
+            states = [a.agg.init() for a in self._agg_specs]
+            self._groups[gvals] = states
+        for i, spec in enumerate(self._agg_specs):
+            states[i] = spec.agg.add(states[i], self._arg_fns[i](row))
+
+    def flush(self):
+        for gvals, states in self._groups.items():
+            self.emit((gvals, tuple(states)))
+        self._groups = {}
+
+
+@register_operator("groupby_final")
+class GroupByFinal(Operator):
+    """Merges partial states at each group's owner.
+
+    After its first flush the operator keeps its state and *re-emits*
+    the updated full group set when stragglers arrive (partials delayed
+    by failed hops) -- PIER's streaming refinement. The downstream
+    result operator runs in replace mode, so the query site keeps each
+    node's latest contribution rather than double-counting.
+    """
+
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        self._agg_specs = spec.params["agg_specs"]
+        self._groups = {}
+        self._flushed = False
+        self._reflush_timer = None
+
+    def push(self, row, port=0):
+        gvals, states = row
+        held = self._groups.get(gvals)
+        if held is None:
+            self._groups[gvals] = list(states)
+        else:
+            for i, spec in enumerate(self._agg_specs):
+                held[i] = spec.agg.merge(held[i], states[i])
+        if self._flushed and self._reflush_timer is None:
+            self._reflush_timer = self.ctx.dht.set_timer(0.4, self.flush)
+
+    def flush(self):
+        if self._reflush_timer is not None:
+            self.ctx.dht.cancel_timer(self._reflush_timer)
+            self._reflush_timer = None
+        self._flushed = True
+        self.reset_batch()
+        for gvals, states in self._groups.items():
+            # Ship mergeable *states*, not finalized values: during ring
+            # healing two nodes can both act as a group's owner, and the
+            # query site can only reconcile them if states stay algebraic.
+            self.emit((tuple(gvals), tuple(states)))
+
+    def teardown(self):
+        if self._reflush_timer is not None:
+            self.ctx.dht.cancel_timer(self._reflush_timer)
+            self._reflush_timer = None
+        self._groups = {}

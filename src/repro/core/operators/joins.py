@@ -1,0 +1,119 @@
+"""In-network join operators.
+
+PIER's two workhorse joins (VLDB 2003, section 3.4):
+
+* **Symmetric hash join (SHJ)** -- both relations are rehashed on their
+  join keys into a query-temporary namespace; at every node an SHJ
+  instance builds a hash table per side and probes the opposite one on
+  each arrival, so results stream out without blocking. The exchanges
+  feeding ports 0/1 did the network work; this operator is local.
+
+* **Fetch-matches (FM)** -- used when one relation is *already*
+  published in the DHT partitioned on the join column: probe-side rows
+  trigger a ``get`` for their key, so only matching tuples ever cross
+  the network. Asynchronous by nature; replies landing after the query
+  deadline are dropped by the closed execution, the soft-state way.
+"""
+
+from repro.core.dataflow import Operator
+from repro.core.operators import register_operator
+
+
+@register_operator("shj")
+class SymmetricHashJoin(Operator):
+    """Pipelined equi-join; port 0 is the left input, port 1 the right.
+
+    Params: ``left_schema``, ``right_schema`` (qualified), ``left_keys``
+    and ``right_keys`` (expression lists of equal length), optional
+    ``residual`` predicate over the concatenated schema.
+    """
+
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        left_schema = spec.params["left_schema"]
+        right_schema = spec.params["right_schema"]
+        self._left_key = _key_fn(spec.params["left_keys"], left_schema)
+        self._right_key = _key_fn(spec.params["right_keys"], right_schema)
+        self._tables = ({}, {})  # key -> [rows]; index by port
+        residual = spec.params.get("residual")
+        if residual is not None:
+            out_schema = left_schema.concat(right_schema)
+            self._residual = residual.compile(out_schema)
+        else:
+            self._residual = None
+
+    def push(self, row, port=0):
+        key = self._left_key(row) if port == 0 else self._right_key(row)
+        mine, other = self._tables[port], self._tables[1 - port]
+        mine.setdefault(key, []).append(row)
+        for match in other.get(key, ()):
+            # Column order is left-then-right regardless of arrival side.
+            joined = (row + match) if port == 0 else (match + row)
+            if self._residual is None or self._residual(joined):
+                self.emit(joined)
+
+    def teardown(self):
+        self._tables = ({}, {})
+
+
+@register_operator("fetch_matches")
+class FetchMatches(Operator):
+    """Probe-side join against a DHT-published table.
+
+    Params: ``probe_schema``, ``table`` (dht table name, partitioned on
+    the join column), ``table_schema`` (qualified), ``probe_key``
+    (expression over the probe schema), optional ``residual`` over the
+    concatenated schema, optional ``dedup_keys`` (skip repeat gets for
+    a key already fetched -- the recursion path sets this).
+    """
+
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        probe_schema = spec.params["probe_schema"]
+        self._probe_key = spec.params["probe_key"].compile(probe_schema)
+        self._table = spec.params["table"]
+        residual = spec.params.get("residual")
+        if residual is not None:
+            out_schema = probe_schema.concat(spec.params["table_schema"])
+            self._residual = residual.compile(out_schema)
+        else:
+            self._residual = None
+        self._dedup = spec.params.get("dedup_keys", False)
+        self._cache = {}  # key -> rows (when dedup enabled)
+        self._waiting = {}  # key -> probe rows awaiting an in-flight get
+
+    def push(self, row, port=0):
+        key = self._probe_key(row)
+        if self._dedup and key in self._cache:
+            self._join(row, self._cache[key])
+            return
+        if key in self._waiting:
+            self._waiting[key].append(row)
+            return
+        self._waiting[key] = [row]
+        self.ctx.dht.get(self._table, key, lambda values: self._fetched(key, values))
+
+    def _fetched(self, key, values):
+        rows = [tuple(v) for _iid, v in values]
+        if self._dedup:
+            self._cache[key] = rows
+        for probe_row in self._waiting.pop(key, ()):
+            self._join(probe_row, rows)
+
+    def _join(self, probe_row, table_rows):
+        for table_row in table_rows:
+            joined = probe_row + table_row
+            if self._residual is None or self._residual(joined):
+                self.emit(joined)
+
+    def teardown(self):
+        self._waiting.clear()
+        self._cache.clear()
+
+
+def _key_fn(exprs, schema):
+    compiled = [e.compile(schema) for e in exprs]
+    if len(compiled) == 1:
+        fn = compiled[0]
+        return lambda row: (fn(row),)
+    return lambda row: tuple(fn(row) for fn in compiled)

@@ -1,0 +1,119 @@
+"""Small operators: distinct, union, limit, and result return.
+
+``distinct`` is the linchpin of recursive queries: DHT-partitioned (by
+an exchange keyed on the whole row), it emits only never-seen rows, so
+a cyclic plan reaches a fixpoint when no new rows appear anywhere --
+which the engine reports to the query site as quiescence.
+
+``result`` is the query-site boundary: rows are batched briefly and
+sent directly (not via DHT routing) to the origin node, exactly how
+PIER returns answers.
+"""
+
+from repro.core.dataflow import Operator
+from repro.core.operators import register_operator
+
+
+@register_operator("distinct")
+class Distinct(Operator):
+    """Emit each distinct row once, immediately on first arrival.
+
+    Params: ``report_progress`` -- when true (recursive plans), novel
+    row counts feed the engine's quiescence reports.
+    """
+
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        self._seen = set()
+        self._report = spec.params.get("report_progress", False)
+
+    def push(self, row, port=0):
+        if row in self._seen:
+            return
+        self._seen.add(row)
+        if self._report:
+            self.ctx.engine.note_progress(self.ctx.query_id, self.ctx.epoch, 1)
+        self.emit(row)
+
+    def teardown(self):
+        self._seen = set()
+
+
+@register_operator("union")
+class Union(Operator):
+    """Bag union: forward rows from any port unchanged."""
+
+    def push(self, row, port=0):
+        self.emit(row)
+
+
+@register_operator("limit")
+class Limit(Operator):
+    """Stop forwarding after ``limit`` rows (local short-circuit)."""
+
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        self._remaining = spec.params["limit"]
+
+    def push(self, row, port=0):
+        if self._remaining > 0:
+            self._remaining -= 1
+            self.emit(row)
+
+
+@register_operator("result")
+class ResultReturn(Operator):
+    """Ship rows to the query site, batched to save messages.
+
+    Two modes:
+
+    * append (default): rows buffer for ``batch_delay`` (0.25 s) and
+      each message carries the increment -- right for streamed selects
+      and recursion, where every row is final.
+    * replace (``params["replace"]``, aggregate plans): the upstream
+      final operators re-emit their *full* state when stragglers
+      refine it; each message carries this node's complete current
+      contribution and the query site keeps only the latest one.
+    """
+
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        self._replace = spec.params.get("replace", False)
+        self._batch = []
+        self._timer = None
+        self._delay = spec.params.get("batch_delay", 0.25)
+
+    def push(self, row, port=0):
+        self._batch.append(row)
+        if self._timer is None:
+            self._timer = self.ctx.dht.set_timer(self._delay, self._send)
+
+    def reset_batch(self):
+        if self._replace:
+            self._batch = []
+
+    def _send(self):
+        self._timer = None
+        if not self._batch:
+            return
+        if self._replace:
+            rows = list(self._batch)  # keep: later sends resend the cycle
+        else:
+            rows, self._batch = self._batch, []
+        self.ctx.send_to_origin({
+            "op": "qres",
+            "qid": self.ctx.query_id,
+            "epoch": self.ctx.epoch,
+            "node": self.ctx.engine.address,
+            "rows": rows,
+            "replace": self._replace,
+        })
+
+    def flush(self):
+        if self._timer is not None:
+            self.ctx.dht.cancel_timer(self._timer)
+            self._timer = None
+        self._send()
+
+    def teardown(self):
+        self.flush()

@@ -1,0 +1,19 @@
+"""Project: evaluate a list of expressions into a new row shape.
+
+Params: ``exprs`` (list of Expr), ``schema`` (input Schema). Output
+column names are a planning-time concern; rows stay positional.
+"""
+
+from repro.core.dataflow import Operator
+from repro.core.operators import register_operator
+
+
+@register_operator("project")
+class Project(Operator):
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        schema = spec.params["schema"]
+        self._fns = [e.compile(schema) for e in spec.params["exprs"]]
+
+    def push(self, row, port=0):
+        self.emit(tuple(fn(row) for fn in self._fns))

@@ -1,0 +1,38 @@
+"""Scan: emit one node's fragment of a relation.
+
+Dissemination turns one logical scan into N local scans -- every node
+that receives the plan scans what *it* has:
+
+* ``local`` tables: the node's private rows,
+* ``dht`` tables: the items this node stores for the table's namespace
+  (PIER's ``lscan`` access path),
+* ``stream`` tables: the rows in this epoch's window
+  ``(t0 - window, t0]``.
+
+Params: ``table`` (catalog name). The optional ``alias`` only matters
+at planning time (column qualification); at runtime rows are positional.
+"""
+
+from repro.core.dataflow import Operator
+from repro.core.operators import register_operator
+
+
+@register_operator("scan")
+class Scan(Operator):
+    def start(self):
+        table_name = self.spec.params["table"]
+        table_def = self.ctx.engine.catalog.lookup(table_name)
+        if table_def.source == "dht":
+            for item in self.ctx.dht.lscan(table_name):
+                self.emit(tuple(item.value))
+            return
+        fragment = self.ctx.fragment(table_name)
+        if table_def.source == "stream":
+            window = self.spec.params.get("window") or self.ctx.plan.window
+            if window is None:
+                window = table_def.window
+            rows = fragment.scan_window(self.ctx.t0 - window, self.ctx.t0)
+        else:
+            rows = fragment.scan()
+        for row in rows:
+            self.emit(row)

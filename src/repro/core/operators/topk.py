@@ -1,0 +1,91 @@
+"""Top-k: ORDER BY ... LIMIT k, network-aware.
+
+A ``partial`` top-k runs before the wire (each node forwards only its
+local top k, a classic bandwidth saver); the query site applies the
+same sort/cut again globally in its finishing step. Because top-k is
+not decomposable the partial phase is *safe* only because every node's
+true top k is a superset of its contribution to the global top k.
+
+Params: ``sort_keys`` (list of (Expr, descending?)), ``limit``,
+``schema`` (input).
+"""
+
+import functools
+
+from repro.core.dataflow import Operator
+from repro.core.operators import register_operator
+
+
+def make_sort_cmp(sort_keys, schema):
+    """A comparator over rows honouring per-key ASC/DESC."""
+    compiled = [(expr.compile(schema), desc) for expr, desc in sort_keys]
+
+    def cmp(row_a, row_b):
+        for fn, desc in compiled:
+            a, b = fn(row_a), fn(row_b)
+            if a == b:
+                continue
+            # None sorts last regardless of direction, like SQL NULLS LAST.
+            if a is None:
+                return 1
+            if b is None:
+                return -1
+            if a < b:
+                return 1 if desc else -1
+            return -1 if desc else 1
+        return 0
+
+    return cmp
+
+
+def sort_rows(rows, sort_keys, schema):
+    return sorted(rows, key=functools.cmp_to_key(make_sort_cmp(sort_keys, schema)))
+
+
+@register_operator("topk")
+class TopK(Operator):
+    """Params additionally accept ``replay`` (aggregate-plan top-k):
+    in replay mode the buffer participates in streaming refinement --
+    a cumulative upstream re-emission resets it, and its own flush
+    re-emits without clearing."""
+
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        self._sort_keys = spec.params["sort_keys"]
+        self._limit = spec.params["limit"]
+        self._schema = spec.params["schema"]
+        self._replay = spec.params.get("replay", False)
+        self._rows = []
+        self._flushed = False
+        self._reflush_timer = None
+
+    def push(self, row, port=0):
+        self._rows.append(row)
+        if self._replay and self._flushed and self._reflush_timer is None:
+            self._reflush_timer = self.ctx.dht.set_timer(0.2, self.flush)
+
+    def reset_batch(self):
+        if self._replay:
+            self._rows = []
+        super().reset_batch()
+
+    def flush(self):
+        if self._reflush_timer is not None:
+            self.ctx.dht.cancel_timer(self._reflush_timer)
+            self._reflush_timer = None
+        self._flushed = True
+        ordered = sort_rows(self._rows, self._sort_keys, self._schema)
+        if self._limit is not None:
+            ordered = ordered[: self._limit]
+        if self._replay:
+            self.reset_batch()
+        else:
+            self._rows = []
+        for row in ordered:
+            self.emit(row)
+
+    def teardown(self):
+        if self._reflush_timer is not None:
+            self.ctx.dht.cancel_timer(self._reflush_timer)
+            self._reflush_timer = None
+        self._rows = []

@@ -1,0 +1,578 @@
+"""The planner: logical queries -> physical (timed) operator graphs.
+
+The logical layer (:class:`LogicalQuery`) is what the SQL frontend
+produces and what the algebraic API can build directly. Planning:
+
+1. access paths: one scan per FROM table, with single-table predicates
+   pushed down just above their scan;
+2. joins: left-deep over the FROM order, keyed on equi-join conjuncts;
+   strategy per join is symmetric-hash (default), fetch-matches (when
+   the inner table is DHT-partitioned on the join column), or Bloom
+   (bloom_stage pre-filters before the rehash);
+3. aggregation: partial group-by where rows live, a tree-mode exchange
+   keyed on the group, and a final group-by at each group's owner;
+4. top-k: a partial ORDER BY/LIMIT cut before result return, with the
+   authoritative sort/cut re-applied at the query site ("finishing");
+5. timing: every stateful operator gets a flush deadline derived from a
+   dataflow-timing walk (when can its inputs have arrived?), because a
+   soft-state system flushes on clocks, not on end-of-stream tokens.
+
+Recursive queries (transitive-closure shape) become cyclic graphs:
+base rows enter a DHT-partitioned ``distinct``; novel rows feed both
+result return and a join against the edge relation whose output cycles
+back into the same ``distinct`` -- semi-naive evaluation as dataflow.
+"""
+
+from repro.core.aggregates import AggSpec
+from repro.core.opgraph import OpSpec, QueryPlan
+from repro.db.expressions import ColumnRef, equi_join_pairs
+from repro.db.schema import Column, Schema
+from repro.db.types import ANY
+from repro.util.errors import CatalogError, PlanError
+
+
+class AggCall:
+    """An aggregate in a SELECT list: ``SUM(expr)`` / ``COUNT(*)``."""
+
+    def __init__(self, func_name, arg):
+        self.func_name = func_name.upper()
+        self.arg = arg  # Expr or None for COUNT(*)
+
+    def display(self):
+        arg = "*" if self.arg is None else self.arg.display()
+        return "{}({})".format(self.func_name, arg)
+
+    def __repr__(self):
+        return "AggCall({})".format(self.display())
+
+
+class LogicalQuery:
+    """A resolved query, independent of surface syntax."""
+
+    def __init__(self, tables, select_items, where=None, group_by=None,
+                 having=None, order_by=None, limit=None, every=None,
+                 window=None, lifetime=None, options=None, recursive=None):
+        self.tables = tables  # [(table_name, alias)]
+        self.select_items = select_items  # [(Expr | AggCall, output_name)]
+        self.where = where
+        self.group_by = group_by if group_by is not None else []
+        self.having = having
+        self.order_by = order_by if order_by is not None else []  # [(Expr, desc)]
+        self.limit = limit
+        self.every = every
+        self.window = window
+        self.lifetime = lifetime
+        self.options = options if options is not None else {}
+        self.recursive = recursive  # RecursiveSpec or None
+
+
+class RecursiveSpec:
+    """``WITH RECURSIVE name AS (base UNION step)`` components."""
+
+    def __init__(self, name, base, step):
+        self.name = name
+        self.base = base  # LogicalQuery (single table, no aggregates)
+        self.step = step  # LogicalQuery (join of `name` with one table)
+
+
+class PlannerTiming:
+    """Dataflow-timing constants (seconds) used to place flush deadlines.
+
+    These bound, not measure: scan_ready covers plan dissemination,
+    rehash_xfer covers a multi-hop routed transfer, tree_xfer covers the
+    extra per-hop hold time of aggregation trees on a few-hundred-node
+    overlay. Generous values trade a little latency for complete
+    answers; the soft-state design makes tight values degrade to
+    partial answers rather than errors.
+    """
+
+    def __init__(self, scan_ready=1.5, hold=0.6, rehash_xfer=1.5,
+                 tree_xfer=6.0, result_send=0.4, collect=2.0,
+                 bloom_merge=1.2, bloom_release=1.0):
+        self.scan_ready = scan_ready
+        self.hold = hold
+        self.rehash_xfer = rehash_xfer
+        self.tree_xfer = tree_xfer
+        self.result_send = result_send
+        self.collect = collect
+        self.bloom_merge = bloom_merge
+        self.bloom_release = bloom_release
+
+
+class _Builder:
+    """Accumulates op specs and the timing walk while planning."""
+
+    def __init__(self, timing):
+        self.timing = timing
+        self.specs = []
+        self.flush_offsets = {}
+        self._n = 0
+
+    def add(self, kind, params=None, inputs=()):
+        self._n += 1
+        op_id = "op{}".format(self._n)
+        self.specs.append(OpSpec(op_id, kind, params, inputs))
+        return op_id
+
+    def flush_at(self, op_id, t):
+        self.flush_offsets[op_id] = t
+
+
+def plan_query(lq, catalog, timing=None):
+    """Compile a LogicalQuery against a catalog into a QueryPlan."""
+    timing = timing if timing is not None else PlannerTiming()
+    if lq.recursive is not None:
+        return _plan_recursive(lq, catalog, timing)
+    return _plan_flat(lq, catalog, timing)
+
+
+# ----------------------------------------------------------------------
+# Flat (non-recursive) planning
+# ----------------------------------------------------------------------
+def _plan_flat(lq, catalog, timing):
+    b = _Builder(timing)
+    op_id, schema, ready = _plan_from_where(b, lq, catalog, timing)
+
+    has_aggs = any(isinstance(item, AggCall) for item, _name in lq.select_items)
+    agg_finishing = None
+    if has_aggs or lq.group_by:
+        op_id, schema, ready, agg_finishing = _plan_aggregation(
+            b, lq, op_id, schema, ready, timing
+        )
+    else:
+        exprs = []
+        for item, _name in lq.select_items:
+            if isinstance(item, AggCall):
+                raise PlanError("aggregate outside aggregation context")
+            exprs.append(item)
+        op_id = b.add("project", {"exprs": exprs, "schema": schema}, [op_id])
+        schema = _output_schema(lq)
+
+    # Partial top-k before the wire when there is a LIMIT to exploit.
+    # Aggregate plans skip it: their group rows are mergeable states
+    # that only the query site can rank after reconciling owners.
+    sort_keys = _compile_order_by(lq, schema)
+    if sort_keys and lq.limit is not None and agg_finishing is None:
+        op_id = b.add("topk", {
+            "sort_keys": sort_keys, "limit": lq.limit, "schema": schema,
+        }, [op_id])
+        ready += 0.2
+        b.flush_at(op_id, ready)
+
+    # Aggregate answers refine as stragglers arrive, so the query site
+    # keeps each node's latest batch instead of appending.
+    result_id = b.add("result", {"replace": agg_finishing is not None}, [op_id])
+    ready += timing.result_send
+    b.flush_at(result_id, ready)
+    deadline = ready + timing.collect
+
+    mode = "continuous" if lq.every else "oneshot"
+    finishing = {}
+    if agg_finishing is not None:
+        finishing["aggregate"] = agg_finishing
+        finishing["schema"] = schema
+    if sort_keys:
+        finishing["order_by"] = sort_keys
+        finishing["schema"] = schema
+    if lq.limit is not None:
+        finishing["limit"] = lq.limit
+        finishing.setdefault("schema", schema)
+    metadata = {"columns": [name for _item, name in lq.select_items]}
+    if "bloom_broadcast_offset" in b.__dict__:
+        metadata["bloom_broadcast_offset"] = b.bloom_broadcast_offset
+    return QueryPlan(
+        b.specs, result_id, mode=mode, every=lq.every, window=lq.window,
+        lifetime=lq.lifetime, flush_offsets=b.flush_offsets,
+        deadline=deadline, finishing=finishing, metadata=metadata,
+    )
+
+
+def _plan_from_where(b, lq, catalog, timing):
+    """Scans, pushdowns and joins; returns (op_id, schema, ready_time)."""
+    if not lq.tables:
+        raise PlanError("query needs at least one table")
+    conjuncts = _split_where(lq.where)
+
+    # Access path per table, with pushed-down single-table predicates.
+    legs = []
+    for table_name, alias in lq.tables:
+        table_def = catalog.lookup(table_name)
+        schema = table_def.schema.qualify(alias or table_name)
+        op_id = b.add("scan", {"table": table_name, "alias": alias})
+        mine, conjuncts = _partition_conjuncts(conjuncts, schema)
+        if mine is not None:
+            op_id = b.add("select", {"predicate": mine, "schema": schema}, [op_id])
+        legs.append((op_id, schema, table_def))
+    ready = timing.scan_ready
+
+    op_id, schema, _table_def = legs[0]
+    for right_op, right_schema, right_def in legs[1:]:
+        op_id, schema, ready, conjuncts = _plan_join(
+            b, lq, op_id, schema, right_op, right_schema, right_def,
+            conjuncts, ready, timing,
+        )
+
+    # Anything left in the WHERE applies after all joins.
+    residual = _and_all(conjuncts)
+    if residual is not None:
+        op_id = b.add("select", {"predicate": residual, "schema": schema}, [op_id])
+    return op_id, schema, ready
+
+
+def _plan_join(b, lq, left_op, left_schema, right_op, right_schema,
+               right_def, conjuncts, ready, timing):
+    pairs, leftover = _extract_join_pairs(conjuncts, left_schema, right_schema)
+    if not pairs:
+        raise PlanError(
+            "no equi-join predicate between {} and {} (cartesian products "
+            "are not supported at Internet scale)".format(
+                left_schema.names, right_schema.names
+            )
+        )
+    left_keys = [ColumnRef(l) for l, _r in pairs]
+    right_keys = [ColumnRef(r) for _l, r in pairs]
+    strategy = lq.options.get("join_strategy", "auto")
+    if strategy == "auto":
+        strategy = "fm" if _fm_applicable(right_def, pairs, right_schema) else "shj"
+
+    if strategy == "fm":
+        if not _fm_applicable(right_def, pairs, right_schema):
+            raise PlanError(
+                "fetch-matches needs {} partitioned on the join column".format(
+                    right_def.name
+                )
+            )
+        out_schema = left_schema.concat(right_schema)
+        join_id = b.add("fetch_matches", {
+            "probe_schema": left_schema,
+            "table": right_def.name,
+            "table_schema": right_schema,
+            "probe_key": left_keys[0],
+            "residual": _and_all(
+                _join_residuals(leftover, out_schema)[0]
+            ),
+        }, [left_op])
+        leftover = _join_residuals(leftover, out_schema)[1]
+        ready = ready + timing.rehash_xfer  # one get round-trip
+        return join_id, out_schema, ready, leftover
+
+    if strategy == "bloom":
+        left_op, right_op, ready = _plan_bloom_stages(
+            b, left_op, left_schema, left_keys,
+            right_op, right_schema, right_keys, ready, timing,
+        )
+
+    left_ex = b.add("exchange", {
+        "mode": "rehash",
+        "key": {"kind": "exprs", "exprs": left_keys, "schema": left_schema},
+    }, [left_op])
+    right_ex = b.add("exchange", {
+        "mode": "rehash",
+        "key": {"kind": "exprs", "exprs": right_keys, "schema": right_schema},
+    }, [right_op])
+    out_schema = left_schema.concat(right_schema)
+    applicable, leftover = _join_residuals(leftover, out_schema)
+    join_id = b.add("shj", {
+        "left_schema": left_schema,
+        "right_schema": right_schema,
+        "left_keys": left_keys,
+        "right_keys": right_keys,
+        "residual": _and_all(applicable),
+    }, [left_ex, right_ex])
+    ready = ready + timing.rehash_xfer
+    return join_id, out_schema, ready, leftover
+
+
+def _plan_bloom_stages(b, left_op, left_schema, left_keys,
+                       right_op, right_schema, right_keys, ready, timing):
+    """Insert bloom_stage ops on both legs; returns new legs + ready."""
+    filter_flush = ready + 0.3
+    merge_at = filter_flush + timing.bloom_merge
+    release_at = merge_at + timing.bloom_release
+    stages = []
+    # Both stages share a filter group so the query site merges their
+    # partials together and each side receives the *other's* filter.
+    group = "bloom:{}".format(left_op)
+    for side, op, schema, keys in (
+        ("left", left_op, left_schema, left_keys),
+        ("right", right_op, right_schema, right_keys),
+    ):
+        stage = b.add("bloom_stage", {
+            "side": side, "key_exprs": keys, "schema": schema,
+            "capacity": 512, "fp_rate": 0.02, "group": group,
+        }, [op])
+        b.flush_at(stage, filter_flush)
+        stages.append(stage)
+    b.bloom_broadcast_offset = merge_at
+    return stages[0], stages[1], release_at
+
+
+def _fm_applicable(right_def, pairs, right_schema):
+    if right_def.source != "dht" or len(pairs) != 1:
+        return False
+    partition_index = right_def.schema.index_of(right_def.partition_key)
+    join_index = right_schema.index_of(pairs[0][1])
+    return partition_index == join_index
+
+
+def _plan_aggregation(b, lq, op_id, schema, ready, timing):
+    group_exprs = list(lq.group_by)
+    agg_specs = []
+    for item, name in lq.select_items:
+        if isinstance(item, AggCall):
+            agg_specs.append(AggSpec(item.func_name, item.arg, name))
+    if not agg_specs:
+        raise PlanError("GROUP BY without aggregates is just DISTINCT; use it")
+
+    partial_id = b.add("groupby_partial", {
+        "group_exprs": group_exprs, "agg_specs": agg_specs, "schema": schema,
+    }, [op_id])
+    ready += timing.hold
+    b.flush_at(partial_id, ready)
+
+    # The ablation knob: aggregation_tree=False ships partials straight
+    # to each group's owner with no in-network combining (same answer,
+    # more messages converging on the owner).
+    use_tree = lq.options.get("aggregation_tree", True)
+    exchange_params = {"mode": "tree" if use_tree else "rehash",
+                       "key": {"kind": "group"}}
+    if use_tree:
+        exchange_params["combine"] = {"agg_specs": agg_specs}
+    exchange_id = b.add("exchange", exchange_params, [partial_id])
+    ready += timing.tree_xfer if use_tree else timing.rehash_xfer
+
+    final_id = b.add("groupby_final", {"agg_specs": agg_specs}, [exchange_id])
+    ready += timing.hold
+    b.flush_at(final_id, ready)
+
+    # Final operators emit mergeable (group_values, states) rows; the
+    # query site reconciles owners (ring healing can split a group
+    # across two acting owners), finalizes, applies HAVING and projects
+    # into SELECT order -- all over a handful of group rows.
+    internal_schema = _aggregation_internal_schema(lq, group_exprs, agg_specs)
+    select_exprs = []
+    for item, name in lq.select_items:
+        if isinstance(item, AggCall):
+            select_exprs.append(ColumnRef(name))
+        else:
+            rewritten = _rewrite_group_expr(item, group_exprs, internal_schema)
+            try:
+                rewritten.compile(internal_schema)
+            except CatalogError:
+                raise PlanError(
+                    "SELECT item {!r} is neither an aggregate nor derivable "
+                    "from the GROUP BY columns".format(item.display())
+                )
+            select_exprs.append(rewritten)
+    agg_finishing = {
+        "agg_specs": agg_specs,
+        "internal_schema": internal_schema,
+        "select_exprs": select_exprs,
+        "having": lq.having,
+    }
+    return final_id, _output_schema(lq), ready, agg_finishing
+
+
+def _aggregation_internal_schema(lq, group_exprs, agg_specs):
+    """Schema of final group-by output rows: group cols then agg cols."""
+    columns = []
+    for i, expr in enumerate(group_exprs):
+        if isinstance(expr, ColumnRef):
+            name = expr.name
+        else:
+            name = "__group{}".format(i)
+        columns.append(Column(name, ANY))
+    for spec in agg_specs:
+        columns.append(Column(spec.output_name, ANY))
+    return Schema(columns)
+
+
+def _rewrite_group_expr(expr, group_exprs, internal_schema):
+    """Map a SELECT-list group expression onto the internal schema."""
+    for i, g in enumerate(group_exprs):
+        if g.display() == expr.display():
+            return ColumnRef(internal_schema.columns[i].name)
+    # Not literally a group expression: compile as-is; it may still
+    # reference group columns by name (e.g. an arithmetic over them).
+    return expr
+
+
+def _output_schema(lq):
+    return Schema(Column(name, ANY) for _item, name in lq.select_items)
+
+
+def _compile_order_by(lq, schema):
+    sort_keys = []
+    for expr, desc in lq.order_by:
+        sort_keys.append((expr, desc))
+    # Validate references now so a bad ORDER BY fails at plan time.
+    for expr, _desc in sort_keys:
+        expr.compile(schema)
+    return sort_keys
+
+
+# ----------------------------------------------------------------------
+# WHERE-clause plumbing
+# ----------------------------------------------------------------------
+def _split_where(where):
+    if where is None:
+        return []
+    from repro.db.expressions import conjuncts as split
+
+    return split(where)
+
+
+def _partition_conjuncts(conjuncts, schema):
+    """(AND of conjuncts fully resolvable in schema, the remainder)."""
+    mine, rest = [], []
+    for conj in conjuncts:
+        if all(schema.has_column(ref) for ref in conj.column_refs()):
+            mine.append(conj)
+        else:
+            rest.append(conj)
+    return _and_all(mine), rest
+
+
+def _extract_join_pairs(conjuncts, left_schema, right_schema):
+    pred = _and_all(conjuncts)
+    if pred is None:
+        return [], []
+    pairs, residual = equi_join_pairs(pred, left_schema, right_schema)
+    return pairs, _split_where(residual)
+
+
+def _join_residuals(conjuncts, out_schema):
+    """Split leftovers into (applicable at this join, still deferred)."""
+    applicable, deferred = [], []
+    for conj in conjuncts:
+        if all(out_schema.has_column(ref) for ref in conj.column_refs()):
+            applicable.append(conj)
+        else:
+            deferred.append(conj)
+    return applicable, deferred
+
+
+def _and_all(conjuncts):
+    from repro.db.expressions import BinaryOp
+
+    result = None
+    for conj in conjuncts:
+        result = conj if result is None else BinaryOp("AND", result, conj)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Recursive planning (transitive-closure shape)
+# ----------------------------------------------------------------------
+def _plan_recursive(lq, catalog, timing):
+    spec = lq.recursive
+    base, step = spec.base, spec.step
+    b = _Builder(timing)
+
+    # --- base leg: scan -> select -> project into the recursive shape
+    if len(base.tables) != 1:
+        raise PlanError("recursive base must read exactly one table")
+    base_table, base_alias = base.tables[0]
+    base_def = catalog.lookup(base_table)
+    base_schema = base_def.schema.qualify(base_alias or base_table)
+    base_scan = b.add("scan", {"table": base_table, "alias": base_alias})
+    op = base_scan
+    if base.where is not None:
+        op = b.add("select", {"predicate": base.where, "schema": base_schema}, [op])
+    base_exprs = [item for item, _n in base.select_items]
+    op = b.add("project", {"exprs": base_exprs, "schema": base_schema}, [op])
+
+    rec_columns = [name for _i, name in base.select_items]
+    rec_schema = Schema(Column(n, ANY) for n in rec_columns)
+
+    # --- the fixpoint core: row-partitioned distinct
+    to_distinct = b.add("exchange", {"mode": "rehash", "key": {"kind": "row"}}, [op])
+    distinct_id = b.add("distinct", {"report_progress": True}, [to_distinct])
+
+    # --- result branch
+    out_exprs = [item for item, _n in lq.select_items]
+    out_schema_in = rec_schema.qualify(spec.name)
+    result_chain = distinct_id
+    if lq.where is not None:
+        result_chain = b.add("select", {
+            "predicate": lq.where, "schema": out_schema_in,
+        }, [result_chain])
+    result_chain = b.add("project", {
+        "exprs": out_exprs, "schema": out_schema_in,
+    }, [result_chain])
+    result_id = b.add("result", {}, [result_chain])
+
+    # --- recursive step: join novel rows with the edge table
+    rec_alias, edge_table, edge_alias = _recursive_step_shape(step, spec.name)
+    edge_def = catalog.lookup(edge_table)
+    edge_schema = edge_def.schema.qualify(edge_alias or edge_table)
+    probe_schema = rec_schema.qualify(rec_alias)
+    conjuncts = _split_where(step.where)
+    pred = _and_all(conjuncts)
+    pairs, residual = equi_join_pairs(pred, probe_schema, edge_schema)
+    if not pairs:
+        raise PlanError("recursive step needs an equi-join with the edge table")
+    step_exprs = [item for item, _n in step.select_items]
+    out_schema = probe_schema.concat(edge_schema)
+
+    if _fm_applicable(edge_def, pairs, edge_schema):
+        join_id = b.add("fetch_matches", {
+            "probe_schema": probe_schema,
+            "table": edge_table,
+            "table_schema": edge_schema,
+            "probe_key": ColumnRef(pairs[0][0]),
+            "residual": residual,
+            "dedup_keys": True,
+        }, [distinct_id])
+    else:
+        left_keys = [ColumnRef(l) for l, _r in pairs]
+        right_keys = [ColumnRef(r) for _l, r in pairs]
+        left_ex = b.add("exchange", {
+            "mode": "rehash",
+            "key": {"kind": "exprs", "exprs": left_keys, "schema": probe_schema},
+        }, [distinct_id])
+        edge_scan = b.add("scan", {"table": edge_table, "alias": edge_alias})
+        right_ex = b.add("exchange", {
+            "mode": "rehash",
+            "key": {"kind": "exprs", "exprs": right_keys, "schema": edge_schema},
+        }, [edge_scan])
+        join_id = b.add("shj", {
+            "left_schema": probe_schema,
+            "right_schema": edge_schema,
+            "left_keys": left_keys,
+            "right_keys": right_keys,
+            "residual": residual,
+        }, [left_ex, right_ex])
+
+    step_project = b.add("project", {
+        "exprs": step_exprs, "schema": out_schema,
+    }, [join_id])
+    back_ex = b.add("exchange", {"mode": "rehash", "key": {"kind": "row"}},
+                    [step_project])
+    # Close the cycle: the back edge feeds the same distinct operator.
+    for s in b.specs:
+        if s.op_id == distinct_id:
+            s.inputs.append(back_ex)
+
+    deadline = lq.options.get("recursion_deadline", 45.0)
+    metadata = {
+        "columns": [name for _item, name in lq.select_items],
+        "quiet_period": lq.options.get("quiet_period", 3.0),
+        "min_runtime": lq.options.get("min_runtime", 3.0),
+    }
+    return QueryPlan(
+        b.specs, result_id, mode="recursive", flush_offsets={},
+        deadline=deadline, finishing={}, metadata=metadata,
+    )
+
+
+def _recursive_step_shape(step, rec_name):
+    """Identify which FROM entry is the recursive table; return aliases."""
+    if len(step.tables) != 2:
+        raise PlanError("recursive step must join the recursive table with one table")
+    (t1, a1), (t2, a2) = step.tables
+    if t1 == rec_name:
+        return (a1 or t1), t2, a2
+    if t2 == rec_name:
+        return (a2 or t2), t1, a1
+    raise PlanError("recursive step does not reference {!r}".format(rec_name))

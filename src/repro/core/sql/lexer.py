@@ -1,0 +1,99 @@
+"""Hand-rolled SQL lexer.
+
+Produces a flat token list; the parser indexes into it. Tokens carry
+their source position so errors can point at the offending character.
+"""
+
+from repro.util.errors import SqlError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "ASC", "DESC", "UNION", "WITH", "RECURSIVE",
+    "EVERY", "WINDOW", "LIFETIME", "SECONDS", "TRUE", "FALSE", "NULL",
+    "DISTINCT",
+}
+
+SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", ",", ".", "*", "=", "<", ">",
+           "+", "-", "/", "%")
+
+
+class Token:
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind, value, pos):
+        self.kind = kind  # "keyword" | "ident" | "number" | "string" | "symbol" | "eof"
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self):
+        return "Token({}, {!r})".format(self.kind, self.value)
+
+
+def tokenize(text):
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i:i + 2] == "--":  # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SqlError("unterminated string literal", position=i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is a qualifier, not a decimal.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            literal = text[i:j]
+            value = float(literal) if "." in literal else int(literal)
+            tokens.append(Token("number", value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("keyword", word.upper(), i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                value = "!=" if symbol == "<>" else symbol
+                tokens.append(Token("symbol", value, i))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise SqlError("unexpected character {!r}".format(ch), position=i)
+    tokens.append(Token("eof", None, n))
+    return tokens

@@ -1,0 +1,346 @@
+"""Recursive-descent SQL parser producing LogicalQuery objects.
+
+Expression precedence, loosest first:
+OR < AND < NOT < comparison < additive < multiplicative < unary minus.
+"""
+
+from repro.core.planner import AggCall, LogicalQuery, RecursiveSpec
+from repro.core.sql.lexer import tokenize
+from repro.db.expressions import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    UnaryOp,
+)
+from repro.util.errors import SqlError
+
+AGGREGATE_NAMES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+def parse_query(text, options=None):
+    """Parse SQL text into a LogicalQuery (see module docstring)."""
+    parser = _Parser(tokenize(text))
+    query = parser.parse_statement()
+    parser.expect_eof()
+    if options:
+        query.options.update(options)
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def at_keyword(self, *words):
+        token = self.peek()
+        return token.kind == "keyword" and token.value in words
+
+    def accept_keyword(self, *words):
+        if self.at_keyword(*words):
+            return self.advance().value
+        return None
+
+    def expect_keyword(self, word):
+        token = self.advance()
+        if token.kind != "keyword" or token.value != word:
+            raise SqlError(
+                "expected {} but found {!r}".format(word, token.value),
+                position=token.pos,
+            )
+        return token
+
+    def at_symbol(self, *symbols):
+        token = self.peek()
+        return token.kind == "symbol" and token.value in symbols
+
+    def accept_symbol(self, *symbols):
+        if self.at_symbol(*symbols):
+            return self.advance().value
+        return None
+
+    def expect_symbol(self, symbol):
+        token = self.advance()
+        if token.kind != "symbol" or token.value != symbol:
+            raise SqlError(
+                "expected {!r} but found {!r}".format(symbol, token.value),
+                position=token.pos,
+            )
+        return token
+
+    def expect_ident(self):
+        token = self.advance()
+        if token.kind != "ident":
+            raise SqlError(
+                "expected identifier but found {!r}".format(token.value),
+                position=token.pos,
+            )
+        return token.value
+
+    def expect_number(self):
+        token = self.advance()
+        if token.kind != "number":
+            raise SqlError(
+                "expected number but found {!r}".format(token.value),
+                position=token.pos,
+            )
+        return token.value
+
+    def expect_eof(self):
+        token = self.peek()
+        if token.kind != "eof":
+            raise SqlError(
+                "unexpected trailing input {!r}".format(token.value),
+                position=token.pos,
+            )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement(self):
+        if self.accept_keyword("WITH"):
+            self.expect_keyword("RECURSIVE")
+            name = self.expect_ident()
+            self.expect_keyword("AS")
+            self.expect_symbol("(")
+            base = self.parse_select()
+            self.expect_keyword("UNION")
+            step = self.parse_select()
+            self.expect_symbol(")")
+            outer = self.parse_select()
+            self._parse_continuous(outer)
+            outer.recursive = RecursiveSpec(name, base, step)
+            return outer
+        query = self.parse_select()
+        self._parse_continuous(query)
+        return query
+
+    def parse_select(self):
+        self.expect_keyword("SELECT")
+        select_items = self._parse_select_list()
+        self.expect_keyword("FROM")
+        tables = self._parse_table_refs()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        group_by = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = self._parse_expr_list()
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_expr()
+        order_by = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by = self._parse_order_list()
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.expect_number()
+            if not isinstance(limit, int):
+                raise SqlError("LIMIT must be an integer")
+        return LogicalQuery(
+            tables, select_items, where=where, group_by=group_by,
+            having=having, order_by=order_by, limit=limit,
+        )
+
+    def _parse_continuous(self, query):
+        if self.accept_keyword("EVERY"):
+            query.every = float(self.expect_number())
+            self.expect_keyword("SECONDS")
+        if self.accept_keyword("WINDOW"):
+            query.window = float(self.expect_number())
+            self.expect_keyword("SECONDS")
+        if self.accept_keyword("LIFETIME"):
+            query.lifetime = float(self.expect_number())
+            self.expect_keyword("SECONDS")
+
+    # ------------------------------------------------------------------
+    # Clause pieces
+    # ------------------------------------------------------------------
+    def _parse_select_list(self):
+        items = []
+        while True:
+            item = self._parse_select_item(len(items))
+            items.append(item)
+            if not self.accept_symbol(","):
+                break
+        return items
+
+    def _parse_select_item(self, index):
+        token = self.peek()
+        if token.kind == "symbol" and token.value == "*":
+            raise SqlError(
+                "bare SELECT * is not supported; name the columns "
+                "(schemas are globally known, so this costs one line)",
+                position=token.pos,
+            )
+        item = self._parse_select_expr()
+        name = None
+        if self.accept_keyword("AS"):
+            name = self.expect_ident()
+        elif self.peek().kind == "ident":
+            name = self.advance().value
+        if name is None:
+            if isinstance(item, ColumnRef):
+                name = item.name.rsplit(".", 1)[-1]
+            elif isinstance(item, AggCall):
+                name = item.display()
+            else:
+                name = "col{}".format(index)
+        return (item, name)
+
+    def _parse_select_expr(self):
+        """An expression or an aggregate call at the top level."""
+        token = self.peek()
+        if token.kind == "ident" and token.value.upper() in AGGREGATE_NAMES:
+            next_token = self.tokens[self.pos + 1]
+            if next_token.kind == "symbol" and next_token.value == "(":
+                func = self.advance().value.upper()
+                self.expect_symbol("(")
+                if self.accept_symbol("*"):
+                    self.expect_symbol(")")
+                    return AggCall(func, None)
+                if self.accept_keyword("DISTINCT"):
+                    if func != "COUNT":
+                        raise SqlError(
+                            "DISTINCT is only supported inside COUNT()"
+                        )
+                    arg = self.parse_expr()
+                    self.expect_symbol(")")
+                    return AggCall("COUNT_DISTINCT", arg)
+                arg = self.parse_expr()
+                self.expect_symbol(")")
+                return AggCall(func, arg)
+        return self.parse_expr()
+
+    def _parse_table_refs(self):
+        tables = []
+        while True:
+            name = self.expect_ident()
+            alias = None
+            if self.accept_keyword("AS"):
+                alias = self.expect_ident()
+            elif self.peek().kind == "ident":
+                alias = self.advance().value
+            tables.append((name, alias))
+            if not self.accept_symbol(","):
+                break
+        return tables
+
+    def _parse_expr_list(self):
+        exprs = [self.parse_expr()]
+        while self.accept_symbol(","):
+            exprs.append(self.parse_expr())
+        return exprs
+
+    def _parse_order_list(self):
+        items = []
+        while True:
+            expr = self.parse_expr()
+            desc = False
+            if self.accept_keyword("DESC"):
+                desc = True
+            else:
+                self.accept_keyword("ASC")
+            items.append((expr, desc))
+            if not self.accept_symbol(","):
+                break
+        return items
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def parse_expr(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self.accept_keyword("OR"):
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self.accept_keyword("AND"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self):
+        if self.accept_keyword("NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        left = self._parse_additive()
+        op = self.accept_symbol("=", "!=", "<", "<=", ">", ">=")
+        if op is not None:
+            return BinaryOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while True:
+            op = self.accept_symbol("+", "-")
+            if op is None:
+                return left
+            left = BinaryOp(op, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while True:
+            op = self.accept_symbol("*", "/", "%")
+            if op is None:
+                return left
+            left = BinaryOp(op, left, self._parse_unary())
+
+    def _parse_unary(self):
+        if self.accept_symbol("-"):
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self.advance()
+        if token.kind == "number":
+            return Literal(token.value)
+        if token.kind == "string":
+            return Literal(token.value)
+        if token.kind == "keyword" and token.value == "TRUE":
+            return Literal(True)
+        if token.kind == "keyword" and token.value == "FALSE":
+            return Literal(False)
+        if token.kind == "keyword" and token.value == "NULL":
+            return Literal(None)
+        if token.kind == "symbol" and token.value == "(":
+            inner = self.parse_expr()
+            self.expect_symbol(")")
+            return inner
+        if token.kind == "ident":
+            # Function call?
+            if self.at_symbol("("):
+                self.expect_symbol("(")
+                args = []
+                if not self.at_symbol(")"):
+                    args = self._parse_expr_list()
+                self.expect_symbol(")")
+                return FuncCall(token.value, args)
+            # Qualified column?
+            name = token.value
+            if self.accept_symbol("."):
+                name = "{}.{}".format(name, self.expect_ident())
+            return ColumnRef(name)
+        raise SqlError(
+            "unexpected token {!r}".format(token.value), position=token.pos
+        )

@@ -1,0 +1,47 @@
+"""Relational substrate: types, schemas, expressions, catalog, tables.
+
+PIER is "a generic dataflow engine ... outfitted with a set of
+relational query processing operators"; this package holds the
+relational half of that sentence. Rows are plain Python tuples for
+speed; a :class:`~repro.db.schema.Schema` maps column names to
+positions, and expressions compile to closures over row tuples.
+"""
+
+from repro.db.catalog import Catalog, TableDef
+from repro.db.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Literal,
+    UnaryOp,
+    col,
+    lit,
+)
+from repro.db.schema import Column, Schema
+from repro.db.table import LocalTable
+from repro.db.types import ANY, BOOL, FLOAT, INT, STR, ColumnType
+from repro.db.window import TimeWindow
+
+__all__ = [
+    "ANY",
+    "BOOL",
+    "BinaryOp",
+    "Catalog",
+    "Column",
+    "ColumnRef",
+    "ColumnType",
+    "Expr",
+    "FLOAT",
+    "FuncCall",
+    "INT",
+    "STR",
+    "LocalTable",
+    "Literal",
+    "Schema",
+    "TableDef",
+    "TimeWindow",
+    "UnaryOp",
+    "col",
+    "lit",
+]

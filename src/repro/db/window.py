@@ -1,0 +1,59 @@
+"""Sliding time windows for stream tables.
+
+Continuous queries in PIER's SQL dialect read a window of recent rows
+each epoch (``... WINDOW 60 SECONDS EVERY 30 SECONDS``). A TimeWindow
+is the node-local buffer behind that: append-only with timestamps,
+range scans by time, and eager eviction of anything older than the
+table's configured horizon.
+"""
+
+from collections import deque
+
+
+class TimeWindow:
+    """Timestamped row buffer with a fixed retention horizon."""
+
+    def __init__(self, table_def):
+        self.table_def = table_def
+        self.schema = table_def.schema
+        self.horizon = table_def.window
+        self._rows = deque()  # (timestamp, row), timestamps non-decreasing
+
+    def append(self, timestamp, row):
+        if isinstance(row, dict):
+            coerced = self.schema.row_from_dict(row)
+        else:
+            coerced = self.schema.coerce_row(row)
+        if self._rows and timestamp < self._rows[-1][0]:
+            # Out-of-order arrival: tolerate it, but keep scan ordering
+            # approximate rather than re-sorting the deque.
+            timestamp = self._rows[-1][0]
+        self._rows.append((timestamp, coerced))
+        return coerced
+
+    def evict_older_than(self, cutoff):
+        """Drop rows with timestamp < cutoff; returns how many."""
+        dropped = 0
+        while self._rows and self._rows[0][0] < cutoff:
+            self._rows.popleft()
+            dropped += 1
+        return dropped
+
+    def scan_window(self, lo, hi):
+        """Rows with timestamp in (lo, hi] -- one epoch's input."""
+        return [row for ts, row in self._rows if lo < ts <= hi]
+
+    def scan(self):
+        """All retained rows (the full current window)."""
+        return [row for _ts, row in self._rows]
+
+    def latest(self):
+        return self._rows[-1] if self._rows else None
+
+    def __len__(self):
+        return len(self._rows)
+
+    def __repr__(self):
+        return "TimeWindow({!r}, {} rows, horizon={})".format(
+            self.table_def.name, len(self._rows), self.horizon
+        )

@@ -1,0 +1,105 @@
+"""The PIER-facing DHT API.
+
+PIER's published interface to its DHT layer is small and this facade
+mirrors it method-for-method (VLDB 2003, section 2):
+
+=============  =====================================================
+``put``        publish an item, placed by hash(namespace, resourceId)
+``get``        fetch all instances for (namespace, resourceId)
+``renew``      extend an item's TTL (soft-state keep-alive)
+``lscan``      iterate the items of a namespace stored *at this node*
+``new_data``   subscribe to arrivals in a namespace at this node
+``route``      deliver an application payload to a key's owner, with
+               optional per-hop upcalls (in-network combining)
+``broadcast``  disseminate a payload to every reachable node
+``direct``     point-to-point message (result return to query site)
+=============  =====================================================
+
+The facade keeps the query engine honest: ``repro.core`` imports only
+this class, never the overlay internals, so swapping Chord for CAN (or
+a future overlay) cannot leak into the engine.
+"""
+
+
+class DhtApi:
+    """Per-node facade over a :class:`~repro.dht.chord.ChordNode`."""
+
+    def __init__(self, overlay_node):
+        self._node = overlay_node
+
+    @property
+    def address(self):
+        return self._node.address
+
+    @property
+    def node_id(self):
+        return self._node.id
+
+    @property
+    def clock(self):
+        return self._node.clock
+
+    @property
+    def alive(self):
+        return self._node.alive
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def put(self, namespace, resource_id, instance_id, value, ttl=None):
+        """Publish ``value`` into the DHT under the triple key."""
+        self._node.put(namespace, resource_id, instance_id, value, ttl)
+
+    def get(self, namespace, resource_id, on_done, timeout=None):
+        """Fetch all instances; ``on_done([(instance_id, value), ...])``."""
+        self._node.get(namespace, resource_id, on_done, timeout)
+
+    def renew(self, namespace, resource_id, instance_id, ttl=None):
+        self._node.renew(namespace, resource_id, instance_id, ttl)
+
+    def lscan(self, namespace):
+        """Locally stored live items (list of StoredItem)."""
+        return self._node.lscan(namespace)
+
+    def new_data(self, namespace, callback):
+        self._node.new_data(namespace, callback)
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+    def route(self, key, payload, upcall=None):
+        self._node.route(key, payload, upcall)
+
+    def register_delivery(self, namespace, handler):
+        self._node.register_delivery(namespace, handler)
+
+    def unregister_delivery(self, namespace):
+        self._node.unregister_delivery(namespace)
+
+    def set_default_delivery(self, handler):
+        self._node.set_default_delivery(handler)
+
+    def register_intercept(self, name, handler):
+        self._node.register_intercept(name, handler)
+
+    def unregister_intercept(self, name):
+        self._node.unregister_intercept(name)
+
+    def broadcast(self, payload):
+        self._node.broadcast(payload)
+
+    def on_broadcast(self, handler):
+        self._node.on_broadcast(handler)
+
+    def direct(self, dst_address, payload):
+        self._node.send_direct(dst_address, payload)
+
+    def on_direct(self, handler):
+        self._node.on_direct(handler)
+
+    def set_timer(self, delay, callback, *args):
+        """Expose node-scoped timers (auto-cancelled on crash)."""
+        return self._node.set_timer(delay, callback, *args)
+
+    def cancel_timer(self, event):
+        self._node.cancel_timer(event)

@@ -1,0 +1,807 @@
+"""Chord: the primary overlay under PIER.
+
+Implements the full protocol from Stoica et al. (SIGCOMM 2001), the DHT
+the demo paper cites as its canonical substrate, hardened with the
+Bamboo-style techniques of the paper's churn reference [6] (Rhea et al.,
+USENIX 2004): *periodic* rather than reactive recovery, timeout-driven
+failure suspicion, and hop-by-hop acknowledgment of routed messages with
+re-forwarding around suspected-dead hops.
+
+Feature inventory:
+
+* recursive multi-hop lookups via finger tables (O(log N) hops),
+* successor lists for resilience to node failure,
+* periodic stabilize / fix-fingers / check-predecessor,
+* key handoff on join and (optionally) graceful leave,
+* soft-state storage of application items (``put/get/renew/lscan``),
+* key-routed application messages with per-hop *upcalls* -- the hook
+  PIER's hierarchical aggregation uses to combine partial aggregates on
+  their way up the routing tree,
+* finger-table broadcast for query dissemination, with ack/repair so a
+  dead finger's delegated range is re-routed to its live owner.
+
+A :class:`ChordNode` is a :class:`~repro.sim.node.SimNode`: it fails by
+crashing (losing all soft state) and recovers by re-joining through a
+bootstrap address.
+"""
+
+from repro.dht import messages as msg
+from repro.dht.rpc import RpcNode
+from repro.dht.storage import SoftStateStore
+from repro.sim.node import SimNode
+from repro.sim.processes import PeriodicProcess
+from repro.util.ids import ID_BITS, distance_cw, in_interval, node_id_for, sha1_id
+from repro.util.stats import RunningStat
+
+
+class NodeRef:
+    """An (id, address) pair -- how nodes refer to each other."""
+
+    __slots__ = ("id", "address")
+
+    def __init__(self, node_id, address):
+        self.id = node_id
+        self.address = address
+
+    def __eq__(self, other):
+        return isinstance(other, NodeRef) and self.id == other.id
+
+    def __hash__(self):
+        return hash(self.id)
+
+    def wire_size(self):
+        return 28
+
+    def __repr__(self):
+        return "NodeRef({:08x}.., {!r})".format(self.id >> (ID_BITS - 32), self.address)
+
+
+def storage_key(namespace, resource_id):
+    """Where an item lives on the ring: hash of namespace + resource id."""
+    return sha1_id((namespace, resource_id))
+
+
+class ChordNode(SimNode, RpcNode):
+    """One Chord participant with PIER's storage API grafted on."""
+
+    def __init__(self, network, address, config, rng, trace=None):
+        super().__init__(network, address)
+        self._init_rpc(config.rpc_timeout)
+        self.config = config
+        self.rng = rng
+        self.trace = trace
+        self.id = node_id_for(address)
+        self.ref = NodeRef(self.id, address)
+
+        self.successors = [self.ref]  # successor list; [0] is the successor
+        self.predecessor = None
+        self.fingers = [None] * ID_BITS
+        self._next_finger = 0
+
+        self.store = SoftStateStore(self.clock)
+        self.lookup_hops = RunningStat()
+
+        self._pending_lookups = {}
+        self._pending_gets = {}
+        self._pending_bcast_acks = {}
+        self._pending_hop_acks = {}
+        self._suspects = {}  # address -> suspicion expiry (sim time)
+        self._next_req = 0
+        self._intercepts = {}
+        self._delivery_handlers = {}
+        self._default_delivery = None
+        self._broadcast_handlers = []
+        self._direct_handlers = []
+        self._seen_broadcasts = set()
+        self._bootstrap_address = None
+
+        self._stabilizer = PeriodicProcess(
+            self.clock, config.stabilize_period, self._stabilize, jitter_rng=rng
+        )
+        self._finger_fixer = PeriodicProcess(
+            self.clock, config.fix_fingers_period, self._fix_fingers, jitter_rng=rng
+        )
+        self._pred_checker = PeriodicProcess(
+            self.clock, config.check_predecessor_period, self._check_predecessor,
+            jitter_rng=rng,
+        )
+        self._sweeper = PeriodicProcess(
+            self.clock, config.storage_sweep_period, self.store.sweep, jitter_rng=rng
+        )
+        self._install_rpc_handlers()
+
+    def _fresh_req(self):
+        self._next_req += 1
+        return self._next_req
+
+    # ------------------------------------------------------------------
+    # Ring membership
+    # ------------------------------------------------------------------
+    @property
+    def successor(self):
+        return self.successors[0]
+
+    def create_ring(self):
+        """Become the first node of a new ring."""
+        self.successors = [self.ref]
+        self.predecessor = self.ref
+        self._start_maintenance()
+
+    def join(self, bootstrap_address):
+        """Join the ring known to ``bootstrap_address`` via the protocol."""
+        self._bootstrap_address = bootstrap_address
+        self.predecessor = None
+
+        def joined(owner, hops):
+            if owner is None:
+                # Bootstrap unreachable; retry after a backoff.
+                self.set_timer(self.config.rpc_timeout, self.join, bootstrap_address)
+                return
+            self.successors = [owner] if owner != self.ref else [self.ref]
+            self._start_maintenance()
+            self._stabilize()
+
+        self._lookup_via(bootstrap_address, self.id, joined)
+
+    def leave(self):
+        """Graceful departure: hand keys to the successor, then stop."""
+        if self.successor != self.ref:
+            items = self.store.lscan_all()
+            if items:
+                self.send(self.successor.address, msg.StoreItems(items))
+            if self.predecessor is not None and self.predecessor != self.ref:
+                self.send(
+                    self.predecessor.address,
+                    msg.RpcRequest(-1, self.address, {
+                        "kind": "successor_leaving",
+                        "successors": list(self.successors[1:]) or list(self.successors),
+                    }),
+                )
+        self.crash()
+
+    def crash(self):
+        self._stop_maintenance()
+        self.cancel_all_rpcs()
+        self.store.clear()
+        self._pending_lookups.clear()
+        self._pending_gets.clear()
+        self._pending_bcast_acks.clear()
+        self._pending_hop_acks.clear()
+        self._suspects.clear()
+        self._seen_broadcasts.clear()
+        super().crash()
+
+    def recover(self, bootstrap_address=None):
+        """Rejoin after a crash. Soft state is gone; same id, fresh store."""
+        super().recover()
+        self.successors = [self.ref]
+        self.predecessor = None
+        self.fingers = [None] * ID_BITS
+        target = bootstrap_address or self._bootstrap_address
+        if target is None or target == self.address:
+            self.create_ring()
+        else:
+            self.join(target)
+
+    def _start_maintenance(self):
+        self._stabilizer.start()
+        self._finger_fixer.start()
+        self._pred_checker.start()
+        self._sweeper.start()
+
+    def _stop_maintenance(self):
+        self._stabilizer.stop()
+        self._finger_fixer.stop()
+        self._pred_checker.stop()
+        self._sweeper.stop()
+
+    # ------------------------------------------------------------------
+    # Failure suspicion (timeout-driven, no oracle)
+    # ------------------------------------------------------------------
+    def _suspect(self, address):
+        self._suspects[address] = self.clock.now + self.config.suspect_ttl
+
+    def _is_suspect(self, address):
+        expiry = self._suspects.get(address)
+        if expiry is None:
+            return False
+        if expiry <= self.clock.now:
+            del self._suspects[address]
+            return False
+        return True
+
+    def _absolve(self, address):
+        self._suspects.pop(address, None)
+
+    # ------------------------------------------------------------------
+    # Next-hop selection
+    # ------------------------------------------------------------------
+    def owns(self, key):
+        """True if this node is responsible for ``key``.
+
+        A node owns the keys in ``(predecessor, self]``. With no known
+        predecessor we claim ownership only when we are our own
+        successor (single-node ring); otherwise routing decides.
+        """
+        if self.predecessor is None:
+            return self.successor == self.ref
+        return in_interval(key, self.predecessor.id, self.id, inclusive_hi=True)
+
+    def _candidates(self):
+        yield from self.fingers
+        yield from self.successors
+
+    def closest_preceding(self, target, exclude=()):
+        """Best next hop toward ``target``: closest known predecessor of it.
+
+        Skips suspects and anything in ``exclude`` (hops already tried
+        for this message). Falls back to the first usable successor.
+        """
+        best = None
+        best_distance = None
+        for candidate in self._candidates():
+            if candidate is None or candidate == self.ref:
+                continue
+            if candidate.address in exclude or self._is_suspect(candidate.address):
+                continue
+            if in_interval(candidate.id, self.id, target):
+                d = distance_cw(candidate.id, target)
+                if best_distance is None or d < best_distance:
+                    best = candidate
+                    best_distance = d
+        if best is not None:
+            return best
+        # Successor-list fallback -- but never overshoot the target:
+        # forwarding *past* the key makes messages lap the ring while
+        # an ownership gap heals. If no live entry precedes the target,
+        # this node is the closest live predecessor and must act.
+        for fallback in self.successors:
+            if fallback == self.ref:
+                continue
+            if fallback.address in exclude or self._is_suspect(fallback.address):
+                continue
+            if in_interval(fallback.id, self.id, target):
+                return fallback
+        return None
+
+    # ------------------------------------------------------------------
+    # Hop-by-hop acked forwarding (shared by lookups and routes)
+    # ------------------------------------------------------------------
+    def _send_hop(self, nxt, message, target, tried):
+        """Forward ``message`` to ``nxt``, expecting a receipt ack.
+
+        On silence, ``nxt`` becomes a suspect and the message is
+        re-forwarded around it (Bamboo's recursive-routing recovery).
+        """
+        req = self._fresh_req()
+        message.hop_ack = (self.address, req)
+        tried = tried | {nxt.address}
+
+        def not_acked():
+            if self._pending_hop_acks.pop(req, None) is None:
+                return
+            self._suspect(nxt.address)
+            self._advance(message, target, tried)
+
+        timer = self.set_timer(self.config.rpc_timeout, not_acked)
+        self._pending_hop_acks[req] = timer
+        message.hops += 1
+        self.send(nxt.address, message)
+
+    def _advance(self, message, target, tried):
+        """Terminal-check then forward ``message`` toward ``target``."""
+        if getattr(message, "force_terminal", False):
+            self._terminal(message)
+            return
+        if self.owns(target) or self.successor == self.ref:
+            self._terminal(message)
+            return
+        if in_interval(target, self.id, self.successor.id, inclusive_hi=True):
+            if not (self._is_suspect(self.successor.address)
+                    or self.successor.address in tried):
+                self._send_hop(self.successor, message, target, tried)
+                return
+            # The key's owner appears dead. The next live successor-list
+            # entry inherits its range once stabilization completes, so
+            # deliver there now (flagged terminal -- the heir does not
+            # yet believe it owns the range).
+            for heir in self.successors[1:]:
+                if heir == self.ref or heir.address in tried:
+                    continue
+                if self._is_suspect(heir.address):
+                    continue
+                message.force_terminal = True
+                self._send_hop(heir, message, target, tried)
+                return
+            self._terminal(message)
+            return
+        nxt = self.closest_preceding(target, exclude=tried)
+        if nxt is None:
+            # Every live candidate was tried: we are the closest live
+            # node to the key, so act as its owner (Bamboo's recovery
+            # behaviour). Stabilization will install the true owner
+            # shortly; in the meantime an approximate delivery beats a
+            # dropped one -- soft state tolerates the former.
+            self._terminal(message)
+            return
+        self._send_hop(nxt, message, target, tried)
+
+    def _terminal(self, message):
+        if message.kind == "lookup":
+            # The owner of the target answers with itself.
+            self.send(
+                message.origin.address,
+                msg.LookupDone(message.req_id, self.ref, message.hops),
+            )
+        else:
+            self._route_arrived(message)
+
+    def _ack_hop(self, message):
+        if message.hop_ack is not None:
+            ack_to, req = message.hop_ack
+            message.hop_ack = None
+            self.send_direct(ack_to, {"op": "hop_ack", "req": req})
+
+    # ------------------------------------------------------------------
+    # Lookup (find the owner of a key)
+    # ------------------------------------------------------------------
+    def lookup(self, key, on_done):
+        """Find the owner of ``key``; ``on_done(owner_ref, hops)``.
+
+        ``owner_ref`` is None if every retry timed out (network
+        partition, or the ring collapsed under us).
+        """
+        self._lookup_attempt(key, on_done, self.config.lookup_retries)
+
+    def _lookup_attempt(self, key, on_done, retries_left):
+        if self.owns(key) or self.successor == self.ref:
+            self.lookup_hops.add(0)
+            on_done(self.ref, 0)
+            return
+        if in_interval(key, self.id, self.successor.id, inclusive_hi=True):
+            self.lookup_hops.add(1)
+            on_done(self.successor, 1)
+            return
+        req_id = self._fresh_req()
+
+        def timed_out():
+            if req_id not in self._pending_lookups:
+                return
+            del self._pending_lookups[req_id]
+            if retries_left > 0:
+                self._lookup_attempt(key, on_done, retries_left - 1)
+            else:
+                on_done(None, -1)
+
+        timer = self.set_timer(self.config.lookup_timeout, timed_out)
+        self._pending_lookups[req_id] = (on_done, timer)
+        self._advance(msg.Lookup(key, self.ref, req_id), key, frozenset())
+
+    def _lookup_via(self, bootstrap_address, key, on_done):
+        """Lookup routed through an arbitrary node (used while joining)."""
+        req_id = self._fresh_req()
+
+        def timed_out():
+            if req_id in self._pending_lookups:
+                del self._pending_lookups[req_id]
+                on_done(None, -1)
+
+        timer = self.set_timer(self.config.lookup_timeout, timed_out)
+        self._pending_lookups[req_id] = (on_done, timer)
+        self.send(bootstrap_address, msg.Lookup(key, self.ref, req_id, hops=1))
+
+    def _handle_lookup(self, message):
+        self._ack_hop(message)
+        self._advance(message, message.target, frozenset())
+
+    def _handle_lookup_done(self, message):
+        entry = self._pending_lookups.pop(message.req_id, None)
+        if entry is None:
+            return
+        on_done, timer = entry
+        self.cancel_timer(timer)
+        self.lookup_hops.add(message.hops)
+        if self.trace is not None:
+            self.trace.record("lookup_done", node=self.address, hops=message.hops)
+        on_done(message.owner, message.hops)
+
+    # ------------------------------------------------------------------
+    # Key-routed application messages (with upcalls)
+    # ------------------------------------------------------------------
+    def route(self, key, payload, upcall=None):
+        """Route ``payload`` toward the owner of ``key``.
+
+        If ``upcall`` names a registered intercept, the intercept runs at
+        every *subsequent* hop (not at the origin) and may absorb or
+        transform the message -- PIER's in-network combining hook.
+        """
+        message = msg.Route(key, payload, self.ref, hops=0, upcall=upcall)
+        self._advance(message, key, frozenset())
+
+    def forward_route(self, message):
+        """Continue routing a message an upcall previously absorbed."""
+        self._advance(message, message.key, frozenset())
+
+    def _handle_route(self, message):
+        self._ack_hop(message)
+        if message.upcall is not None:
+            handler = self._intercepts.get(message.upcall)
+            if handler is not None:
+                at_owner = (
+                    message.force_terminal
+                    or self.owns(message.key)
+                    or self.successor == self.ref
+                )
+                keep_going = handler(self, message, at_owner)
+                if not keep_going:
+                    return
+        self._advance(message, message.key, frozenset())
+
+    def _route_arrived(self, message):
+        payload = message.payload
+        op = payload.get("op")
+        if op == "put":
+            self.store.put(
+                payload["ns"], payload["rid"], payload["iid"],
+                payload["value"], payload["ttl"],
+            )
+        elif op == "renew":
+            self.store.renew(
+                payload["ns"], payload["rid"], payload["iid"], payload["ttl"]
+            )
+        elif op == "get":
+            items = self.store.get(payload["ns"], payload["rid"])
+            self.send(
+                payload["reply_to"],
+                msg.Direct({
+                    "op": "get_reply",
+                    "req": payload["req"],
+                    "values": [(i.instance_id, i.value) for i in items],
+                }),
+            )
+        elif op == "deliver":
+            handler = self._delivery_handlers.get(payload["ns"])
+            if handler is not None:
+                handler(payload, message)
+            elif self._default_delivery is not None:
+                # No subscriber yet (plan still disseminating): let the
+                # engine buffer the row instead of dropping it.
+                self._default_delivery(payload, message)
+        elif op == "bcast_repair":
+            repaired = msg.Broadcast(
+                payload["payload"], payload["limit"], message.origin,
+                payload["depth"],
+            )
+            if self._deliver_broadcast(repaired):
+                self._relay_broadcast(payload["payload"], payload["limit"],
+                                      payload["depth"])
+        else:  # pragma: no cover - future ops
+            raise ValueError("unknown route op {!r}".format(op))
+
+    def register_intercept(self, name, handler):
+        """``handler(node, route_msg, at_owner) -> bool`` (True = forward)."""
+        self._intercepts[name] = handler
+
+    def unregister_intercept(self, name):
+        self._intercepts.pop(name, None)
+
+    def register_delivery(self, namespace, handler):
+        """Receive ``deliver`` payloads routed to keys this node owns."""
+        self._delivery_handlers[namespace] = handler
+
+    def unregister_delivery(self, namespace):
+        self._delivery_handlers.pop(namespace, None)
+
+    def set_default_delivery(self, handler):
+        """Fallback for ``deliver`` payloads with no registered namespace."""
+        self._default_delivery = handler
+
+    # ------------------------------------------------------------------
+    # Broadcast (query dissemination)
+    # ------------------------------------------------------------------
+    def on_broadcast(self, handler):
+        """``handler(payload, origin_ref, depth)`` runs once per broadcast."""
+        self._broadcast_handlers.append(handler)
+
+    def broadcast(self, payload):
+        """Disseminate ``payload`` to every reachable node, O(log N) depth.
+
+        Classic finger-table broadcast: each node covers ``(self, limit)``
+        and delegates disjoint sub-ranges to its fingers, so each live
+        node receives the message exactly once in a stable overlay.
+
+        Dead fingers would silently sever their whole delegated range, so
+        every child delivery is acked; an unacked range is *repaired* by
+        key-routing the broadcast to the range's live owner, who resumes
+        the relay. Under heavy churn some nodes may still be missed --
+        which is exactly why the paper's Figure 1 plots the aggregate
+        over "responding nodes" rather than all nodes.
+        """
+        self._deliver_broadcast(msg.Broadcast(payload, self.id, self.ref, 0))
+        self._relay_broadcast(payload, self.id, 0)
+
+    def _relay_broadcast(self, payload, limit, depth):
+        targets = self._distinct_fingers()
+        for i, finger in enumerate(targets):
+            if not in_interval(finger.id, self.id, limit):
+                continue
+            child_limit = limit
+            if i + 1 < len(targets) and in_interval(targets[i + 1].id, finger.id, limit):
+                child_limit = targets[i + 1].id
+            self._send_broadcast_child(payload, finger, child_limit, depth)
+
+    def _send_broadcast_child(self, payload, child, child_limit, depth):
+        req = self._fresh_req()
+
+        def not_acked():
+            if self._pending_bcast_acks.pop(req, None) is None:
+                return
+            self._suspect(child.address)
+            # Child silent: hand its range to whoever now owns its id.
+            self.route(child.id, {
+                "op": "bcast_repair",
+                "payload": payload,
+                "limit": child_limit,
+                "depth": depth + 1,
+            })
+
+        timer = self.set_timer(2 * self.config.rpc_timeout, not_acked)
+        self._pending_bcast_acks[req] = timer
+        self.send(
+            child.address,
+            msg.Broadcast(payload, child_limit, self.ref, depth + 1,
+                          ack_to=self.address, req=req),
+        )
+
+    def _distinct_fingers(self):
+        """Finger + successor entries, deduped, ascending from self."""
+        seen = {}
+        for ref in list(self.successors) + [f for f in self.fingers if f]:
+            if ref != self.ref and not self._is_suspect(ref.address):
+                seen[ref.id] = ref
+        return sorted(seen.values(), key=lambda r: distance_cw(self.id, r.id))
+
+    def _handle_broadcast(self, message):
+        if message.ack_to is not None:
+            self.send_direct(message.ack_to, {"op": "bcast_ack", "req": message.req})
+        if self._deliver_broadcast(message):
+            self._relay_broadcast(message.payload, message.limit, message.depth)
+
+    def _deliver_broadcast(self, message):
+        """Deliver locally; returns False for an already-seen duplicate."""
+        token = message.payload.get("token") if isinstance(message.payload, dict) else None
+        if token is not None:
+            if token in self._seen_broadcasts:
+                return False
+            self._seen_broadcasts.add(token)
+        if self.trace is not None:
+            self.trace.record("broadcast_deliver", node=self.address, depth=message.depth)
+        for handler in self._broadcast_handlers:
+            handler(message.payload, message.origin, message.depth)
+        return True
+
+    # ------------------------------------------------------------------
+    # PIER storage API
+    # ------------------------------------------------------------------
+    def put(self, namespace, resource_id, instance_id, value, ttl=None):
+        """Publish an item into the DHT (routed to the key's owner)."""
+        ttl = ttl if ttl is not None else self.config.default_ttl
+        key = storage_key(namespace, resource_id)
+        self.route(key, {
+            "op": "put", "ns": namespace, "rid": resource_id,
+            "iid": instance_id, "value": value, "ttl": ttl,
+        })
+
+    def renew(self, namespace, resource_id, instance_id, ttl=None):
+        ttl = ttl if ttl is not None else self.config.default_ttl
+        key = storage_key(namespace, resource_id)
+        self.route(key, {
+            "op": "renew", "ns": namespace, "rid": resource_id,
+            "iid": instance_id, "ttl": ttl,
+        })
+
+    def get(self, namespace, resource_id, on_done, timeout=None):
+        """Fetch all instances under (namespace, resource_id).
+
+        ``on_done(values)`` receives ``[(instance_id, value), ...]``;
+        an empty list on timeout (indistinguishable, by design, from
+        "nothing stored" -- soft state has no negative acks).
+        """
+        req = self._fresh_req()
+        timeout = timeout if timeout is not None else self.config.lookup_timeout
+
+        def timed_out():
+            entry = self._pending_gets.pop(req, None)
+            if entry is not None:
+                entry[0]([])
+
+        timer = self.set_timer(timeout, timed_out)
+        self._pending_gets[req] = (on_done, timer)
+        key = storage_key(namespace, resource_id)
+        self.route(key, {
+            "op": "get", "ns": namespace, "rid": resource_id,
+            "reply_to": self.address, "req": req,
+        })
+
+    def lscan(self, namespace):
+        """Locally stored live items of a namespace (PIER's scan access)."""
+        return self.store.lscan(namespace)
+
+    def new_data(self, namespace, callback):
+        """Subscribe to arrivals in a namespace stored at this node."""
+        self.store.on_new_data(namespace, callback)
+
+    def send_direct(self, dst_address, payload):
+        """Point-to-point app message (PIER uses this for result return)."""
+        self.send(dst_address, msg.Direct(payload))
+
+    def on_direct(self, handler):
+        self._direct_handlers.append(handler)
+
+    # ------------------------------------------------------------------
+    # Maintenance protocol
+    # ------------------------------------------------------------------
+    def _install_rpc_handlers(self):
+        self.rpc_handler("get_neighbors", self._rpc_get_neighbors)
+        self.rpc_handler("notify", self._rpc_notify)
+        self.rpc_handler("ping", self._rpc_ping)
+        self.rpc_handler("successor_leaving", self._rpc_successor_leaving)
+
+    def _rpc_get_neighbors(self, src, request, respond):
+        respond({
+            "predecessor": self.predecessor,
+            "successors": list(self.successors),
+        })
+
+    def _rpc_notify(self, src, request, respond):
+        # No liveness oracle here: a dead predecessor is evicted by
+        # check_predecessor's ping timeout, after which any notifier is
+        # accepted. This keeps failure detection purely timeout-driven.
+        candidate = request["node"]
+        accepted = False
+        if self.predecessor is None or in_interval(
+            candidate.id, self.predecessor.id, self.id
+        ):
+            self.predecessor = candidate
+            accepted = True
+        if accepted:
+            self._handoff_keys_to(candidate)
+        respond({"accepted": accepted})
+
+    def _rpc_ping(self, src, request, respond):
+        respond({"alive": True})
+
+    def _rpc_successor_leaving(self, src, request, respond):
+        replacements = [r for r in request["successors"] if r != self.ref]
+        if replacements:
+            self.successors = replacements[: self.config.successor_list_length]
+        respond({"ok": True})
+
+    def _handoff_keys_to(self, new_pred):
+        """Transfer items a new predecessor now owns: keys outside (new_pred, self]."""
+        def belongs_elsewhere(item):
+            key = storage_key(item.namespace, item.resource_id)
+            return not in_interval(key, new_pred.id, self.id, inclusive_hi=True)
+
+        items = self.store.items_in_range(belongs_elsewhere)
+        if items:
+            self.send(new_pred.address, msg.StoreItems(items))
+
+    def _stabilize(self):
+        succ = self.successor
+        if succ == self.ref:
+            if self.predecessor is not None and self.predecessor != self.ref:
+                self.successors = [self.predecessor]
+            return
+
+        def on_reply(reply):
+            self._absolve(succ.address)
+            pred = reply["predecessor"]
+            if pred is not None and pred != self.ref and in_interval(
+                pred.id, self.id, succ.id
+            ) and not self._is_suspect(pred.address):
+                self.successors.insert(0, pred)
+            fresh = [self.successor]
+            for ref in reply["successors"]:
+                if ref not in fresh and ref != self.ref:
+                    fresh.append(ref)
+                if len(fresh) >= self.config.successor_list_length:
+                    break
+            self.successors = fresh
+            self._notify_successor()
+
+        def on_timeout():
+            self._suspect(succ.address)
+            # Successor is gone: fail over to the next live entry.
+            if len(self.successors) > 1:
+                self.successors.pop(0)
+            else:
+                self.successors = [self.ref]
+
+        self.rpc(succ.address, {"kind": "get_neighbors"}, on_reply, on_timeout)
+
+    def _notify_successor(self):
+        if self.successor == self.ref:
+            return
+        self.rpc(
+            self.successor.address,
+            {"kind": "notify", "node": self.ref},
+            on_reply=lambda reply: None,
+            on_timeout=lambda: None,
+        )
+
+    def _fix_fingers(self):
+        for _ in range(self.config.fingers_per_round):
+            index = self._next_finger
+            self._next_finger = (self._next_finger + 1) % ID_BITS
+            start = (self.id + (1 << index)) % (1 << ID_BITS)
+
+            def set_finger(owner, hops, index=index):
+                if owner is not None:
+                    self.fingers[index] = owner
+
+            self.lookup(start, set_finger)
+
+    def _check_predecessor(self):
+        if self.predecessor is None or self.predecessor == self.ref:
+            return
+        pred = self.predecessor
+
+        def on_timeout():
+            self._suspect(pred.address)
+            if self.predecessor == pred:
+                self.predecessor = None
+
+        self.rpc(
+            pred.address,
+            {"kind": "ping"},
+            on_reply=lambda reply: self._absolve(pred.address),
+            on_timeout=on_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, src, payload):
+        self._absolve(src)  # hearing from a node proves it is alive
+        if self.handle_rpc_message(src, payload):
+            return
+        kind = payload.kind
+        if kind == "lookup":
+            self._handle_lookup(payload)
+        elif kind == "lookup_done":
+            self._handle_lookup_done(payload)
+        elif kind == "route":
+            self._handle_route(payload)
+        elif kind == "broadcast":
+            self._handle_broadcast(payload)
+        elif kind == "store_items":
+            for item in payload.items:
+                self.store.put_item(item)
+        elif kind == "direct":
+            self._handle_direct(payload, src)
+        else:  # pragma: no cover - defensive
+            raise ValueError("unhandled message kind {!r}".format(kind))
+
+    def _handle_direct(self, message, src):
+        inner = message.payload
+        op = inner.get("op") if isinstance(inner, dict) else None
+        if op == "hop_ack":
+            timer = self._pending_hop_acks.pop(inner["req"], None)
+            if timer is not None:
+                self.cancel_timer(timer)
+            return
+        if op == "bcast_ack":
+            timer = self._pending_bcast_acks.pop(inner["req"], None)
+            if timer is not None:
+                self.cancel_timer(timer)
+            return
+        if op == "get_reply":
+            entry = self._pending_gets.pop(inner["req"], None)
+            if entry is not None:
+                on_done, timer = entry
+                self.cancel_timer(timer)
+                on_done(inner["values"])
+            return
+        for handler in self._direct_handlers:
+            handler(inner, src)

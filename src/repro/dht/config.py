@@ -1,0 +1,42 @@
+"""Tunables for the DHT layer.
+
+Defaults are scaled to the simulator's wide-area latency model (one-way
+delays of 2-150 ms): RPC timeouts comfortably above the worst RTT,
+maintenance periods matching Bamboo's defaults from the churn paper the
+demo cites (periodic, not reactive, recovery).
+"""
+
+
+class DhtConfig:
+    def __init__(
+        self,
+        stabilize_period=5.0,
+        fix_fingers_period=10.0,
+        check_predecessor_period=7.0,
+        successor_list_length=4,
+        fingers_per_round=8,
+        # The latency model's worst one-way delay is ~0.2 s, so 0.8 s is
+        # >2x the worst RTT: fast enough that routing around a freshly
+        # dead hop costs well under a second per discovery.
+        rpc_timeout=0.8,
+        lookup_timeout=3.0,
+        lookup_retries=2,
+        storage_sweep_period=5.0,
+        default_ttl=120.0,
+        suspect_ttl=30.0,
+        graceful_leave=False,
+    ):
+        if successor_list_length < 1:
+            raise ValueError("successor list must hold at least one entry")
+        self.stabilize_period = stabilize_period
+        self.fix_fingers_period = fix_fingers_period
+        self.check_predecessor_period = check_predecessor_period
+        self.successor_list_length = successor_list_length
+        self.fingers_per_round = fingers_per_round
+        self.rpc_timeout = rpc_timeout
+        self.lookup_timeout = lookup_timeout
+        self.lookup_retries = lookup_retries
+        self.storage_sweep_period = storage_sweep_period
+        self.default_ttl = default_ttl
+        self.suspect_ttl = suspect_ttl
+        self.graceful_leave = graceful_leave

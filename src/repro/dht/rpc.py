@@ -1,0 +1,71 @@
+"""Request/reply plumbing over the simulated (unreliable) network.
+
+The simulator's transport is fire-and-forget, like UDP; everything that
+needs an answer -- stabilization probes, pings, get() -- goes through
+:class:`RpcNode`, which correlates replies by request id and converts
+silence into a timeout callback. Failure *detection* in the overlay is
+exactly these timeouts; there is no oracle.
+"""
+
+from repro.dht.messages import RpcReply, RpcRequest
+
+
+class RpcNode:
+    """Mixin over :class:`~repro.sim.node.SimNode` adding RPC support.
+
+    Subclasses register handlers with :meth:`rpc_handler`; a handler
+    receives ``(src, request, respond)`` and calls ``respond(payload)``
+    zero or one times.
+    """
+
+    def _init_rpc(self, rpc_timeout):
+        self._rpc_timeout = rpc_timeout
+        self._next_req_id = 0
+        self._pending_rpcs = {}
+        self._rpc_handlers = {}
+
+    def rpc_handler(self, kind, handler):
+        self._rpc_handlers[kind] = handler
+
+    def rpc(self, dst, inner, on_reply, on_timeout=None, timeout=None):
+        """Send ``inner`` to ``dst``; exactly one of the callbacks fires."""
+        req_id = self._next_req_id
+        self._next_req_id += 1
+        if timeout is None:
+            timeout = self._rpc_timeout
+
+        def timed_out():
+            entry = self._pending_rpcs.pop(req_id, None)
+            if entry is not None and on_timeout is not None:
+                on_timeout()
+
+        timer = self.set_timer(timeout, timed_out)
+        self._pending_rpcs[req_id] = (on_reply, timer)
+        self.send(dst, RpcRequest(req_id, self.address, inner))
+
+    def handle_rpc_message(self, src, payload):
+        """Returns True if ``payload`` was an RPC envelope it consumed."""
+        if payload.kind == "rpc_req":
+            handler = self._rpc_handlers.get(payload.inner.get("kind"))
+            if handler is None:
+                return True  # unknown request: drop, caller times out
+
+            def respond(reply_payload):
+                self.send(payload.reply_to, RpcReply(payload.req_id, reply_payload))
+
+            handler(src, payload.inner, respond)
+            return True
+        if payload.kind == "rpc_rep":
+            entry = self._pending_rpcs.pop(payload.req_id, None)
+            if entry is not None:
+                on_reply, timer = entry
+                self.cancel_timer(timer)
+                on_reply(payload.inner)
+            return True
+        return False
+
+    def cancel_all_rpcs(self):
+        """Drop in-flight RPCs without firing timeouts (crash path)."""
+        for _on_reply, timer in self._pending_rpcs.values():
+            timer.cancel()
+        self._pending_rpcs.clear()

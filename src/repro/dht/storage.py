@@ -1,0 +1,147 @@
+"""Soft-state storage: every item carries a TTL and expires unless renewed.
+
+This is PIER's whole consistency story -- there is no distributed
+deletion or repair protocol. Publishers re-``put`` what they want kept
+alive; anything orphaned by churn or query teardown simply ages out.
+
+Keys are ``(namespace, resource_id, instance_id)``:
+
+* ``namespace``   -- the relation (or query-temp) name,
+* ``resource_id`` -- the value the relation is partitioned on (the DHT
+  hashes ``namespace || resource_id`` to place the item),
+* ``instance_id`` -- distinguishes multiple tuples sharing a resource id.
+"""
+
+
+class StoredItem:
+    __slots__ = ("namespace", "resource_id", "instance_id", "value", "expires_at")
+
+    def __init__(self, namespace, resource_id, instance_id, value, expires_at):
+        self.namespace = namespace
+        self.resource_id = resource_id
+        self.instance_id = instance_id
+        self.value = value
+        self.expires_at = expires_at
+
+    def key(self):
+        return (self.namespace, self.resource_id, self.instance_id)
+
+    def __repr__(self):
+        return "StoredItem({}/{}/{} exp={:.1f})".format(
+            self.namespace, self.resource_id, self.instance_id, self.expires_at
+        )
+
+
+class SoftStateStore:
+    """Per-node item store with lazy + periodic expiry.
+
+    Expiry is enforced two ways: reads filter out stale items on the
+    spot (so correctness never depends on sweep timing), and a periodic
+    sweep reclaims memory.
+    """
+
+    def __init__(self, clock):
+        self.clock = clock
+        self._items = {}
+        self._by_namespace = {}
+        self._new_data_callbacks = {}
+
+    def __len__(self):
+        return len(self._items)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, namespace, resource_id, instance_id, value, ttl):
+        """Insert or refresh an item; firing any newData subscribers."""
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        item = StoredItem(
+            namespace, resource_id, instance_id, value, self.clock.now + ttl
+        )
+        key = item.key()
+        is_new = key not in self._items
+        self._items[key] = item
+        self._by_namespace.setdefault(namespace, {})[key] = item
+        if is_new:
+            for callback in self._new_data_callbacks.get(namespace, ()):
+                callback(item)
+        return item
+
+    def put_item(self, item):
+        """Adopt an already-built item (bulk transfer path) verbatim."""
+        key = item.key()
+        self._items[key] = item
+        self._by_namespace.setdefault(item.namespace, {})[key] = item
+
+    def renew(self, namespace, resource_id, instance_id, ttl):
+        """Extend an item's life; returns False if it no longer exists."""
+        item = self._items.get((namespace, resource_id, instance_id))
+        if item is None or item.expires_at <= self.clock.now:
+            return False
+        item.expires_at = self.clock.now + ttl
+        return True
+
+    def remove_namespace(self, namespace):
+        """Drop a whole namespace (query teardown fast-path)."""
+        for key in self._by_namespace.pop(namespace, {}):
+            self._items.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _live(self, item):
+        return item.expires_at > self.clock.now
+
+    def get(self, namespace, resource_id):
+        """All live items for (namespace, resource_id), any instance."""
+        bucket = self._by_namespace.get(namespace, {})
+        return [
+            item
+            for key, item in bucket.items()
+            if key[1] == resource_id and self._live(item)
+        ]
+
+    def lscan(self, namespace):
+        """All live items in a namespace stored at this node."""
+        bucket = self._by_namespace.get(namespace, {})
+        return [item for item in bucket.values() if self._live(item)]
+
+    def items_in_range(self, predicate):
+        """Live items whose hashed key satisfies ``predicate`` (handoff)."""
+        return [item for item in self._items.values() if self._live(item) and predicate(item)]
+
+    def lscan_all(self):
+        """Every live item at this node (graceful-leave handoff)."""
+        return [item for item in self._items.values() if self._live(item)]
+
+    def namespaces(self):
+        return list(self._by_namespace)
+
+    # ------------------------------------------------------------------
+    # Subscriptions and maintenance
+    # ------------------------------------------------------------------
+    def on_new_data(self, namespace, callback):
+        """Register a callback fired when a *new* item lands in ``namespace``."""
+        self._new_data_callbacks.setdefault(namespace, []).append(callback)
+
+    def remove_new_data(self, namespace):
+        self._new_data_callbacks.pop(namespace, None)
+
+    def sweep(self):
+        """Reclaim expired items; returns how many were removed."""
+        now = self.clock.now
+        dead = [k for k, item in self._items.items() if item.expires_at <= now]
+        for key in dead:
+            item = self._items.pop(key)
+            bucket = self._by_namespace.get(item.namespace)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del self._by_namespace[item.namespace]
+        return len(dead)
+
+    def clear(self):
+        """Drop everything (node crash: soft state does not survive)."""
+        self._items.clear()
+        self._by_namespace.clear()

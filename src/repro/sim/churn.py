@@ -1,0 +1,79 @@
+"""Churn: nodes joining and leaving while queries run.
+
+PlanetLab nodes reboot, lose connectivity and return; the paper's
+Figure 1 explicitly plots the aggregate over the *responding* subset.
+:class:`ChurnProcess` drives that dynamism: each managed node alternates
+exponentially-distributed UP sessions and DOWN periods, invoking
+caller-supplied ``on_leave`` / ``on_join`` hooks (which crash/rejoin the
+DHT node and its PIER engine).
+"""
+
+
+class ChurnConfig:
+    """Session-time parameters.
+
+    ``mean_session`` is the expected UP time, ``mean_downtime`` the
+    expected DOWN time, both in seconds. A 2004 PlanetLab-like profile
+    is hours-long sessions; DHT stress tests use minutes.
+    """
+
+    def __init__(self, mean_session=3600.0, mean_downtime=300.0):
+        if mean_session <= 0 or mean_downtime <= 0:
+            raise ValueError("mean session and downtime must be positive")
+        self.mean_session = mean_session
+        self.mean_downtime = mean_downtime
+
+
+class ChurnProcess:
+    """Alternating-renewal churn over a set of node addresses."""
+
+    def __init__(self, clock, config, rng, on_leave, on_join):
+        self.clock = clock
+        self.config = config
+        self._rng = rng
+        self.on_leave = on_leave
+        self.on_join = on_join
+        self._managed = set()
+        self._events = {}
+        self._running = False
+        self.leaves = 0
+        self.joins = 0
+
+    def manage(self, address):
+        """Put ``address`` under churn control (it starts UP)."""
+        self._managed.add(address)
+        if self._running:
+            self._schedule_leave(address)
+
+    def start(self):
+        self._running = True
+        for address in self._managed:
+            self._schedule_leave(address)
+
+    def stop(self):
+        self._running = False
+        for event in self._events.values():
+            event.cancel()
+        self._events.clear()
+
+    def _schedule_leave(self, address):
+        delay = self._rng.expovariate(1.0 / self.config.mean_session)
+        self._events[address] = self.clock.schedule(delay, self._leave, address)
+
+    def _schedule_join(self, address):
+        delay = self._rng.expovariate(1.0 / self.config.mean_downtime)
+        self._events[address] = self.clock.schedule(delay, self._join, address)
+
+    def _leave(self, address):
+        if not self._running:
+            return
+        self.leaves += 1
+        self.on_leave(address)
+        self._schedule_join(address)
+
+    def _join(self, address):
+        if not self._running:
+            return
+        self.joins += 1
+        self.on_join(address)
+        self._schedule_leave(address)

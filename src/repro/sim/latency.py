@@ -1,0 +1,80 @@
+"""Wide-area latency models.
+
+PlanetLab spans five continents; pairwise RTTs in 2004 ranged from ~1 ms
+(same site) to ~300 ms (trans-Pacific). :class:`GeoLatency` reproduces
+that structure by placing sites on a 2-D plane whose Euclidean distance
+maps to one-way delay, plus lognormal jitter. The simpler models exist
+for unit tests and for experiments where latency is not the variable
+under study.
+"""
+
+
+class LatencyModel:
+    """Interface: one-way delay in seconds for a (src, dst) pair."""
+
+    def delay(self, src, dst):
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``seconds`` -- useful in unit tests."""
+
+    def __init__(self, seconds=0.01):
+        if seconds < 0:
+            raise ValueError("latency cannot be negative")
+        self.seconds = seconds
+
+    def delay(self, src, dst):
+        return self.seconds
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[lo, hi]`` per message."""
+
+    def __init__(self, lo, hi, rng):
+        if not 0 <= lo <= hi:
+            raise ValueError("need 0 <= lo <= hi")
+        self.lo = lo
+        self.hi = hi
+        self._rng = rng
+
+    def delay(self, src, dst):
+        return self._rng.uniform(self.lo, self.hi)
+
+
+class GeoLatency(LatencyModel):
+    """Coordinate-based wide-area delay.
+
+    Each address is assigned a point in a unit square (set via
+    :meth:`place`); one-way delay is ``base + scale * distance`` with
+    multiplicative lognormal jitter. With ``scale=0.15`` the worst-case
+    one-way delay is ~110 ms, matching intercontinental PlanetLab paths.
+    """
+
+    def __init__(self, rng, base=0.002, scale=0.15, jitter_sigma=0.2):
+        self._rng = rng
+        self.base = base
+        self.scale = scale
+        self.jitter_sigma = jitter_sigma
+        self._coords = {}
+
+    def place(self, address, x, y):
+        """Pin ``address`` at coordinates ``(x, y)`` in the unit square."""
+        self._coords[address] = (x, y)
+
+    def place_random(self, address):
+        self.place(address, self._rng.random(), self._rng.random())
+
+    def coordinates(self, address):
+        return self._coords.get(address)
+
+    def delay(self, src, dst):
+        a = self._coords.get(src)
+        b = self._coords.get(dst)
+        if a is None or b is None:
+            # Unplaced nodes still communicate; give them a median path.
+            distance = 0.5
+        else:
+            distance = ((a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2) ** 0.5
+        jitter = self._rng.lognormvariate(0.0, self.jitter_sigma)
+        return (self.base + self.scale * distance) * jitter

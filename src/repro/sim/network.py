@@ -1,0 +1,115 @@
+"""The simulated network: message delivery, loss, and node liveness.
+
+Every inter-node interaction in the system -- DHT routing, query
+dissemination, rehash traffic, result return -- goes through
+:meth:`Network.send`, so the per-experiment message and byte counters
+collected here are complete.
+"""
+
+from repro.sim.latency import ConstantLatency
+from repro.util.errors import SimulationError
+from repro.util.serde import wire_size
+from repro.util.stats import Counter
+
+
+class NetworkConfig:
+    """Tunables for message transport."""
+
+    def __init__(self, loss_rate=0.0, count_bytes=True):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.loss_rate = loss_rate
+        self.count_bytes = count_bytes
+
+
+class Network:
+    """Registry of nodes plus the transport between them."""
+
+    def __init__(self, clock, latency=None, rng=None, config=None):
+        self.clock = clock
+        self.latency = latency if latency is not None else ConstantLatency()
+        self._rng = rng
+        self.config = config if config is not None else NetworkConfig()
+        self._nodes = {}
+        self.counters = Counter()
+        # Per-destination inbound accounting: the "fan-in at the query
+        # site" metric the in-network-aggregation claim is about.
+        self.inbound_bytes = {}
+        self.inbound_messages = {}
+
+    # ------------------------------------------------------------------
+    # Node registry
+    # ------------------------------------------------------------------
+    def register(self, node):
+        if node.address in self._nodes:
+            raise SimulationError("address {!r} already registered".format(node.address))
+        self._nodes[node.address] = node
+
+    def deregister(self, address):
+        self._nodes.pop(address, None)
+
+    def node(self, address):
+        return self._nodes.get(address)
+
+    def addresses(self):
+        return list(self._nodes)
+
+    def live_addresses(self):
+        return [a for a, n in self._nodes.items() if n.alive]
+
+    def is_alive(self, address):
+        node = self._nodes.get(address)
+        return node is not None and node.alive
+
+    def __len__(self):
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def send(self, src, dst, payload):
+        """Deliver ``payload`` from ``src`` to ``dst`` after a latency delay.
+
+        Messages to dead or unknown nodes are silently dropped, exactly
+        like UDP to a crashed host: the sender learns nothing unless a
+        higher layer (the DHT's RPC timeouts) notices.
+        """
+        self.counters.add("messages_sent")
+        kind = getattr(payload, "kind", None)
+        if kind is None and isinstance(payload, dict):
+            kind = payload.get("kind", "dict")
+        if self.config.count_bytes:
+            size = wire_size(payload)
+            self.counters.add("bytes_sent", size)
+            if kind is not None:
+                self.counters.add("messages_kind_{}".format(kind))
+                self.counters.add("bytes_kind_{}".format(kind), size)
+        if self.config.loss_rate > 0 and self._rng is not None:
+            if self._rng.random() < self.config.loss_rate:
+                self.counters.add("messages_lost")
+                return
+        delay = self.latency.delay(src, dst)
+        self.clock.schedule(delay, self._deliver, src, dst, payload)
+
+    def _deliver(self, src, dst, payload):
+        node = self._nodes.get(dst)
+        if node is None or not node.alive:
+            self.counters.add("messages_to_dead_node")
+            return
+        self.counters.add("messages_delivered")
+        if self.config.count_bytes:
+            self.inbound_bytes[dst] = (
+                self.inbound_bytes.get(dst, 0) + wire_size(payload)
+            )
+            self.inbound_messages[dst] = self.inbound_messages.get(dst, 0) + 1
+        node.handle_message(src, payload)
+
+    def broadcast_local(self, src, payload):
+        """Deliver ``payload`` to every live node (test/bench helper only).
+
+        Real PIER never does this -- dissemination rides the overlay --
+        but baselines (flooding) and test fixtures use it.
+        """
+        for address in self.live_addresses():
+            if address != src:
+                self.send(src, address, payload)

@@ -1,0 +1,38 @@
+"""Structured event tracing for debugging and assertions in tests.
+
+Components emit ``record(kind, **fields)``; tests then assert on the
+sequence ("a lookup visited <= log2(N) hops", "the aggregation tree
+combined before forwarding"). Disabled recorders are no-ops so tracing
+can stay compiled into hot paths.
+"""
+
+
+class TraceRecorder:
+    """An append-only, filterable log of simulation events."""
+
+    def __init__(self, clock, enabled=True, max_entries=None):
+        self.clock = clock
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self.entries = []
+
+    def record(self, kind, **fields):
+        if not self.enabled:
+            return
+        if self.max_entries is not None and len(self.entries) >= self.max_entries:
+            return
+        entry = {"t": self.clock.now, "kind": kind}
+        entry.update(fields)
+        self.entries.append(entry)
+
+    def of_kind(self, kind):
+        return [e for e in self.entries if e["kind"] == kind]
+
+    def count(self, kind):
+        return sum(1 for e in self.entries if e["kind"] == kind)
+
+    def clear(self):
+        self.entries.clear()
+
+    def __len__(self):
+        return len(self.entries)

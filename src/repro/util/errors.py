@@ -1,0 +1,44 @@
+"""Exception hierarchy for the PIER reproduction.
+
+All library errors derive from :class:`PierError` so callers can catch one
+base class. Subsystems raise their own subclass; nothing in the library
+raises a bare ``Exception``.
+"""
+
+
+class PierError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SimulationError(PierError):
+    """The discrete-event simulator was used incorrectly.
+
+    Examples: scheduling an event in the past, or running a network whose
+    clock has already been stopped.
+    """
+
+
+class DhtError(PierError):
+    """A DHT-level failure: routing to a dead overlay, bad namespace, etc."""
+
+
+class CatalogError(PierError):
+    """Schema/catalog misuse: unknown table, duplicate table, bad column."""
+
+
+class SqlError(PierError):
+    """The SQL frontend rejected a query (lex, parse, or analysis error).
+
+    Carries an optional source position so callers can point at the
+    offending token.
+    """
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = "{} (at position {})".format(message, position)
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(PierError):
+    """The planner could not translate a (valid) query into a dataflow."""

@@ -1,0 +1,63 @@
+"""Identifier-space arithmetic for the DHT ring.
+
+PIER's DHTs (Chord, Bamboo) use a circular 160-bit SHA-1 identifier
+space. Node ids and data keys live on the same ring; a key is stored at
+its *successor* -- the first node clockwise from the key.
+
+All functions here work on plain Python ints in ``[0, ID_SPACE)``.
+Python's arbitrary-precision ints make 160-bit arithmetic exact, so we
+keep the paper's full-width id space instead of truncating.
+"""
+
+import hashlib
+
+ID_BITS = 160
+ID_SPACE = 1 << ID_BITS
+
+
+def sha1_id(data):
+    """Hash arbitrary data onto the ring.
+
+    Accepts ``bytes`` or ``str``; anything else is hashed via its
+    ``repr`` so that heterogeneous tuple keys (ints, floats, tuples)
+    still map deterministically.
+    """
+    if isinstance(data, bytes):
+        raw = data
+    elif isinstance(data, str):
+        raw = data.encode("utf-8")
+    else:
+        raw = repr(data).encode("utf-8")
+    return int.from_bytes(hashlib.sha1(raw).digest(), "big")
+
+
+def node_id_for(address):
+    """Derive a node's ring id from its (simulated) network address."""
+    return sha1_id("node:{}".format(address))
+
+
+def distance_cw(a, b):
+    """Clockwise distance from ``a`` to ``b`` on the ring (0 when equal)."""
+    return (b - a) % ID_SPACE
+
+
+def in_interval(x, lo, hi, inclusive_hi=False):
+    """True if ``x`` lies in the clockwise-open interval ``(lo, hi)``.
+
+    Ring intervals wrap: ``in_interval(5, 250, 10)`` is true on a 256-id
+    ring. When ``lo == hi`` the interval is the whole ring minus the
+    endpoint (the usual Chord convention), so every ``x != lo`` is inside
+    and ``x == lo`` is inside only if ``inclusive_hi``.
+    """
+    x %= ID_SPACE
+    lo %= ID_SPACE
+    hi %= ID_SPACE
+    if lo == hi:
+        return inclusive_hi or x != lo
+    if lo < hi:
+        inside = lo < x < hi
+    else:
+        inside = x > lo or x < hi
+    if inclusive_hi and x == hi:
+        return True
+    return inside

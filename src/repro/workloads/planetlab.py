@@ -1,0 +1,67 @@
+"""A synthetic PlanetLab: ~100 sites on five continents, 2-4 hosts each.
+
+The latency model is coordinate-based, so geography is a layout
+problem: continents are regions of the unit square (distances scaled so
+that trans-Pacific paths cost ~100+ ms one-way, matching 2004
+PlanetLab), sites cluster tightly within a continent, and co-located
+hosts are practically adjacent. The demo's "300 machines worldwide" is
+the default.
+"""
+
+from repro.core.network import PierConfig, PierNetwork
+from repro.util.rng import SeededRng
+
+# Continent "centers" in the unit square, weighted like PlanetLab 2004:
+# heavily North America + Europe, some Asia, a little elsewhere.
+CONTINENTS = [
+    ("na", (0.15, 0.30), 0.40),  # North America
+    ("eu", (0.55, 0.20), 0.32),  # Europe
+    ("as", (0.85, 0.40), 0.18),  # Asia
+    ("sa", (0.25, 0.75), 0.05),  # South America
+    ("oc", (0.90, 0.85), 0.05),  # Oceania
+]
+
+
+def planetlab_placements(num_hosts=300, seed=0, hosts_per_site=(2, 4)):
+    """Generate {address: (x, y)} for a PlanetLab-like host set.
+
+    Addresses look like ``plab-eu-site17-h2``; hosts of one site sit
+    within ~1 ms of each other, sites scatter within their continent.
+    """
+    rng = SeededRng(seed, "planetlab")
+    placements = {}
+    site_index = 0
+    while len(placements) < num_hosts:
+        pick = rng.random()
+        acc = 0.0
+        for name, (cx, cy), weight in CONTINENTS:
+            acc += weight
+            if pick <= acc:
+                continent, center = name, (cx, cy)
+                break
+        else:
+            continent, center = CONTINENTS[0][0], CONTINENTS[0][1]
+        site_x = min(1.0, max(0.0, center[0] + rng.gauss(0, 0.06)))
+        site_y = min(1.0, max(0.0, center[1] + rng.gauss(0, 0.06)))
+        site_index += 1
+        count = rng.randint(*hosts_per_site)
+        for h in range(count):
+            if len(placements) >= num_hosts:
+                break
+            address = "plab-{}-site{}-h{}".format(continent, site_index, h)
+            placements[address] = (
+                min(1.0, max(0.0, site_x + rng.gauss(0, 0.004))),
+                min(1.0, max(0.0, site_y + rng.gauss(0, 0.004))),
+            )
+    return placements
+
+
+def build_planetlab_network(num_hosts=300, seed=0, config=None):
+    """A ready PierNetwork laid out like the demo's testbed."""
+    placements = planetlab_placements(num_hosts, seed)
+    return PierNetwork(
+        seed=seed,
+        config=config if config is not None else PierConfig(),
+        addresses=list(placements),
+        placements=placements,
+    )

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.network import PierNetwork
+from repro.sim.clock import SimClock
+from repro.util.rng import SeededRng
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def rng():
+    return SeededRng(1234, "tests")
+
+
+@pytest.fixture
+def small_net():
+    """An 8-node PIER testbed (fresh per test)."""
+    return PierNetwork(nodes=8, seed=42)
+
+
+@pytest.fixture
+def mid_net():
+    """A 16-node PIER testbed for join/aggregation tests."""
+    return PierNetwork(nodes=16, seed=43)
+
+
+def make_net(nodes, seed, **kwargs):
+    return PierNetwork(nodes=nodes, seed=seed, **kwargs)

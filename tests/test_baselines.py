@@ -1,0 +1,117 @@
+"""Baselines: centralized collection and flooding search."""
+
+import pytest
+
+from repro.baselines import CentralizedAggregation, FloodingNetwork
+from repro.core.network import PierNetwork
+
+
+class TestCentralized:
+    @pytest.fixture
+    def net(self):
+        n = PierNetwork(nodes=10, seed=500)
+        n.create_local_table("m", [("grp", "STR"), ("v", "FLOAT")])
+        for i in range(10):
+            n.insert("node{}".format(i), "m",
+                     [("g{}".format(i % 2), float(i)), ("g2", 1.0)])
+        return n
+
+    def test_matches_distributed_answer(self, net):
+        rows, _stats = CentralizedAggregation(net).run(
+            "m", ["grp"], [("SUM", "v"), ("COUNT", None)]
+        )
+        distributed = net.run_sql(
+            "SELECT grp, SUM(v) AS s, COUNT(*) AS n FROM m GROUP BY grp"
+        )
+        assert sorted(rows) == sorted(distributed.rows)
+
+    def test_collects_raw_rows(self, net):
+        _rows, stats = CentralizedAggregation(net).run(
+            "m", ["grp"], [("COUNT", None)]
+        )
+        assert stats["raw_rows_collected"] == 20
+        assert stats["reporters"] == 10
+        assert stats["bytes"] > 0
+
+    def test_global_aggregate(self, net):
+        rows, _stats = CentralizedAggregation(net).run("m", [], [("SUM", "v")])
+        assert rows == [(sum(float(i) for i in range(10)) + 10.0,)]
+
+
+class TestFlooding:
+    def corpus(self, addresses):
+        corpus = {}
+        for i, address in enumerate(addresses):
+            terms = ["common"] if i % 2 == 0 else ["common", "rare"]
+            if i == 5:
+                terms = ["needle"]
+            corpus["{}/f".format(address)] = (address, terms)
+        return corpus
+
+    def test_full_ttl_finds_everything(self):
+        addresses = ["h{}".format(i) for i in range(24)]
+        overlay = FloodingNetwork(addresses, degree=4, seed=1)
+        overlay.load_corpus(self.corpus(addresses))
+        # TTL must cover the overlay diameter (ring backbone worst case
+        # is N/2 hops; shortcuts usually compress it well below that).
+        # Every host except h5 (which only has "needle") matches.
+        found, stats = overlay.search(["common"], origin="h0", ttl=12)
+        assert len(found) == 23
+        assert stats["messages"] > 24  # flooding costs at least the network
+
+    def test_small_ttl_misses(self):
+        addresses = ["h{}".format(i) for i in range(40)]
+        overlay = FloodingNetwork(addresses, degree=3, seed=2)
+        overlay.load_corpus(self.corpus(addresses))
+        found, _stats = overlay.search(["common"], origin="h0", ttl=1)
+        assert 0 < len(found) < 40
+
+    def test_rare_item_requires_reaching_owner(self):
+        addresses = ["h{}".format(i) for i in range(30)]
+        overlay = FloodingNetwork(addresses, degree=4, seed=3)
+        overlay.load_corpus(self.corpus(addresses))
+        found, stats = overlay.search(["needle"], origin="h0", ttl=8)
+        assert found == ["h5/f"]
+        assert stats["first_hit_latency"] is not None
+
+    def test_multi_term_and_semantics(self):
+        addresses = ["h{}".format(i) for i in range(20)]
+        overlay = FloodingNetwork(addresses, degree=4, seed=4)
+        overlay.load_corpus(self.corpus(addresses))
+        found, _ = overlay.search(["common", "rare"], origin="h0", ttl=8)
+        expected = ["h{}/f".format(i) for i in range(20) if i % 2 == 1 and i != 5]
+        assert found == sorted(expected)
+
+    def test_duplicate_queries_suppressed(self):
+        addresses = ["h{}".format(i) for i in range(12)]
+        overlay = FloodingNetwork(addresses, degree=11, seed=5)  # clique
+        overlay.load_corpus(self.corpus(addresses))
+        _found, stats = overlay.search(["common"], origin="h0", ttl=6)
+        # In a clique with dedup, messages stay O(N^2), not O(N^ttl).
+        assert stats["messages"] < 12 * 12 * 2
+
+
+class TestComparison:
+    def test_dht_search_cheaper_than_flooding_for_rare_terms(self):
+        # The hybrid-search claim on equal corpora.
+        net = PierNetwork(nodes=24, seed=501)
+        from repro.apps import FileSharingApp
+
+        app = FileSharingApp(net).publish_corpus(files_per_node=4)
+        net.advance(3)
+        pop = app.term_popularity()
+        rare = min(pop, key=pop.get)
+
+        before = net.message_counters().get("messages_sent", 0)
+        found_dht = app.search_one(rare)
+        dht_messages = net.message_counters().get("messages_sent", 0) - before
+
+        overlay = FloodingNetwork(net.addresses(), degree=4, seed=502)
+        overlay.load_corpus(app.corpus)
+        found_flood, flood_stats = overlay.search([rare], ttl=8)
+
+        assert found_dht == app.ground_truth([rare])
+        assert set(found_flood) <= set(found_dht)
+        # Flooding visits the whole overlay; the DHT sends a handful of
+        # routed messages (plus background maintenance noise).
+        assert flood_stats["messages"] > dht_messages / 3

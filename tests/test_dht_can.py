@@ -1,0 +1,128 @@
+"""CAN overlay: zone geometry, greedy routing, put/get."""
+
+import pytest
+
+from repro.dht.can import CanNode, Zone, build_can_overlay, key_point
+from repro.sim.clock import SimClock
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network
+from repro.util.rng import SeededRng
+
+
+def make_can(n, dims=2, seed=0):
+    clock = SimClock()
+    rng = SeededRng(seed, "cantest")
+    net = Network(clock, ConstantLatency(0.02), rng.fork("net"))
+    nodes = [CanNode(net, "c{}".format(i), dims=dims) for i in range(n)]
+    build_can_overlay(nodes, rng.fork("zones"))
+    return clock, nodes
+
+
+class TestZone:
+    def test_contains(self):
+        z = Zone([0, 0], [0.5, 1.0])
+        assert z.contains([0.25, 0.9])
+        assert not z.contains([0.5, 0.5])  # hi edge exclusive
+
+    def test_split_halves_volume(self):
+        z = Zone([0, 0], [1, 1])
+        lower, upper = z.split(0)
+        assert lower.volume() == pytest.approx(0.5)
+        assert upper.volume() == pytest.approx(0.5)
+        assert lower.hi[0] == upper.lo[0] == 0.5
+
+    def test_widest_dim(self):
+        z = Zone([0, 0], [1.0, 0.25])
+        assert z.widest_dim() == 0
+
+    def test_abuts_shared_face(self):
+        a = Zone([0, 0], [0.5, 1])
+        b = Zone([0.5, 0], [1, 1])
+        assert a.abuts(b) and b.abuts(a)
+
+    def test_abuts_requires_overlap_in_other_dims(self):
+        a = Zone([0, 0], [0.5, 0.5])
+        b = Zone([0.5, 0.5], [1, 1])  # corner contact only
+        assert not a.abuts(b)
+
+    def test_abuts_wraps_torus(self):
+        a = Zone([0.75, 0], [1.0, 1])
+        b = Zone([0.0, 0], [0.25, 1])
+        assert a.abuts(b)
+
+    def test_distance_zero_inside(self):
+        z = Zone([0, 0], [1, 1])
+        assert z.distance_to([0.5, 0.5]) == 0.0
+
+    def test_distance_wraps(self):
+        z = Zone([0.0, 0.0], [0.1, 1.0])
+        # Point at x=0.95 is 0.05 across the wrap, not 0.85 away.
+        assert z.distance_to([0.95, 0.5]) == pytest.approx(0.05)
+
+
+class TestOverlayConstruction:
+    def test_zones_tile_the_torus(self):
+        _clock, nodes = make_can(32)
+        total = sum(node.zone.volume() for node in nodes)
+        assert total == pytest.approx(1.0)
+
+    def test_every_point_has_one_owner(self):
+        _clock, nodes = make_can(16, seed=3)
+        rng = SeededRng(99)
+        for _ in range(50):
+            p = [rng.random(), rng.random()]
+            owners = [n for n in nodes if n.zone.contains(p)]
+            assert len(owners) == 1
+
+    def test_neighbor_symmetry(self):
+        _clock, nodes = make_can(24, seed=1)
+        by_addr = {n.address: n for n in nodes}
+        for node in nodes:
+            for neighbor in node.neighbors:
+                assert node.address in by_addr[neighbor].neighbors
+
+    def test_key_point_deterministic_in_bounds(self):
+        p1 = key_point(("t", "k"), 2)
+        p2 = key_point(("t", "k"), 2)
+        assert p1 == p2
+        assert all(0 <= x < 1 for x in p1)
+
+
+class TestRouting:
+    def test_probe_reaches_owner(self):
+        clock, nodes = make_can(32, seed=5)
+        hops = []
+        for i in range(40):
+            nodes[i % 32].probe(("k", i), hops.append)
+        clock.run_for(20)
+        assert len(hops) == 40
+
+    def test_hops_scale_with_dims(self):
+        # d=2 on N nodes needs ~sqrt(N)/2 hops; d=4 should need fewer.
+        clock2, nodes2 = make_can(64, dims=2, seed=7)
+        hops2 = []
+        for i in range(50):
+            nodes2[i % 64].probe(("k", i), hops2.append)
+        clock2.run_for(30)
+        clock4, nodes4 = make_can(64, dims=4, seed=7)
+        hops4 = []
+        for i in range(50):
+            nodes4[i % 64].probe(("k", i), hops4.append)
+        clock4.run_for(30)
+        assert sum(hops4) / len(hops4) <= sum(hops2) / len(hops2) + 0.5
+
+    def test_put_get_roundtrip(self):
+        clock, nodes = make_can(16, seed=2)
+        nodes[0].put("t", "alpha", 42)
+        clock.run_for(2)
+        out = []
+        nodes[9].get("t", "alpha", out.append)
+        clock.run_for(3)
+        assert out == [[42]]
+
+    def test_get_missing_empty(self):
+        clock, nodes = make_can(8)
+        out = []
+        nodes[0].get("t", "nope", out.append)
+        clock.run_for(3)
+        assert out == [[]]

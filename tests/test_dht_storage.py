@@ -1,0 +1,129 @@
+"""Soft-state store: TTL expiry, renewal, subscriptions."""
+
+import pytest
+
+from repro.dht.storage import SoftStateStore
+
+
+@pytest.fixture
+def store(clock):
+    return SoftStateStore(clock)
+
+
+class TestPutGet:
+    def test_put_then_get(self, store):
+        store.put("ns", "k", 1, {"v": 1}, ttl=10)
+        items = store.get("ns", "k")
+        assert len(items) == 1
+        assert items[0].value == {"v": 1}
+
+    def test_multiple_instances_same_resource(self, store):
+        store.put("ns", "k", 1, "a", ttl=10)
+        store.put("ns", "k", 2, "b", ttl=10)
+        assert {i.value for i in store.get("ns", "k")} == {"a", "b"}
+
+    def test_put_same_triple_overwrites(self, store):
+        store.put("ns", "k", 1, "old", ttl=10)
+        store.put("ns", "k", 1, "new", ttl=10)
+        items = store.get("ns", "k")
+        assert len(items) == 1
+        assert items[0].value == "new"
+
+    def test_namespaces_isolated(self, store):
+        store.put("a", "k", 1, "x", ttl=10)
+        store.put("b", "k", 1, "y", ttl=10)
+        assert store.get("a", "k")[0].value == "x"
+        assert store.get("b", "k")[0].value == "y"
+
+    def test_rejects_nonpositive_ttl(self, store):
+        with pytest.raises(ValueError):
+            store.put("ns", "k", 1, "x", ttl=0)
+
+
+class TestExpiry:
+    def test_reads_filter_expired(self, store, clock):
+        store.put("ns", "k", 1, "x", ttl=5)
+        clock.run_until(6)
+        assert store.get("ns", "k") == []
+        assert store.lscan("ns") == []
+
+    def test_sweep_reclaims(self, store, clock):
+        store.put("ns", "k", 1, "x", ttl=5)
+        store.put("ns", "k2", 1, "y", ttl=100)
+        clock.run_until(6)
+        assert store.sweep() == 1
+        assert len(store) == 1
+
+    def test_renew_extends(self, store, clock):
+        store.put("ns", "k", 1, "x", ttl=5)
+        clock.run_until(4)
+        assert store.renew("ns", "k", 1, ttl=10)
+        clock.run_until(8)
+        assert len(store.get("ns", "k")) == 1
+
+    def test_renew_of_expired_fails(self, store, clock):
+        store.put("ns", "k", 1, "x", ttl=5)
+        clock.run_until(6)
+        assert not store.renew("ns", "k", 1, ttl=10)
+
+    def test_renew_of_missing_fails(self, store):
+        assert not store.renew("ns", "nothing", 1, ttl=10)
+
+
+class TestScans:
+    def test_lscan_returns_namespace_items(self, store):
+        store.put("ns", "a", 1, 1, ttl=10)
+        store.put("ns", "b", 1, 2, ttl=10)
+        store.put("other", "c", 1, 3, ttl=10)
+        assert len(store.lscan("ns")) == 2
+
+    def test_lscan_all(self, store):
+        store.put("a", "x", 1, 1, ttl=10)
+        store.put("b", "y", 1, 2, ttl=10)
+        assert len(store.lscan_all()) == 2
+
+    def test_items_in_range(self, store):
+        store.put("ns", "a", 1, 1, ttl=10)
+        store.put("ns", "b", 1, 2, ttl=10)
+        picked = store.items_in_range(lambda item: item.resource_id == "a")
+        assert len(picked) == 1
+
+    def test_remove_namespace(self, store):
+        store.put("ns", "a", 1, 1, ttl=10)
+        store.put("keep", "b", 1, 2, ttl=10)
+        store.remove_namespace("ns")
+        assert store.lscan("ns") == []
+        assert len(store.lscan("keep")) == 1
+
+    def test_clear(self, store):
+        store.put("ns", "a", 1, 1, ttl=10)
+        store.clear()
+        assert len(store) == 0
+
+
+class TestNewData:
+    def test_callback_fires_on_new(self, store):
+        seen = []
+        store.on_new_data("ns", lambda item: seen.append(item.value))
+        store.put("ns", "k", 1, "x", ttl=10)
+        assert seen == ["x"]
+
+    def test_callback_not_fired_on_overwrite(self, store):
+        seen = []
+        store.on_new_data("ns", lambda item: seen.append(item.value))
+        store.put("ns", "k", 1, "x", ttl=10)
+        store.put("ns", "k", 1, "y", ttl=10)
+        assert seen == ["x"]
+
+    def test_callback_scoped_to_namespace(self, store):
+        seen = []
+        store.on_new_data("ns", lambda item: seen.append(item.value))
+        store.put("other", "k", 1, "x", ttl=10)
+        assert seen == []
+
+    def test_remove_new_data(self, store):
+        seen = []
+        store.on_new_data("ns", seen.append)
+        store.remove_new_data("ns")
+        store.put("ns", "k", 1, "x", ttl=10)
+        assert seen == []

@@ -1,0 +1,127 @@
+"""Recursive queries: transitive closure as cyclic dataflow."""
+
+import pytest
+
+from repro.core.network import PierNetwork
+
+REACH_SQL = (
+    "WITH RECURSIVE reach AS ("
+    "  SELECT src, dst FROM link "
+    "UNION "
+    "  SELECT r.src AS src, l.dst AS dst FROM reach AS r, link AS l "
+    "  WHERE r.dst = l.src"
+    ") SELECT src, dst FROM reach"
+)
+
+
+def closure(edges):
+    """Python ground truth: pairs connected by a path of length >= 1."""
+    from collections import defaultdict
+
+    adj = defaultdict(set)
+    for s, d in edges:
+        adj[s].add(d)
+    result = set()
+    for start in {s for s, _ in edges}:
+        stack = list(adj[start])
+        seen = set()
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            result.add((start, cur))
+            stack.extend(adj[cur])
+    return result
+
+
+def run_reach(edges, nodes=10, seed=300, deadline=40.0):
+    net = PierNetwork(nodes=nodes, seed=seed)
+    net.create_dht_table("link", [("src", "STR"), ("dst", "STR")],
+                         partition_key="src", ttl=3600)
+    for i, edge in enumerate(edges):
+        net.publish(net.addresses()[i % nodes], "link", edge)
+    net.advance(3)
+    result = net.run_sql(REACH_SQL, options={"recursion_deadline": deadline},
+                         extra_time=5.0)
+    return set(result.rows)
+
+
+class TestClosure:
+    def test_chain(self):
+        edges = [("a", "b"), ("b", "c"), ("c", "d")]
+        assert run_reach(edges) == closure(edges)
+
+    def test_branching(self):
+        edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"), ("d", "e")]
+        assert run_reach(edges) == closure(edges)
+
+    def test_cycle_terminates(self):
+        edges = [("a", "b"), ("b", "c"), ("c", "a")]
+        got = run_reach(edges)
+        assert got == closure(edges)
+        assert ("a", "a") in got  # self-reachability through the cycle
+
+    def test_disconnected_components(self):
+        edges = [("a", "b"), ("x", "y")]
+        assert run_reach(edges) == {("a", "b"), ("x", "y")}
+
+    def test_diamond_no_duplicates(self):
+        edges = [("s", "l"), ("s", "r"), ("l", "t"), ("r", "t")]
+        net_pairs = run_reach(edges)
+        assert net_pairs == closure(edges)
+
+    def test_longer_chain_depth(self):
+        edges = [("n{}".format(i), "n{}".format(i + 1)) for i in range(8)]
+        got = run_reach(edges, deadline=60.0)
+        assert got == closure(edges)
+        assert ("n0", "n8") in got  # full depth reached
+
+
+class TestRecursiveVariants:
+    def test_filtered_base(self):
+        net = PierNetwork(nodes=8, seed=301)
+        net.create_dht_table("link", [("src", "STR"), ("dst", "STR")],
+                             partition_key="src", ttl=3600)
+        for i, edge in enumerate([("a", "b"), ("b", "c"), ("z", "q")]):
+            net.publish(net.addresses()[i % 8], "link", edge)
+        net.advance(3)
+        sql = (
+            "WITH RECURSIVE reach AS ("
+            "  SELECT src, dst FROM link WHERE src = 'a' "
+            "UNION "
+            "  SELECT r.src AS src, l.dst AS dst FROM reach AS r, link AS l "
+            "  WHERE r.dst = l.src"
+            ") SELECT src, dst FROM reach"
+        )
+        result = net.run_sql(sql, extra_time=5.0)
+        assert set(result.rows) == {("a", "b"), ("a", "c")}
+
+    def test_outer_filter(self):
+        net = PierNetwork(nodes=8, seed=302)
+        net.create_dht_table("link", [("src", "STR"), ("dst", "STR")],
+                             partition_key="src", ttl=3600)
+        for i, edge in enumerate([("a", "b"), ("b", "c")]):
+            net.publish(net.addresses()[i % 8], "link", edge)
+        net.advance(3)
+        sql = (
+            "WITH RECURSIVE reach AS ("
+            "  SELECT src, dst FROM link "
+            "UNION "
+            "  SELECT r.src AS src, l.dst AS dst FROM reach AS r, link AS l "
+            "  WHERE r.dst = l.src"
+            ") SELECT src, dst FROM reach WHERE dst = 'c'"
+        )
+        result = net.run_sql(sql, extra_time=5.0)
+        assert set(result.rows) == {("a", "c"), ("b", "c")}
+
+    def test_quiescence_closes_early(self):
+        # A tiny graph should finish long before the deadline cap.
+        net = PierNetwork(nodes=8, seed=303)
+        net.create_dht_table("link", [("src", "STR"), ("dst", "STR")],
+                             partition_key="src", ttl=3600)
+        net.publish("node0", "link", ("a", "b"))
+        net.advance(3)
+        handle = net.submit_sql(REACH_SQL, options={"recursion_deadline": 120.0})
+        net.advance(30)
+        assert handle.result(0) is not None  # closed well before 120s

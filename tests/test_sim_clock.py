@@ -1,0 +1,113 @@
+"""Discrete-event clock: ordering, cancellation, time semantics."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.util.errors import SimulationError
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self, clock):
+        fired = []
+        clock.schedule(3.0, fired.append, "c")
+        clock.schedule(1.0, fired.append, "a")
+        clock.schedule(2.0, fired.append, "b")
+        clock.run_until(10)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_fifo(self, clock):
+        fired = []
+        for label in "abc":
+            clock.schedule(1.0, fired.append, label)
+        clock.run_until(2)
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self, clock):
+        seen = []
+        clock.schedule(2.5, lambda: seen.append(clock.now))
+        clock.run_until(5)
+        assert seen == [2.5]
+        assert clock.now == 5
+
+    def test_schedule_at_absolute(self, clock):
+        fired = []
+        clock.schedule_at(4.0, fired.append, "x")
+        clock.run_until(3.9)
+        assert fired == []
+        clock.run_until(4.0)
+        assert fired == ["x"]
+
+    def test_negative_delay_rejected(self, clock):
+        with pytest.raises(SimulationError):
+            clock.schedule(-0.1, lambda: None)
+
+    def test_past_absolute_time_rejected(self, clock):
+        clock.run_until(5)
+        with pytest.raises(SimulationError):
+            clock.schedule_at(4.9, lambda: None)
+
+    def test_running_backwards_rejected(self, clock):
+        clock.run_until(5)
+        with pytest.raises(SimulationError):
+            clock.run_until(4)
+
+    def test_events_scheduled_during_event_fire_same_run(self, clock):
+        fired = []
+
+        def outer():
+            clock.schedule(1.0, fired.append, "inner")
+
+        clock.schedule(1.0, outer)
+        clock.run_until(3)
+        assert fired == ["inner"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, clock):
+        fired = []
+        event = clock.schedule(1.0, fired.append, "x")
+        event.cancel()
+        clock.run_until(2)
+        assert fired == []
+
+    def test_cancelled_event_drops_payload_references(self, clock):
+        big = ["payload"]
+        event = clock.schedule(1.0, big.append, "x")
+        event.cancel()
+        assert event.args == ()
+        assert event.callback is None
+
+    def test_pending_excludes_cancelled(self, clock):
+        keep = clock.schedule(1.0, lambda: None)
+        drop = clock.schedule(1.0, lambda: None)
+        drop.cancel()
+        assert clock.pending == 1
+        keep.cancel()
+        assert clock.pending == 0
+
+
+class TestRun:
+    def test_run_drains_everything(self, clock):
+        fired = []
+        for i in range(5):
+            clock.schedule(float(i), fired.append, i)
+        count = clock.run()
+        assert count == 5
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_run_max_events(self, clock):
+        for i in range(5):
+            clock.schedule(float(i), lambda: None)
+        assert clock.run(max_events=2) == 2
+        assert clock.pending == 3
+
+    def test_run_for_advances_relative(self, clock):
+        clock.run_until(2)
+        clock.run_for(3)
+        assert clock.now == 5
+
+    def test_events_fired_counter(self, clock):
+        clock.schedule(1, lambda: None)
+        clock.schedule(2, lambda: None)
+        clock.run_until(10)
+        assert clock.events_fired == 2

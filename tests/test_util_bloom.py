@@ -1,0 +1,108 @@
+"""Bloom filter invariants: no false negatives, geometric union."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bloom import BloomFilter
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_bits(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 3)
+
+    def test_rejects_nonpositive_hashes(self):
+        with pytest.raises(ValueError):
+            BloomFilter(64, 0)
+
+    def test_for_capacity_sizes_up_with_capacity(self):
+        small = BloomFilter.for_capacity(10, 0.01)
+        large = BloomFilter.for_capacity(10000, 0.01)
+        assert large.num_bits > small.num_bits
+
+    def test_for_capacity_sizes_up_with_precision(self):
+        loose = BloomFilter.for_capacity(1000, 0.1)
+        tight = BloomFilter.for_capacity(1000, 0.001)
+        assert tight.num_bits > loose.num_bits
+
+
+class TestMembership:
+    @given(st.lists(st.text(), max_size=200))
+    def test_no_false_negatives(self, items):
+        bf = BloomFilter.for_capacity(max(1, len(items)))
+        for item in items:
+            bf.add(item)
+        for item in items:
+            assert item in bf
+
+    def test_tuples_as_items(self):
+        bf = BloomFilter.for_capacity(16)
+        bf.add(("k", 1))
+        assert ("k", 1) in bf
+        assert ("k", 2) not in bf
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter.for_capacity(1000, 0.02)
+        for i in range(1000):
+            bf.add(("present", i))
+        false_positives = sum(
+            1 for i in range(5000) if ("absent", i) in bf
+        )
+        # Allow generous slack over the nominal 2%.
+        assert false_positives / 5000 < 0.06
+
+    def test_empty_filter_rejects_everything(self):
+        bf = BloomFilter(256, 4)
+        assert "anything" not in bf
+
+
+class TestUnion:
+    def test_union_contains_both_sides(self):
+        a = BloomFilter(256, 4)
+        b = BloomFilter(256, 4)
+        a.add("x")
+        b.add("y")
+        merged = a.union(b)
+        assert "x" in merged and "y" in merged
+
+    def test_union_requires_same_geometry(self):
+        a = BloomFilter(256, 4)
+        b = BloomFilter(128, 4)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_union_counts_items(self):
+        a = BloomFilter(256, 4)
+        b = BloomFilter(256, 4)
+        a.add("x")
+        b.add("y")
+        b.add("z")
+        assert len(a.union(b)) == 3
+
+    @given(st.lists(st.integers(), max_size=50), st.lists(st.integers(), max_size=50))
+    def test_union_equals_adding_everything(self, left, right):
+        a = BloomFilter(512, 4)
+        b = BloomFilter(512, 4)
+        both = BloomFilter(512, 4)
+        for item in left:
+            a.add(item)
+            both.add(item)
+        for item in right:
+            b.add(item)
+            both.add(item)
+        assert a.union(b)._bits == both._bits
+
+
+class TestSizing:
+    def test_size_bytes_matches_bits(self):
+        assert BloomFilter(256, 4).size_bytes() == 32
+        assert BloomFilter(257, 4).size_bytes() == 33
+
+    def test_fill_ratio_grows(self):
+        bf = BloomFilter(128, 3)
+        assert bf.fill_ratio() == 0.0
+        bf.add("a")
+        first = bf.fill_ratio()
+        for i in range(50):
+            bf.add(i)
+        assert bf.fill_ratio() > first

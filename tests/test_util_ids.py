@@ -1,0 +1,115 @@
+"""Ring-arithmetic tests: the correctness bedrock of the whole DHT."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.ids import (
+    ID_BITS,
+    ID_SPACE,
+    distance_cw,
+    in_interval,
+    node_id_for,
+    sha1_id,
+)
+
+ids = st.integers(min_value=0, max_value=ID_SPACE - 1)
+
+
+class TestSha1Id:
+    def test_deterministic(self):
+        assert sha1_id("hello") == sha1_id("hello")
+
+    def test_bytes_and_str_with_same_content_agree(self):
+        assert sha1_id(b"hello") == sha1_id("hello")
+
+    def test_different_inputs_differ(self):
+        assert sha1_id("a") != sha1_id("b")
+
+    def test_non_string_values_hash_via_repr(self):
+        assert sha1_id(("ns", 42)) == sha1_id(repr(("ns", 42)))
+
+    def test_result_in_id_space(self):
+        for value in ("x", b"y", 123, ("a", 1), 4.5):
+            assert 0 <= sha1_id(value) < ID_SPACE
+
+    def test_id_bits_is_sha1_width(self):
+        assert ID_BITS == 160
+        assert ID_SPACE == 1 << 160
+
+
+class TestNodeIdFor:
+    def test_distinct_addresses_distinct_ids(self):
+        seen = {node_id_for("node{}".format(i)) for i in range(100)}
+        assert len(seen) == 100
+
+    def test_stable(self):
+        assert node_id_for("n1") == node_id_for("n1")
+
+
+class TestDistanceCw:
+    def test_zero_for_equal(self):
+        assert distance_cw(5, 5) == 0
+
+    def test_forward(self):
+        assert distance_cw(3, 10) == 7
+
+    def test_wraps(self):
+        assert distance_cw(ID_SPACE - 1, 2) == 3
+
+    @given(ids, ids)
+    def test_in_range(self, a, b):
+        assert 0 <= distance_cw(a, b) < ID_SPACE
+
+    @given(ids, ids)
+    def test_antisymmetric_sum(self, a, b):
+        if a != b:
+            assert distance_cw(a, b) + distance_cw(b, a) == ID_SPACE
+
+
+class TestInInterval:
+    def test_simple_inside(self):
+        assert in_interval(5, 1, 10)
+
+    def test_simple_outside(self):
+        assert not in_interval(15, 1, 10)
+
+    def test_open_at_both_ends(self):
+        assert not in_interval(1, 1, 10)
+        assert not in_interval(10, 1, 10)
+
+    def test_inclusive_hi(self):
+        assert in_interval(10, 1, 10, inclusive_hi=True)
+
+    def test_wrapping_interval(self):
+        assert in_interval(2, ID_SPACE - 10, 5)
+        assert in_interval(ID_SPACE - 3, ID_SPACE - 10, 5)
+        assert not in_interval(100, ID_SPACE - 10, 5)
+
+    def test_degenerate_interval_is_whole_ring(self):
+        # lo == hi: everything except the endpoint is inside.
+        assert in_interval(5, 7, 7)
+        assert not in_interval(7, 7, 7)
+        assert in_interval(7, 7, 7, inclusive_hi=True)
+
+    @given(ids, ids, ids)
+    def test_membership_matches_distance_formulation(self, x, lo, hi):
+        # x in (lo, hi) iff walking cw from lo reaches x before hi.
+        if lo != hi and x != lo and x != hi:
+            expected = distance_cw(lo, x) < distance_cw(lo, hi)
+            assert in_interval(x, lo, hi) == expected
+
+    @given(ids, ids, ids)
+    def test_exactly_one_of_two_arcs(self, x, lo, hi):
+        # Any x not on an endpoint is in exactly one of (lo,hi) / (hi,lo).
+        if lo != hi and x not in (lo, hi):
+            assert in_interval(x, lo, hi) != in_interval(x, hi, lo)
+
+
+class TestErrors:
+    def test_sha1_of_int_is_stable_across_calls(self):
+        assert sha1_id(99) == sha1_id(99)
+
+    def test_modulo_normalization(self):
+        assert in_interval(5 + ID_SPACE, 1, 10)
+        with pytest.raises(TypeError):
+            distance_cw("a", 3)

@@ -1,0 +1,97 @@
+"""SeededRng determinism and wire-size accounting."""
+
+import pytest
+
+from repro.util.errors import (
+    CatalogError,
+    DhtError,
+    PierError,
+    PlanError,
+    SimulationError,
+    SqlError,
+)
+from repro.util.rng import SeededRng
+from repro.util.serde import wire_size
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(5).random()
+        b = SeededRng(5).random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert SeededRng(5).random() != SeededRng(6).random()
+
+    def test_forks_are_independent(self):
+        root = SeededRng(5)
+        churn = root.fork("churn")
+        latency = root.fork("latency")
+        assert churn.random() != latency.random()
+
+    def test_fork_is_deterministic(self):
+        a = SeededRng(5).fork("x").random()
+        b = SeededRng(5).fork("x").random()
+        assert a == b
+
+    def test_fork_insensitive_to_sibling_draws(self):
+        # Drawing more numbers from one stream must not shift another.
+        root1 = SeededRng(9)
+        sibling = root1.fork("a")
+        for _ in range(10):
+            sibling.random()
+        b1 = root1.fork("b").random()
+        b2 = SeededRng(9).fork("b").random()
+        assert b1 == b2
+
+    def test_delegation_methods(self):
+        rng = SeededRng(1)
+        assert 0 <= rng.randint(0, 5) <= 5
+        assert rng.choice([1, 2, 3]) in (1, 2, 3)
+        assert len(rng.sample(range(10), 3)) == 3
+        assert rng.expovariate(1.0) > 0
+        assert 0 <= rng.randrange(4) < 4
+
+
+class TestWireSize:
+    def test_scalars(self):
+        assert wire_size(None) == 1
+        assert wire_size(True) == 1
+        assert wire_size(7) == 8
+        assert wire_size(3.14) == 8
+
+    def test_strings_count_bytes(self):
+        assert wire_size("abc") == 4 + 3
+        assert wire_size("é") == 4 + 2  # utf-8
+
+    def test_containers_recurse(self):
+        assert wire_size([1, 2]) == 4 + 16
+        assert wire_size({"a": 1}) == 4 + (4 + 1) + 8
+
+    def test_object_with_wire_size_hook(self):
+        class Sized:
+            def wire_size(self):
+                return 99
+
+        assert wire_size(Sized()) == 99
+
+    def test_unknown_objects_cost_their_repr(self):
+        class Thing:
+            def __repr__(self):
+                return "Thing()"
+
+        assert wire_size(Thing()) == 4 + len("Thing()")
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_pier_error(self):
+        for cls in (SimulationError, DhtError, CatalogError, SqlError, PlanError):
+            assert issubclass(cls, PierError)
+
+    def test_sql_error_carries_position(self):
+        err = SqlError("bad token", position=17)
+        assert err.position == 17
+        assert "17" in str(err)
+
+    def test_sql_error_without_position(self):
+        assert SqlError("oops").position is None

@@ -1,0 +1,82 @@
+"""Zipf sampler: exact probabilities, calibrated expectations."""
+
+import pytest
+
+from repro.util.rng import SeededRng
+from repro.util.zipf import ZipfSampler
+
+
+@pytest.fixture
+def rng():
+    return SeededRng(7, "zipf")
+
+
+class TestConstruction:
+    def test_rejects_zero_n(self, rng):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, rng)
+
+    def test_rejects_negative_exponent(self, rng):
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -0.5, rng)
+
+
+class TestProbabilities:
+    def test_sum_to_one(self, rng):
+        sampler = ZipfSampler(10, 1.2, rng)
+        total = sum(sampler.probability(r) for r in range(1, 11))
+        assert abs(total - 1.0) < 1e-9
+
+    def test_monotone_decreasing(self, rng):
+        sampler = ZipfSampler(20, 1.0, rng)
+        probs = [sampler.probability(r) for r in range(1, 21)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_exponent_zero_is_uniform(self, rng):
+        sampler = ZipfSampler(4, 0.0, rng)
+        for r in range(1, 5):
+            assert abs(sampler.probability(r) - 0.25) < 1e-12
+
+    def test_probability_rejects_out_of_range(self, rng):
+        sampler = ZipfSampler(5, 1.0, rng)
+        with pytest.raises(ValueError):
+            sampler.probability(0)
+        with pytest.raises(ValueError):
+            sampler.probability(6)
+
+
+class TestSampling:
+    def test_samples_in_range(self, rng):
+        sampler = ZipfSampler(7, 1.1, rng)
+        for rank in sampler.sample_many(500):
+            assert 1 <= rank <= 7
+
+    def test_rank1_most_frequent(self, rng):
+        sampler = ZipfSampler(10, 1.3, rng)
+        counts = {}
+        for rank in sampler.sample_many(5000):
+            counts[rank] = counts.get(rank, 0) + 1
+        assert counts[1] == max(counts.values())
+
+    def test_empirical_matches_theoretical(self, rng):
+        sampler = ZipfSampler(5, 1.0, rng)
+        n = 20000
+        counts = {r: 0 for r in range(1, 6)}
+        for rank in sampler.sample_many(n):
+            counts[rank] += 1
+        for r in range(1, 6):
+            expected = sampler.probability(r)
+            assert abs(counts[r] / n - expected) < 0.02
+
+
+class TestExpectedCounts:
+    def test_totals_preserved(self, rng):
+        sampler = ZipfSampler(10, 1.5, rng)
+        counts = sampler.expected_counts(1000)
+        assert abs(sum(counts) - 1000) < 1e-6
+
+    def test_shape_matches_probabilities(self, rng):
+        sampler = ZipfSampler(6, 1.2, rng)
+        counts = sampler.expected_counts(600)
+        for r in range(1, 7):
+            assert abs(counts[r - 1] - 600 * sampler.probability(r)) < 1e-9
