@@ -1,0 +1,211 @@
+"""Ext-F: exchange batching ablation (messages / bytes / latency).
+
+The batching layer holds rehashed rows per routing key for a short
+flush window and ships them as one ``deliver_batch`` message, so k
+co-keyed rows cost one multi-hop route (plus one hop-ack per hop)
+instead of k. This bench quantifies the trade on a rehash join shaped
+like the PlanetLab monitoring workload: every host reports a handful of
+attributes many samples at a time (so a sender's rows cluster on few
+join keys), joined against an attribute-metadata relation.
+
+Sweep: unbatched baseline (``flush_delay = 0``, the original
+message-per-row exchange) against two batched configurations. Expected
+shape: identical query results row for row, ``exchange_rows`` (tuples
+moved) unchanged, total ``messages_sent`` down >= 3x at 100+ nodes,
+and a latency price bounded by the flush window (rows wait at the
+sender before travelling).
+
+Run standalone with ``python benchmarks/bench_exchange_batching.py``
+(``--smoke`` for a 32-node quick pass usable next to tier-1).
+"""
+
+import sys
+
+from repro.core.engine import EngineConfig
+from repro.core.network import PierConfig, PierNetwork
+
+NODES = 100
+ATTR_DOMAIN = 50
+ATTRS_PER_NODE = 4
+SAMPLES_PER_ATTR = 12
+
+SMOKE_NODES = 32
+SMOKE_SAMPLES = 6
+
+SQL = (
+    "SELECT r.attr AS attr, r.sample AS sample, r.origin AS origin, "
+    "a.label AS label FROM readings AS r, attrs AS a "
+    "WHERE r.attr = a.attr_id"
+)
+
+CONFIGS = [
+    # (label, flush_delay, max_batch_rows)
+    ("unbatched", 0.0, 1),
+    ("batch<=8", 0.25, 8),
+    ("batch<=64", 0.25, 64),
+]
+
+
+def build_net(seed, nodes, samples, engine):
+    net = PierNetwork(nodes=nodes, seed=seed, config=PierConfig(engine=engine))
+    net.create_local_table(
+        "readings", [("attr", "INT"), ("sample", "INT"), ("origin", "STR")]
+    )
+    net.create_local_table("attrs", [("attr_id", "INT"), ("label", "STR")])
+    addresses = net.addresses()
+    for attr in range(ATTR_DOMAIN):
+        net.insert(addresses[attr % nodes], "attrs",
+                   [(attr, "attr-{}".format(attr))])
+    rng = net.rng.fork("workload")
+    for address in addresses:
+        mine = rng.sample(range(ATTR_DOMAIN), ATTRS_PER_NODE)
+        rows = [(attr, s, address) for attr in mine for s in range(samples)]
+        net.insert(address, "readings", rows)
+    return net
+
+
+def run_config(seed, nodes, samples, flush_delay, max_batch_rows):
+    engine = EngineConfig(flush_delay=flush_delay,
+                          max_batch_rows=max_batch_rows)
+    net = build_net(seed, nodes, samples, engine)
+    site = net.any_address()
+
+    # Timestamp result arrivals at the query site: batching's latency
+    # price is how much later the last answer-bearing message lands.
+    coordinator = net.node(site).coordinator
+    arrivals = []
+    inner_on_result = coordinator.on_result
+
+    def stamped_on_result(payload):
+        arrivals.append(net.now)
+        inner_on_result(payload)
+
+    coordinator.on_result = stamped_on_result
+
+    before = dict(net.message_counters())
+    t0 = net.now
+    result = net.run_sql(SQL, node=site)
+    after = net.message_counters()
+
+    def delta(key):
+        return after.get(key, 0) - before.get(key, 0)
+
+    return {
+        "rows": sorted(result.rows),
+        "messages": delta("messages_sent"),
+        "bytes": delta("bytes_sent"),
+        "exchange_messages": delta("exchange_messages"),
+        "exchange_batches": delta("exchange_batches"),
+        "exchange_rows": delta("exchange_rows"),
+        "exchange_bytes": delta("exchange_bytes"),
+        "result_latency": (max(arrivals) - t0) if arrivals else float("nan"),
+    }
+
+
+def run_sweep(seed=11, nodes=NODES, samples=SAMPLES_PER_ATTR):
+    """Run every config on the same workload; returns (expected, stats)."""
+    expected_rows = nodes * ATTRS_PER_NODE * samples
+    stats = []
+    for label, flush_delay, max_batch_rows in CONFIGS:
+        out = run_config(seed, nodes, samples, flush_delay, max_batch_rows)
+        stats.append((label, out))
+    return expected_rows, stats
+
+
+def check_sweep(expected_rows, stats, min_ratio):
+    """Assert the acceptance properties; returns the message ratio."""
+    baseline = stats[0][1]
+    assert len(baseline["rows"]) == expected_rows, (
+        "baseline produced {} rows, expected {}".format(
+            len(baseline["rows"]), expected_rows
+        )
+    )
+    for label, out in stats[1:]:
+        assert out["rows"] == baseline["rows"], (
+            "{}: batched results differ from the unbatched baseline".format(label)
+        )
+        assert out["exchange_rows"] == baseline["exchange_rows"], (
+            "{}: batching changed how many tuples moved".format(label)
+        )
+    best = stats[-1][1]
+    ratio = baseline["messages"] / max(1, best["messages"])
+    assert ratio >= min_ratio, (
+        "messages_sent reduction {:.2f}x is below the {}x floor".format(
+            ratio, min_ratio
+        )
+    )
+    return ratio
+
+
+def exhibit(nodes, samples, expected_rows, stats, ratio):
+    from benchmarks._harness import fmt_table
+
+    text = "Ext-F: exchange batching on a rehash join\n"
+    text += "({} nodes, {} reading rows + {} attr rows, {} result rows)\n\n".format(
+        nodes, nodes * ATTRS_PER_NODE * samples, ATTR_DOMAIN, expected_rows
+    )
+    table_rows = []
+    for label, out in stats:
+        table_rows.append((
+            label, len(out["rows"]), out["messages"], out["bytes"],
+            out["exchange_messages"], out["exchange_rows"],
+            out["result_latency"],
+        ))
+    text += fmt_table(
+        ["config", "result rows", "messages", "bytes",
+         "exch msgs (hops)", "exch rows", "last row (s)"],
+        table_rows,
+    )
+    text += "\n\nmessages_sent reduction (best batched vs unbatched): {:.2f}x\n".format(
+        ratio
+    )
+    return text
+
+
+def test_exchange_batching(benchmark):
+    from benchmarks._harness import report, run_once
+
+    def run():
+        expected_rows, stats = run_sweep()
+        ratio = check_sweep(expected_rows, stats, min_ratio=3.0)
+        return expected_rows, stats, ratio
+
+    expected_rows, stats, ratio = run_once(benchmark, run)
+    report("exchange_batching",
+           exhibit(NODES, SAMPLES_PER_ATTR, expected_rows, stats, ratio))
+    for label, out in stats:
+        benchmark.extra_info[label] = {
+            "messages": out["messages"],
+            "bytes": out["bytes"],
+            "exchange_messages": out["exchange_messages"],
+            "result_latency": out["result_latency"],
+        }
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="quick 32-node pass (same checks, 2x message floor)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        nodes, samples, min_ratio = SMOKE_NODES, SMOKE_SAMPLES, 2.0
+    else:
+        nodes, samples, min_ratio = NODES, SAMPLES_PER_ATTR, 3.0
+    expected_rows, stats = run_sweep(nodes=nodes, samples=samples)
+    ratio = check_sweep(expected_rows, stats, min_ratio)
+    print(exhibit(nodes, samples, expected_rows, stats, ratio))
+    print("ok: results identical, reduction {:.2f}x >= {}x".format(
+        ratio, min_ratio))
+    return 0
+
+
+if __name__ == "__main__":
+    import pathlib
+
+    # Run as a script, ``benchmarks`` is not a package on sys.path yet.
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    sys.exit(main())

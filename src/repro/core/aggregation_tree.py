@@ -13,6 +13,7 @@ engine registers its handler as a routing intercept and tears it down
 with the epoch.
 """
 
+from repro.core.exchange import payload_rows
 from repro.dht.chord import storage_key
 
 
@@ -32,20 +33,28 @@ class TreeCombiner:
         self.forwarded = 0
 
     def handler(self, node, route_msg, at_owner):
-        """Routing intercept: absorb and merge unless we own the key."""
+        """Routing intercept: absorb and merge unless we own the key.
+
+        Batch-aware: a ``deliver_batch`` message (the batched exchange
+        path, or a re-emitting upstream partial) is merged entry by
+        entry, so one absorbed message can fold many partials at once.
+        """
         if at_owner:
             return True  # land normally; the final group-by merges it
-        gvals, states = route_msg.payload["data"]
+        for gvals, states in payload_rows(route_msg.payload):
+            self._absorb(gvals, states)
+        self.merged_in += 1
+        if self._timer is None:
+            self._timer = self.dht.set_timer(self.hold_delay, self._forward)
+        return False
+
+    def _absorb(self, gvals, states):
         held = self._held.get(gvals)
         if held is None:
             self._held[gvals] = list(states)
         else:
             for i, spec in enumerate(self.agg_specs):
                 held[i] = spec.agg.merge(held[i], states[i])
-        self.merged_in += 1
-        if self._timer is None:
-            self._timer = self.dht.set_timer(self.hold_delay, self._forward)
-        return False
 
     def _forward(self):
         self._timer = None

@@ -165,6 +165,14 @@ class EpochExecution:
         if not self.closed:
             self.ops[op_id].push(row, port)
 
+    def deliver_batch(self, op_id, port, rows):
+        """A batched exchange message arrived: push each carried row."""
+        if self.closed:
+            return
+        op = self.ops[op_id]
+        for row in rows:
+            op.push(row, port)
+
     def control(self, op_id, payload):
         """Deliver a control payload to one op, or to a filter group.
 
@@ -188,14 +196,19 @@ class EpochExecution:
         for timer in self._flush_timers:
             timer.cancel()
         self._flush_timers = []
+        # Teardown before unregistering: an exchange's teardown flush
+        # can deliver self-owned rows synchronously, and with the
+        # namespace still registered they hit this execution's closed
+        # guard (a cheap drop) instead of the engine's unclaimed-row
+        # buffer (held for its whole TTL).
+        for op in self.ops.values():
+            op.teardown()
         for spec in self.plan.ops_of_kind("exchange"):
             consumers = self.plan.consumers_of(spec.op_id)
             if consumers:
                 consumer_id, port = consumers[0]
                 ns = self.ctx.namespace(consumer_id, port)
                 self.engine.unregister_exchange_input(ns)
-        for op in self.ops.values():
-            op.teardown()
 
     def __repr__(self):
         return "EpochExecution({!r}, epoch={}, node={})".format(

@@ -19,11 +19,23 @@ the coordinator's periodic plan re-broadcasts.
 
 from repro.core.aggregation_tree import TreeCombiner
 from repro.core.dataflow import EpochExecution
+from repro.core.exchange import payload_rows
 from repro.db.table import make_fragment
 
 
 class EngineConfig:
-    """Per-engine timing knobs (plan-independent)."""
+    """Per-engine timing knobs (plan-independent).
+
+    The ``flush_delay`` / ``max_batch_rows`` / ``max_batch_bytes`` trio
+    controls exchange batching: rehashed rows sharing a routing key are
+    held up to ``flush_delay`` seconds and shipped as one
+    ``deliver_batch`` message, bounded by the row/byte caps.
+    ``flush_delay = 0`` disables batching (one route message per row).
+
+    ``undelivered_ttl`` / ``undelivered_cap`` bound the buffer of rows
+    that arrive before their query's plan does: a namespace's early rows
+    are dropped after the TTL, and no namespace holds more than the cap.
+    """
 
     def __init__(
         self,
@@ -32,12 +44,22 @@ class EngineConfig:
         progress_batch_delay=0.5,
         plan_refresh_period=60.0,
         publish_ttl=120.0,
+        flush_delay=0.25,
+        max_batch_rows=64,
+        max_batch_bytes=8192,
+        undelivered_ttl=15.0,
+        undelivered_cap=512,
     ):
         self.teardown_slack = teardown_slack
         self.tree_hold_delay = tree_hold_delay
         self.progress_batch_delay = progress_batch_delay
         self.plan_refresh_period = plan_refresh_period
         self.publish_ttl = publish_ttl
+        self.flush_delay = flush_delay
+        self.max_batch_rows = max_batch_rows
+        self.max_batch_bytes = max_batch_bytes
+        self.undelivered_ttl = undelivered_ttl
+        self.undelivered_cap = undelivered_cap
 
 
 class _QueryRecord:
@@ -68,6 +90,8 @@ class PierEngine:
         self.queries = {}  # qid -> _QueryRecord
         self.combiners = {}  # ns -> TreeCombiner
         self._undelivered = {}  # ns -> [rows arriving before registration]
+        self._undelivered_expiry = {}  # ns -> drop-dead time for those rows
+        self._undelivered_timer = None
         self._progress_pending = {}  # (qid, epoch) -> count
         self._progress_timer = None
         self._publish_seq = 0
@@ -211,6 +235,14 @@ class PierEngine:
             self.queries.pop(qid, None)
 
     def _stop_query(self, qid):
+        # Early rows held for this query's namespaces will never find a
+        # subscriber now; drop them instead of waiting out their TTL.
+        # (Done even without a query record: a node the plan broadcast
+        # missed can still have buffered rehashed rows for it.)
+        prefix = "q|{}|".format(qid)
+        for ns in [n for n in self._undelivered if n.startswith(prefix)]:
+            del self._undelivered[ns]
+            self._undelivered_expiry.pop(ns, None)
         record = self.queries.pop(qid, None)
         if record is None:
             return
@@ -233,7 +265,7 @@ class PierEngine:
         """
 
         def deliver(payload, route_msg):
-            execution.deliver(op_id, port, payload["data"])
+            execution.deliver_batch(op_id, port, payload_rows(payload))
 
         self.dht.register_delivery(ns, deliver)
         if combine is not None:
@@ -245,8 +277,8 @@ class PierEngine:
             )
             self.combiners[ns] = combiner
             self.dht.register_intercept(upcall, combiner.handler)
-        for data in self._undelivered.pop(ns, ()):
-            execution.deliver(op_id, port, data)
+        self._undelivered_expiry.pop(ns, None)
+        execution.deliver_batch(op_id, port, self._undelivered.pop(ns, ()))
 
     def unregister_exchange_input(self, ns):
         self.dht.unregister_delivery(ns)
@@ -255,11 +287,42 @@ class PierEngine:
             combiner.close()
             self.dht.unregister_intercept(combiner.upcall)
         self._undelivered.pop(ns, None)
+        self._undelivered_expiry.pop(ns, None)
 
     def _on_unclaimed_delivery(self, payload, route_msg):
         # Rows can beat the plan broadcast to this node; hold them until
-        # the execution registers (they age out with the query record).
-        self._undelivered.setdefault(payload["ns"], []).append(payload["data"])
+        # the execution registers. Nothing guarantees a plan ever
+        # arrives (the broadcast can miss this node, or the query may
+        # already be stopping), so the buffer is bounded two ways: each
+        # namespace is dropped ``undelivered_ttl`` after its first early
+        # row, and holds at most ``undelivered_cap`` rows.
+        ns = payload["ns"]
+        incoming = payload_rows(payload)
+        rows = self._undelivered.get(ns)
+        if rows is None:
+            rows = self._undelivered[ns] = []
+            self._undelivered_expiry[ns] = (
+                self.clock.now + self.config.undelivered_ttl
+            )
+            if self._undelivered_timer is None:
+                self._undelivered_timer = self.set_timer(
+                    self.config.undelivered_ttl, self._expire_undelivered
+                )
+        space = self.config.undelivered_cap - len(rows)
+        if space > 0:
+            rows.extend(incoming[:space])
+
+    def _expire_undelivered(self):
+        self._undelivered_timer = None
+        now = self.clock.now
+        for ns in [n for n, t in self._undelivered_expiry.items() if t <= now]:
+            self._undelivered.pop(ns, None)
+            self._undelivered_expiry.pop(ns, None)
+        if self._undelivered_expiry:
+            next_deadline = min(self._undelivered_expiry.values())
+            self._undelivered_timer = self.set_timer(
+                max(0.0, next_deadline - now), self._expire_undelivered
+            )
 
     # ------------------------------------------------------------------
     # Recursion progress (quiescence detection support)
@@ -308,6 +371,8 @@ class PierEngine:
         self.queries = {}
         self.combiners = {}
         self._undelivered = {}
+        self._undelivered_expiry = {}
+        self._undelivered_timer = None  # node timers die with the crash
         self._progress_pending = {}
         self._progress_timer = None
         self._maintained = {}  # the publisher died; its rows will expire

@@ -19,12 +19,34 @@ Key specs (``params["key"]``):
 * ``{"kind": "group"}`` -- row is ``(group_values, states)``; hash group_values,
 * ``{"kind": "row"}`` -- hash the whole row (recursion's dup-elim partitioning),
 * ``{"kind": "const"}`` -- single rendezvous key (global aggregates).
+
+Rows are not shipped one message at a time: pushes buffer per routing
+key for a short flush window (``EngineConfig.flush_delay``) and travel
+as one ``deliver_batch`` route message per key, so a rehash that moves
+k co-keyed rows costs one multi-hop route (and one hop-ack per hop)
+instead of k. ``max_batch_rows`` / ``max_batch_bytes`` bound how much
+a single message can carry; ``flush_delay = 0`` restores the original
+message-per-row behaviour (the benchmarks' unbatched baseline).
 """
 
 from repro.core.dataflow import Operator
 from repro.core.operators import register_operator
 from repro.dht.chord import storage_key
 from repro.util.errors import PlanError
+from repro.util.serde import wire_size
+
+
+def payload_rows(payload):
+    """Rows carried by a ``deliver`` / ``deliver_batch`` payload.
+
+    The wire shape is produced by ``Exchange._route`` below; every
+    consumer (engine delivery, unclaimed-row buffering, tree combiners)
+    decodes it through here so the two shapes stay defined in one place.
+    """
+    rows = payload.get("rows")
+    if rows is not None:
+        return rows
+    return (payload["data"],)
 
 
 @register_operator("exchange")
@@ -47,6 +69,17 @@ class Exchange(Operator):
             ctx.upcall_name(consumer_id, port) if self.mode == "tree" else None
         )
         self._key_fn = self._build_key_fn(spec.params["key"])
+        config = ctx.engine.config
+        self._flush_delay = spec.params.get("flush_delay", config.flush_delay)
+        self._max_batch_rows = spec.params.get(
+            "max_batch_rows", config.max_batch_rows
+        )
+        self._max_batch_bytes = spec.params.get(
+            "max_batch_bytes", config.max_batch_bytes
+        )
+        self._pending = {}  # routing id -> [rows] awaiting the flush window
+        self._pending_bytes = {}  # routing id -> estimated payload bytes
+        self._timer = None
 
     def _build_key_fn(self, key_spec):
         kind = key_spec["kind"]
@@ -63,9 +96,45 @@ class Exchange(Operator):
 
     def push(self, row, port=0):
         rid = self._key_fn(row)
+        if self._flush_delay <= 0:
+            self._route(rid, [row])
+            return
+        rows = self._pending.setdefault(rid, [])
+        rows.append(row)
+        size = self._pending_bytes.get(rid, 0) + wire_size(row)
+        self._pending_bytes[rid] = size
+        if len(rows) >= self._max_batch_rows or size >= self._max_batch_bytes:
+            del self._pending[rid]
+            del self._pending_bytes[rid]
+            self._route(rid, rows)
+            return
+        if self._timer is None:
+            self._timer = self.ctx.dht.set_timer(
+                self._flush_delay, self._flush_pending
+            )
+
+    def _flush_pending(self):
+        self._timer = None
+        pending, self._pending = self._pending, {}
+        self._pending_bytes = {}
+        for rid, rows in pending.items():
+            self._route(rid, rows)
+
+    def _route(self, rid, rows):
         key = storage_key(self._route_ns, rid)
-        self.ctx.dht.route(
-            key,
-            {"op": "deliver", "ns": self._ns, "data": row},
-            upcall=self._upcall,
-        )
+        if len(rows) == 1:
+            payload = {"op": "deliver", "ns": self._ns, "data": rows[0]}
+        else:
+            payload = {"op": "deliver_batch", "ns": self._ns, "rows": rows}
+        self.ctx.dht.route(key, payload, upcall=self._upcall)
+
+    def flush(self):
+        if self._timer is not None:
+            self.ctx.dht.cancel_timer(self._timer)
+            self._timer = None
+        self._flush_pending()
+
+    def teardown(self):
+        # Best effort, like the unbatched path: a row pushed just before
+        # close would already be in flight; ship what we still hold.
+        self.flush()

@@ -15,6 +15,10 @@ mirrors it method-for-method (VLDB 2003, section 2):
 ``direct``     point-to-point message (result return to query site)
 =============  =====================================================
 
+Exchange traffic rides ``route`` with ``deliver`` (one row) or
+``deliver_batch`` (many co-keyed rows in one message) payloads; the
+registered delivery handler receives either shape.
+
 The facade keeps the query engine honest: ``repro.core`` imports only
 this class, never the overlay internals, so swapping Chord for CAN (or
 a future overlay) cannot leak into the engine.
@@ -61,8 +65,10 @@ class DhtApi:
         """Locally stored live items (list of StoredItem)."""
         return self._node.lscan(namespace)
 
-    def new_data(self, namespace, callback):
-        self._node.new_data(namespace, callback)
+    def new_data(self, namespace, callback, ttl=None):
+        """Subscribe to arrivals; with ``ttl`` the subscription itself
+        is soft state and ages out like everything else stored here."""
+        self._node.new_data(namespace, callback, ttl)
 
     # ------------------------------------------------------------------
     # Communication

@@ -459,13 +459,13 @@ class ChordNode(SimNode, RpcNode):
                     "values": [(i.instance_id, i.value) for i in items],
                 }),
             )
-        elif op == "deliver":
+        elif op == "deliver" or op == "deliver_batch":
             handler = self._delivery_handlers.get(payload["ns"])
             if handler is not None:
                 handler(payload, message)
             elif self._default_delivery is not None:
                 # No subscriber yet (plan still disseminating): let the
-                # engine buffer the row instead of dropping it.
+                # engine buffer the row(s) instead of dropping them.
                 self._default_delivery(payload, message)
         elif op == "bcast_repair":
             repaired = msg.Broadcast(
@@ -627,9 +627,14 @@ class ChordNode(SimNode, RpcNode):
         """Locally stored live items of a namespace (PIER's scan access)."""
         return self.store.lscan(namespace)
 
-    def new_data(self, namespace, callback):
-        """Subscribe to arrivals in a namespace stored at this node."""
-        self.store.on_new_data(namespace, callback)
+    def new_data(self, namespace, callback, ttl=None):
+        """Subscribe to arrivals in a namespace stored at this node.
+
+        ``ttl`` makes the subscription soft state: the store's sweeper
+        drops it once expired, so a subscriber that dies with an epoch
+        can never leak its callback.
+        """
+        self.store.on_new_data(namespace, callback, ttl)
 
     def send_direct(self, dst_address, payload):
         """Point-to-point app message (PIER uses this for result return)."""

@@ -33,7 +33,11 @@ class ChurnProcess:
         self._rng = rng
         self.on_leave = on_leave
         self.on_join = on_join
-        self._managed = set()
+        # Insertion-ordered (dict, not set): start() pairs each managed
+        # address with an RNG draw, so iteration order must not depend
+        # on the process's string-hash seed or the "same seed" would
+        # yield a different churn schedule in every process.
+        self._managed = {}
         self._events = {}
         self._running = False
         self.leaves = 0
@@ -41,7 +45,7 @@ class ChurnProcess:
 
     def manage(self, address):
         """Put ``address`` under churn control (it starts UP)."""
-        self._managed.add(address)
+        self._managed[address] = True
         if self._running:
             self._schedule_leave(address)
 

@@ -84,12 +84,43 @@ class Network:
             if kind is not None:
                 self.counters.add("messages_kind_{}".format(kind))
                 self.counters.add("bytes_kind_{}".format(kind), size)
+        else:
+            size = None
+        if kind == "route":
+            self._count_exchange_hop(payload, size)
         if self.config.loss_rate > 0 and self._rng is not None:
             if self._rng.random() < self.config.loss_rate:
                 self.counters.add("messages_lost")
                 return
         delay = self.latency.delay(src, dst)
         self.clock.schedule(delay, self._deliver, src, dst, payload)
+
+    def _count_exchange_hop(self, message, size):
+        """Per-hop accounting of exchange traffic (batched vs not).
+
+        ``exchange_rows`` counts tuple *send attempts*, hop by hop
+        (under loss a retransmitted hop counts again), so in a lossless
+        run batched and unbatched runs of one workload agree on it
+        while ``exchange_messages`` (and the hop acks it drags along)
+        shrink with batching -- the ratio is the amortization the
+        batching layer buys. Message/row counts are kept even when byte
+        accounting is off (``size`` is None then).
+        """
+        inner = getattr(message, "payload", None)
+        if not isinstance(inner, dict):
+            return
+        op = inner.get("op")
+        if op == "deliver":
+            self.counters.add("exchange_messages")
+            self.counters.add("exchange_rows")
+        elif op == "deliver_batch":
+            self.counters.add("exchange_messages")
+            self.counters.add("exchange_batches")
+            self.counters.add("exchange_rows", len(inner["rows"]))
+        else:
+            return
+        if size is not None:
+            self.counters.add("exchange_bytes", size)
 
     def _deliver(self, src, dst, payload):
         node = self._nodes.get(dst)

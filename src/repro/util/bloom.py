@@ -39,7 +39,14 @@ class BloomFilter:
     def _positions(self, item):
         digest = sha1_id(("bloom", item))
         h1 = digest & 0xFFFFFFFFFFFFFFFF
-        h2 = (digest >> 64) | 1  # odd, so strides cover the table
+        # The double-hashing stride must be coprime with num_bits or the
+        # probes cycle through only num_bits/gcd slots (an odd stride is
+        # only enough when num_bits is a power of two). Nudge the stride
+        # to the next coprime value; for any geometry this terminates
+        # quickly (some value in [h2, h2 + a few] is always coprime).
+        h2 = ((digest >> 64) & 0xFFFFFFFFFFFFFFFF) % self.num_bits or 1
+        while math.gcd(h2, self.num_bits) != 1:
+            h2 += 1
         for i in range(self.num_hashes):
             yield (h1 + i * h2) % self.num_bits
 

@@ -101,8 +101,8 @@ class TestLifecycle:
         class FakeExecution:
             delivered = []
 
-            def deliver(self, op_id, port, data):
-                self.delivered.append((op_id, port, data))
+            def deliver_batch(self, op_id, port, rows):
+                self.delivered.extend((op_id, port, row) for row in rows)
 
         fake = FakeExecution()
         engine.register_exchange_input("q|fake|0|op9|0", fake, "op9", 0)

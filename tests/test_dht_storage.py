@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dht.storage import SoftStateStore
+from repro.dht.storage import SoftStateStore, StoredItem
 
 
 @pytest.fixture
@@ -127,3 +127,160 @@ class TestNewData:
         store.remove_new_data("ns")
         store.put("ns", "k", 1, "x", ttl=10)
         assert seen == []
+
+    def test_put_item_fires_for_new_keys(self, store, clock):
+        # Churn handoff adopts items via put_item; a scan subscribed at
+        # the new owner must wake for rows that are new to this node.
+        seen = []
+        store.on_new_data("ns", lambda item: seen.append(item.value))
+        migrated = StoredItem("ns", "k", 1, "moved", clock.now + 30)
+        store.put_item(migrated)
+        assert seen == ["moved"]
+
+    def test_put_item_silent_for_known_or_dead_keys(self, store, clock):
+        store.put("ns", "k", 1, "here", ttl=30)
+        seen = []
+        store.on_new_data("ns", lambda item: seen.append(item.value))
+        store.put_item(StoredItem("ns", "k", 1, "again", clock.now + 30))
+        store.put_item(StoredItem("ns", "k2", 9, "corpse", clock.now - 1))
+        assert seen == []
+        # The dead-in-transit item was not adopted, only the live key.
+        assert len(store) == 1
+        assert store.get("ns", "k2") == []
+
+    def test_put_item_over_expired_corpse_fires(self, store, clock):
+        # A range can leave and come back (handoff out, interim owner
+        # departs): the returning live item shares its key with this
+        # node's expired, unswept copy. Like put(), the corpse must not
+        # shadow the arrival from subscribers.
+        store.put("ns", "k", 1, "stale", ttl=5)
+        clock.run_until(6)  # expired, sweep has not run
+        seen = []
+        store.on_new_data("ns", lambda item: seen.append(item.value))
+        store.put_item(StoredItem("ns", "k", 1, "returned", clock.now + 30))
+        assert seen == ["returned"]
+
+    def test_remove_namespace_drops_subscriptions(self, store):
+        seen = []
+        store.on_new_data("ns", seen.append)
+        store.put("ns", "k", 1, "x", ttl=10)
+        store.remove_namespace("ns")
+        store.put("ns", "k2", 1, "y", ttl=10)
+        assert len(seen) == 1  # only the pre-teardown arrival
+
+    def test_clear_drops_subscriptions(self, store):
+        seen = []
+        store.on_new_data("ns", seen.append)
+        store.clear()
+        store.put("ns", "k", 1, "x", ttl=10)
+        assert seen == []
+
+    def test_subscription_ttl_expires(self, store, clock):
+        seen = []
+        store.on_new_data("ns", lambda item: seen.append(item.value), ttl=5)
+        store.put("ns", "k", 1, "early", ttl=30)
+        clock.run_until(6)
+        store.put("ns", "k2", 1, "late", ttl=30)
+        assert seen == ["early"]
+
+    def test_put_over_expired_corpse_fires_again(self, store, clock):
+        # An unswept corpse must not shadow a live replacement: the
+        # re-published key is new as far as subscribers are concerned.
+        seen = []
+        store.on_new_data("ns", lambda item: seen.append(item.value))
+        store.put("ns", "k", 1, "first", ttl=5)
+        clock.run_until(6)  # expired, sweep has not run
+        store.put("ns", "k", 1, "second", ttl=5)
+        assert seen == ["first", "second"]
+
+    def test_sweep_prunes_expired_subscriptions(self, store, clock):
+        store.on_new_data("ns", lambda item: None, ttl=5)
+        store.on_new_data("other", lambda item: None)  # no TTL: persists
+        clock.run_until(6)
+        store.sweep()
+        assert "ns" not in store._new_data_callbacks
+        assert "other" in store._new_data_callbacks
+
+
+class TestStaleState:
+    def test_failed_renew_reclaims_corpse(self, store, clock):
+        store.put("ns", "k", 1, "x", ttl=5)
+        clock.run_until(6)
+        assert not store.renew("ns", "k", 1, ttl=10)
+        # The corpse is gone from every index, not just hidden.
+        assert len(store) == 0
+        assert store.lscan("ns") == []
+        assert store.namespaces() == []
+
+    def test_shortened_deadline_swept_promptly(self, store, clock):
+        # A re-put with a shorter TTL must be reclaimed at the *new*
+        # deadline; the queued entry for the original, later one must
+        # not pin the corpse for the remainder of the old TTL.
+        store.put("ns", "k", 1, "long", ttl=3600)
+        store.put("ns", "k", 1, "short", ttl=5)
+        clock.run_until(6)
+        assert store.sweep() == 1
+        assert len(store) == 0
+        assert store.namespaces() == []
+
+    def test_heap_stays_bounded_under_renewal(self, store, clock):
+        # A continuously maintained row (keep_alive republish / periodic
+        # renew) must not grow the expiry heap by one entry per cycle:
+        # entries per key stay O(1) no matter how long the row lives.
+        store.put("ns", "k", 1, "x", ttl=120)
+        for i in range(1, 51):
+            clock.run_until(40 * i)
+            assert store.renew("ns", "k", 1, ttl=120)
+            store.sweep()
+        assert len(store) == 1
+        assert len(store._expiry_heap) <= 4
+
+    def test_sweep_rearms_externally_renewed_items(self, store, clock):
+        # Churn handoff passes StoredItem objects by reference, so a
+        # renew at the new owner mutates expires_at underneath the old
+        # owner's heap entry. Popping that stale entry must re-arm the
+        # key, or the old owner can never reclaim the item.
+        item = store.put("ns", "k", 1, "x", ttl=5)
+        clock.run_until(4)
+        item.expires_at = clock.now + 10  # renewed at the other owner
+        clock.run_until(6)  # past the original deadline
+        assert store.sweep() == 0
+        clock.run_until(20)  # past the mutated deadline
+        assert store.sweep() == 1
+        assert len(store) == 0
+
+    def test_renewed_item_survives_sweep_of_old_deadline(self, store, clock):
+        store.put("ns", "k", 1, "x", ttl=5)
+        clock.run_until(4)
+        assert store.renew("ns", "k", 1, ttl=20)
+        clock.run_until(6)  # past the original deadline
+        assert store.sweep() == 0
+        assert len(store.get("ns", "k")) == 1
+        clock.run_until(30)  # past the renewed deadline
+        assert store.sweep() == 1
+        assert len(store) == 0
+
+    def test_sweep_handles_interleaved_expiry(self, store, clock):
+        for i in range(10):
+            store.put("ns", "k{}".format(i), 1, i, ttl=5 + i)
+        clock.run_until(9.5)  # items 0..4 expired, 5..9 alive
+        assert store.sweep() == 5
+        assert len(store) == 5
+        clock.run_until(20)
+        assert store.sweep() == 5
+        assert len(store) == 0
+
+    def test_overwrite_then_sweep_keeps_fresh_item(self, store, clock):
+        store.put("ns", "k", 1, "old", ttl=5)
+        clock.run_until(3)
+        store.put("ns", "k", 1, "new", ttl=30)
+        clock.run_until(6)  # the first put's deadline has passed
+        assert store.sweep() == 0
+        assert store.get("ns", "k")[0].value == "new"
+
+    def test_remove_namespace_then_sweep_is_clean(self, store, clock):
+        store.put("ns", "k", 1, "x", ttl=5)
+        store.remove_namespace("ns")
+        clock.run_until(6)
+        assert store.sweep() == 0  # heap entry is stale, not double-counted
+        assert len(store) == 0

@@ -93,6 +93,44 @@ class TestUnion:
         assert a.union(b)._bits == both._bits
 
 
+class TestStrideCoverage:
+    """Double-hashing must probe the whole table for *every* geometry.
+
+    The stride only walks all ``num_bits`` slots when it is coprime
+    with ``num_bits``; an odd stride alone is not enough unless
+    ``num_bits`` is a power of two (e.g. stride 9 over 12 bits cycles
+    through just 4 slots).
+    """
+
+    @pytest.mark.parametrize("num_bits", [2, 3, 4, 6, 9, 12, 15, 16, 21, 63])
+    def test_probes_cover_all_slots(self, num_bits):
+        bf = BloomFilter(num_bits, num_bits)
+        for item in range(32):
+            positions = set(bf._positions(item))
+            assert positions == set(range(num_bits))
+
+    @given(st.lists(st.integers(), max_size=100))
+    def test_no_false_negatives_awkward_geometry(self, items):
+        bf = BloomFilter(45, 7)  # 45 = 3^2 * 5: rich in odd factors
+        for item in items:
+            bf.add(item)
+        for item in items:
+            assert item in bf
+
+    def test_awkward_geometry_fp_rate_not_degenerate(self):
+        # With a gcd-3 stride two-thirds of a 129-bit table was never
+        # probed, tripling the effective load factor. Full coverage
+        # keeps the measured FP rate near the design point.
+        bf = BloomFilter(129, 3)  # 129 = 3 * 43
+        for i in range(30):
+            bf.add(("present", i))
+        assert bf.fill_ratio() > 0.4  # probes spread across the table
+        false_positives = sum(
+            1 for i in range(2000) if ("absent", i) in bf
+        )
+        assert false_positives / 2000 < 0.35
+
+
 class TestSizing:
     def test_size_bytes_matches_bits(self):
         assert BloomFilter(256, 4).size_bytes() == 32
