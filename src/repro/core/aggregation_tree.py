@@ -8,12 +8,16 @@ one combined message instead of many. Bandwidth at the owner drops
 from O(N) to O(fan-in of the tree), which is what makes a network-wide
 SUM over 300 (or 10,000) nodes cheap.
 
-One :class:`TreeCombiner` per node per tree-mode exchange edge; the
-engine registers its handler as a routing intercept and tears it down
-with the epoch.
+One :class:`TreeCombiner` per node per tree-mode exchange edge. For
+disposable per-epoch executions the engine registers it with the epoch
+and tears it down with the epoch. Standing continuous queries register
+it once under an epoch-free upcall name; payloads then carry an epoch
+tag, and the combiner merges only same-epoch partials (held states are
+keyed by tag) so a straggler from a finished epoch can never pollute
+the next epoch's aggregate mid-route.
 """
 
-from repro.core.exchange import payload_rows
+from repro.core.exchange import epoch_route_ns, payload_rows
 from repro.dht.chord import storage_key
 
 
@@ -27,7 +31,7 @@ class TreeCombiner:
         self.upcall = upcall
         self.agg_specs = agg_specs
         self.hold_delay = hold_delay
-        self._held = {}  # group_values -> merged states (list)
+        self._held = {}  # (epoch_tag, group_values) -> merged states (list)
         self._timer = None
         self.merged_in = 0  # messages absorbed (for the ablation bench)
         self.forwarded = 0
@@ -41,17 +45,18 @@ class TreeCombiner:
         """
         if at_owner:
             return True  # land normally; the final group-by merges it
+        epoch = route_msg.payload.get("epoch")
         for gvals, states in payload_rows(route_msg.payload):
-            self._absorb(gvals, states)
+            self._absorb(epoch, gvals, states)
         self.merged_in += 1
         if self._timer is None:
             self._timer = self.dht.set_timer(self.hold_delay, self._forward)
         return False
 
-    def _absorb(self, gvals, states):
-        held = self._held.get(gvals)
+    def _absorb(self, epoch, gvals, states):
+        held = self._held.get((epoch, gvals))
         if held is None:
-            self._held[gvals] = list(states)
+            self._held[(epoch, gvals)] = list(states)
         else:
             for i, spec in enumerate(self.agg_specs):
                 held[i] = spec.agg.merge(held[i], states[i])
@@ -59,12 +64,16 @@ class TreeCombiner:
     def _forward(self):
         self._timer = None
         held, self._held = self._held, {}
-        for gvals, states in held.items():
+        for (epoch, gvals), states in held.items():
             self.forwarded += 1
+            payload = {"op": "deliver", "ns": self.ns, "rid": gvals,
+                       "data": (gvals, tuple(states))}
+            route_ns = self.route_ns
+            if epoch is not None:
+                payload["epoch"] = epoch
+                route_ns = epoch_route_ns(route_ns, epoch)
             self.dht.route(
-                storage_key(self.route_ns, gvals),
-                {"op": "deliver", "ns": self.ns, "data": (gvals, tuple(states))},
-                upcall=self.upcall,
+                storage_key(route_ns, gvals), payload, upcall=self.upcall,
             )
 
     def close(self):

@@ -4,10 +4,19 @@ Any node can be a query site. Submitting a query broadcasts its plan
 over the overlay (and, for continuous queries, re-broadcasts it
 periodically so nodes that crash and recover re-adopt it -- plans are
 soft state like everything else). Result rows stream back as direct
-messages; at each epoch's deadline the coordinator applies the
-*finishing* step (global ORDER BY / LIMIT over collected rows -- the
-one thing that cannot be fully in-network) and hands an
-:class:`EpochResult` to the caller.
+messages tagged with the epoch they belong to; collection is keyed by
+that tag, so a standing execution's long-lived result operators and the
+rebuild path's per-epoch ones land in the same buckets, and rows for an
+already-closed epoch are dropped. At each epoch's deadline the
+coordinator applies the *finishing* step (global ORDER BY / LIMIT over
+collected rows -- the one thing that cannot be fully in-network) and
+hands an :class:`EpochResult` to the caller.
+
+Two further duties support the standing path: answering ``xplan``
+requests from nodes that see a standing query's rows without having its
+plan (closing their adoption gap in one round-trip instead of a refresh
+period), and stopping queries with a broadcast that engines tombstone
+so a stale refresh cannot resurrect them.
 
 Recursive queries additionally watch progress reports and close early
 on quiescence: no node has produced a novel tuple for ``quiet_period``
@@ -242,6 +251,26 @@ class Coordinator:
         handle = self.active.get(payload["qid"])
         if handle is not None:
             handle.last_progress = self.clock.now
+
+    def on_plan_request(self, payload, src):
+        """A node evidence-of-query but plan-less asks for the plan.
+
+        Standing queries pin their exchange rendezvous to epoch-free
+        keys, so a recovered node that owns such a key sees rows for a
+        query it does not run; replying directly closes its adoption
+        gap in one round-trip instead of waiting for the next periodic
+        refresh broadcast.
+        """
+        handle = self.active.get(payload["qid"])
+        if handle is None or handle.finished:
+            return
+        self.dht.direct(src, {
+            "op": "xplan_reply",
+            "qid": handle.qid,
+            "plan": handle.plan,
+            "t0": handle.t0,
+            "origin": self.engine.address,
+        })
 
     def on_bloom(self, payload):
         handle = self.active.get(payload["qid"])

@@ -1,15 +1,31 @@
-"""Per-node, per-epoch execution of an operator graph.
+"""Per-node execution of an operator graph: one-shot epochs and
+long-lived standing executions.
 
 PIER's engine is push-based and non-blocking: scans push rows through
 selections/projections into stateful operators (joins, group-bys),
 which hold state until their *flush deadline* fires; exchanges move
-rows between nodes through the DHT. An :class:`EpochExecution` is one
-node's instantiation of one plan for one epoch -- one-shot queries have
-a single epoch, continuous queries one per period.
+rows between nodes through the DHT.
+
+Two execution disciplines share the machinery:
+
+* :class:`EpochExecution` -- one node's instantiation of one plan for
+  one epoch. One-shot and recursive queries use it, as do continuous
+  plans whose flush schedule spills past the epoch period (overlapping
+  epochs need two live copies of the stateful operators, which only
+  disposable per-epoch instances provide).
+* :class:`StandingExecution` -- one node's *only* instantiation of a
+  standing continuous plan. Operators are built and wired once; at
+  every epoch boundary the engine calls :meth:`advance_epoch`, which
+  rolls each operator over (ship or drop the old epoch's held state,
+  reset for the new one) instead of tearing the graph down and
+  rebuilding it. Exchange namespaces are epoch-free and registered
+  once per query, batches carry an epoch tag, and arrivals tagged with
+  an already-finished epoch are dropped at the door -- the soft-state
+  answer to stragglers.
 
 End-of-stream is deliberately absent: a planetary-scale system cannot
 agree on "all rows have arrived", so operators flush on plan-specified
-deadlines and the query site closes the epoch at the plan's deadline.
+deadlines and the query site closes each epoch at the plan's deadline.
 Late rows are dropped -- the soft-state philosophy the paper leans on.
 """
 
@@ -17,9 +33,15 @@ from repro.util.errors import PlanError
 
 
 class LocalQueryContext:
-    """What operator instances see of their environment."""
+    """What operator instances see of their environment.
 
-    def __init__(self, engine, plan, query_id, epoch, t0, origin):
+    For standing executions ``epoch`` / ``t0`` are *mutable*: the
+    execution re-points them at each boundary, after the operators have
+    finished rolling the previous epoch over.
+    """
+
+    def __init__(self, engine, plan, query_id, epoch, t0, origin,
+                 standing=False):
         self.engine = engine
         self.dht = engine.dht
         self.clock = engine.clock
@@ -28,13 +50,23 @@ class LocalQueryContext:
         self.epoch = epoch
         self.t0 = t0  # epoch start (plan-global sim time)
         self.origin = origin  # query-site address for result return
+        self.standing = standing
 
     def namespace(self, op_id, port):
-        """DHT namespace for rows bound for (op, port) in this epoch."""
+        """DHT namespace for rows bound for (op, port).
+
+        Epoch-scoped for disposable executions; epoch-free for standing
+        ones, where the engine registers delivery once per query and
+        batches carry the epoch as data instead.
+        """
+        if self.standing:
+            return "q|{}|{}|{}".format(self.query_id, op_id, port)
         return "q|{}|{}|{}|{}".format(self.query_id, self.epoch, op_id, port)
 
     def upcall_name(self, op_id, port):
         """Intercept name for aggregation-tree combining on this edge."""
+        if self.standing:
+            return "t|{}|{}|{}".format(self.query_id, op_id, port)
         return "t|{}|{}|{}|{}".format(self.query_id, self.epoch, op_id, port)
 
     def fragment(self, table_name):
@@ -52,6 +84,15 @@ class Operator:
     deadline for this op (stateful ops emit held state), finally
     ``teardown``. ``control`` receives coordinator control messages
     (e.g. a merged Bloom filter).
+
+    Standing executions add ``advance_epoch(k, t_k)``: finish the
+    previous epoch (ship held output where the rebuild path would have,
+    discard per-epoch state otherwise) and get ready for epoch ``k``.
+    It runs in two waves -- non-source operators first, while
+    ``ctx.epoch`` still names the epoch being retired, then sources
+    after the context has moved, so scans emit the new epoch's delta
+    into already-reset consumers. The default is a no-op: stateless
+    operators carry nothing across the boundary.
     """
 
     def __init__(self, ctx, spec):
@@ -76,6 +117,9 @@ class Operator:
     def control(self, payload):
         pass
 
+    def advance_epoch(self, k, t_k):
+        pass
+
     def teardown(self):
         pass
 
@@ -95,8 +139,10 @@ class Operator:
         return "{}({!r})".format(type(self).__name__, self.spec.op_id)
 
 
-class EpochExecution:
-    """One node's live instantiation of a plan for one epoch."""
+class _ExecutionBase:
+    """Shared graph instantiation, delivery, and flush scheduling."""
+
+    standing = False
 
     def __init__(self, engine, plan, query_id, epoch, t0, origin):
         from repro.core.operators import create_operator
@@ -107,7 +153,9 @@ class EpochExecution:
         self.epoch = epoch
         self.t0 = t0
         self.origin = origin
-        self.ctx = LocalQueryContext(engine, plan, query_id, epoch, t0, origin)
+        self.ctx = LocalQueryContext(
+            engine, plan, query_id, epoch, t0, origin, standing=self.standing
+        )
         self.ops = {}
         self._flush_timers = []
         self.closed = False
@@ -122,13 +170,16 @@ class EpochExecution:
     def start(self):
         """Register network endpoints, start ops (sources last)."""
         self._register_endpoints()
-        sources = {s.op_id for s in self.plan.sources()}
+        sources = self._source_ids()
         for op_id, op in self.ops.items():
             if op_id not in sources:
                 op.start()
         for op_id in sources:
             self.ops[op_id].start()
         self._schedule_flushes()
+
+    def _source_ids(self):
+        return {s.op_id for s in self.plan.sources()}
 
     def _register_endpoints(self):
         """Tell the engine which exchange namespaces feed which ops."""
@@ -144,15 +195,24 @@ class EpochExecution:
                 ns = self.ctx.namespace(consumer_id, port)
                 combine = spec.params.get("combine") if mode == "tree" else None
                 self.engine.register_exchange_input(
-                    ns, self, consumer_id, port, combine
+                    ns, self, consumer_id, port, combine,
+                    standing=self.standing,
                 )
+
+    def _unregister_endpoints(self):
+        for spec in self.plan.ops_of_kind("exchange"):
+            consumers = self.plan.consumers_of(spec.op_id)
+            if consumers:
+                consumer_id, port = consumers[0]
+                ns = self.ctx.namespace(consumer_id, port)
+                self.engine.unregister_exchange_input(ns)
 
     def _schedule_flushes(self):
         now = self.engine.clock.now
         for op_id, offset in self.plan.flush_offsets.items():
             if op_id not in self.ops:
                 continue
-            delay = max(0.0, self.t0 + offset - now)
+            delay = max(0.0, self.ctx.t0 + offset - now)
             timer = self.engine.set_timer(delay, self._flush_op, op_id)
             self._flush_timers.append(timer)
 
@@ -203,14 +263,88 @@ class EpochExecution:
         # buffer (held for its whole TTL).
         for op in self.ops.values():
             op.teardown()
-        for spec in self.plan.ops_of_kind("exchange"):
-            consumers = self.plan.consumers_of(spec.op_id)
-            if consumers:
-                consumer_id, port = consumers[0]
-                ns = self.ctx.namespace(consumer_id, port)
-                self.engine.unregister_exchange_input(ns)
+        self._unregister_endpoints()
+
+
+class EpochExecution(_ExecutionBase):
+    """One node's disposable instantiation of a plan for one epoch."""
 
     def __repr__(self):
         return "EpochExecution({!r}, epoch={}, node={})".format(
             self.query_id, self.epoch, self.engine.address
+        )
+
+
+class StandingExecution(_ExecutionBase):
+    """One node's long-lived instantiation of a standing continuous plan.
+
+    Built once when the query is adopted; the engine's epoch timers
+    then call :meth:`advance_epoch` at each boundary. Exchange inputs
+    are registered once (epoch-free namespaces), so the engine's
+    early-row buffering window shrinks to first adoption only, and
+    arrivals carry an epoch tag checked here: late tags are dropped,
+    early tags (a sender whose boundary timer fired first) are parked
+    until this node advances.
+    """
+
+    standing = True
+
+    def __init__(self, engine, plan, query_id, epoch, t0, origin):
+        super().__init__(engine, plan, query_id, epoch, t0, origin)
+        self._early = {}  # epoch -> [(op_id, port, rows)]
+
+    @property
+    def current_epoch(self):
+        return self.ctx.epoch
+
+    def advance_epoch(self, k, t_k):
+        """Roll every operator over from the previous epoch into ``k``."""
+        if self.closed:
+            return
+        for timer in self._flush_timers:
+            timer.cancel()
+        self._flush_timers = []
+        sources = self._source_ids()
+        # Wave 1 -- retire the old epoch while ctx still names it:
+        # exchanges and result sinks ship what they hold under the old
+        # tag, stateful operators drop per-epoch state.
+        for op_id, op in self.ops.items():
+            if op_id not in sources:
+                op.advance_epoch(k, t_k)
+        self.ctx.epoch = k
+        self.ctx.t0 = t_k
+        self.epoch = k
+        self.t0 = t_k
+        self._schedule_flushes()
+        # Wave 2 -- begin the new epoch: scans emit their delta into
+        # the freshly reset graph.
+        for op_id in sources:
+            self.ops[op_id].advance_epoch(k, t_k)
+        for op_id, port, rows in self._early.pop(k, ()):
+            self.deliver_batch(op_id, port, rows, k)
+
+    def deliver(self, op_id, port, row, epoch=None):
+        self.deliver_batch(op_id, port, (row,), epoch)
+
+    def deliver_batch(self, op_id, port, rows, epoch=None):
+        if self.closed:
+            return
+        if epoch is not None and epoch != self.ctx.epoch:
+            if epoch < self.ctx.epoch:
+                return  # late: that epoch already closed here
+            if epoch > self.ctx.epoch + 2:
+                return  # implausibly far ahead: don't park unboundedly
+            self._early.setdefault(epoch, []).append((op_id, port, list(rows)))
+            return
+        op = self.ops[op_id]
+        for row in rows:
+            op.push(row, port)
+
+    def close(self):
+        self._early = {}
+        super().close()
+
+    def __repr__(self):
+        return "StandingExecution({!r}, epoch={}, node={})".format(
+            self.query_id, self.ctx.epoch, self.engine.address
         )

@@ -5,10 +5,20 @@ One engine runs on every node, glued to that node's DHT API. It:
 * holds the node's table fragments (local rows, stream windows) and
   publishes rows into DHT tables,
 * adopts query plans that arrive by broadcast and schedules their
-  epochs (one for one-shot/recursive plans, a chain for continuous),
-* registers exchange namespaces with the DHT so rehashed rows reach the
-  right operator instance -- and buffers early arrivals that beat the
-  plan broadcast to this node,
+  epochs: one-shot/recursive plans get a single disposable
+  :class:`~repro.core.dataflow.EpochExecution`; standing continuous
+  plans get one long-lived
+  :class:`~repro.core.dataflow.StandingExecution` whose operators are
+  rolled over with ``advance_epoch`` at every boundary instead of
+  being torn down and rebuilt (continuous plans whose flush schedule
+  spills past the period keep the rebuild path),
+* registers exchange namespaces with the DHT so rehashed rows reach
+  the right operator instance -- once per epoch for disposable
+  executions, once per *query* for standing ones -- and buffers early
+  arrivals that beat the plan broadcast to this node, NACKing their
+  senders when the buffer gives up on them,
+* remembers recently stopped query ids (TTL'd tombstones) so a stale
+  plan-refresh broadcast cannot resurrect a query after its stop,
 * reports recursion progress to the query site for quiescence
   detection.
 
@@ -18,7 +28,7 @@ the coordinator's periodic plan re-broadcasts.
 """
 
 from repro.core.aggregation_tree import TreeCombiner
-from repro.core.dataflow import EpochExecution
+from repro.core.dataflow import EpochExecution, StandingExecution
 from repro.core.exchange import payload_rows
 from repro.db.table import make_fragment
 
@@ -35,6 +45,23 @@ class EngineConfig:
     ``undelivered_ttl`` / ``undelivered_cap`` bound the buffer of rows
     that arrive before their query's plan does: a namespace's early rows
     are dropped after the TTL, and no namespace holds more than the cap.
+    Dropped rows are NACKed to their origin exchanges *only when the
+    query carries a stop tombstone here* (an authoritative rejection);
+    a node that merely missed the plan broadcast drops silently, since
+    the refresh (or plan fetch) will enroll it and muting a live
+    query's keys would hole the answer. Receiving a NACK mutes the
+    affected routing keys for ``nack_mute_ttl`` seconds.
+
+    ``standing`` gates the long-lived execution path for standing
+    continuous plans. It must be uniform across a deployment: the two
+    disciplines use incompatible exchange namespaces, so a mixed
+    cluster would partition a query's dataflow (per-plan ablation goes
+    through the ``standing`` *query option* instead, which turns the
+    whole plan rebuild-per-epoch everywhere). ``route_cache_ttl``
+    bounds how long a standing rehash exchange may trust a learned
+    terminal owner before re-walking the ring; 0 disables owner
+    caching. ``stop_tombstone_ttl`` is how long a stopped qid is
+    remembered to fend off stale refresh broadcasts.
     """
 
     def __init__(
@@ -49,6 +76,10 @@ class EngineConfig:
         max_batch_bytes=8192,
         undelivered_ttl=15.0,
         undelivered_cap=512,
+        standing=True,
+        route_cache_ttl=120.0,
+        nack_mute_ttl=30.0,
+        stop_tombstone_ttl=120.0,
     ):
         self.teardown_slack = teardown_slack
         self.tree_hold_delay = tree_hold_delay
@@ -60,12 +91,17 @@ class EngineConfig:
         self.max_batch_bytes = max_batch_bytes
         self.undelivered_ttl = undelivered_ttl
         self.undelivered_cap = undelivered_cap
+        self.standing = standing
+        self.route_cache_ttl = route_cache_ttl
+        self.nack_mute_ttl = nack_mute_ttl
+        self.stop_tombstone_ttl = stop_tombstone_ttl
 
 
 class _QueryRecord:
     """An engine's view of one adopted query."""
 
-    __slots__ = ("qid", "plan", "t0", "origin", "stopped", "next_epoch_timer")
+    __slots__ = ("qid", "plan", "t0", "origin", "stopped",
+                 "next_epoch_timer", "execution")
 
     def __init__(self, qid, plan, t0, origin):
         self.qid = qid
@@ -74,6 +110,7 @@ class _QueryRecord:
         self.origin = origin
         self.stopped = False
         self.next_epoch_timer = None
+        self.execution = None  # the StandingExecution, once started
 
 
 class PierEngine:
@@ -86,16 +123,22 @@ class PierEngine:
         self.address = dht.address
 
         self.fragments = {}
-        self.executions = {}  # (qid, epoch) -> EpochExecution
+        self.executions = {}  # (qid, epoch) -> execution serving that epoch
         self.queries = {}  # qid -> _QueryRecord
         self.combiners = {}  # ns -> TreeCombiner
         self._undelivered = {}  # ns -> [rows arriving before registration]
+        self._undelivered_tags = {}  # ns -> [epoch tag per buffered row]
+        self._undelivered_origins = {}  # ns -> {origin address: {rid}}
         self._undelivered_expiry = {}  # ns -> drop-dead time for those rows
         self._undelivered_timer = None
+        self._stop_tombstones = {}  # qid -> forget-at time (stale-refresh guard)
+        self._exchange_mutes = {}  # (ns, rid) -> mute expiry (NACKed keys)
+        self._route_owners = {}  # (ns, rid) -> (NodeRef, expiry) owner cache
         self._progress_pending = {}  # (qid, epoch) -> count
         self._progress_timer = None
         self._publish_seq = 0
         self._maintained = {}  # (table, instance_id) -> republish timer
+        self.rows_scanned = 0  # scan effort counter (benchmarks)
         self.coordinator = None  # set by Coordinator.attach
 
         dht.on_broadcast(self._on_broadcast)
@@ -166,6 +209,10 @@ class PierEngine:
     def set_timer(self, delay, callback, *args):
         return self.dht.set_timer(delay, callback, *args)
 
+    def note_rows_scanned(self, n):
+        """Scan-effort accounting (rows examined by scan operators)."""
+        self.rows_scanned += n
+
     # ------------------------------------------------------------------
     # Plan adoption and epoch scheduling
     # ------------------------------------------------------------------
@@ -186,24 +233,64 @@ class PierEngine:
         qid = payload["qid"]
         if qid in self.queries:
             return  # refresh broadcast for a query we already run
+        self._sweep_soft_maps()
+        tombstone = self._stop_tombstones.get(qid)
+        if tombstone is not None:
+            if tombstone > self.clock.now:
+                return  # stale refresh of a query stopped moments ago
+            del self._stop_tombstones[qid]
         record = _QueryRecord(qid, payload["plan"], payload["t0"], payload["origin"])
         self.queries[qid] = record
         plan = record.plan
         if plan.mode == "continuous":
-            # First epoch strictly after adoption; a late joiner starts
-            # at the next epoch boundary instead of replaying history.
             elapsed = max(0.0, self.clock.now - record.t0)
-            k = int(elapsed // plan.every) + 1
-            self._schedule_epoch(record, k)
+            k_now = int(elapsed // plan.every)
+            if k_now >= 1 and self._plan_is_standing(plan):
+                if plan.lifetime is not None and k_now * plan.every > plan.lifetime:
+                    self.queries.pop(qid, None)  # adopted after expiry
+                    return
+                # Standing queries join the epoch *in progress*: the
+                # rendezvous for their epoch-free exchange keys may hash
+                # to this very node, so waiting for the next boundary
+                # would drop every current-epoch row routed here (the
+                # rebuild path never waits -- its per-epoch keys simply
+                # hash elsewhere). Registration replays any early rows
+                # buffered under this epoch's tag, and already-due
+                # flush timers fire immediately.
+                self._start_epoch(record, k_now, record.t0 + k_now * plan.every)
+            else:
+                # First epoch strictly after adoption; a late joiner
+                # starts at the next boundary instead of replaying
+                # history.
+                self._schedule_epoch(record, k_now + 1)
         else:
             self._start_epoch(record, 0, record.t0)
+
+    def _plan_is_standing(self, plan):
+        return (
+            plan.mode == "continuous"
+            and getattr(plan, "standing", False)
+            and self.config.standing
+        )
 
     def _schedule_epoch(self, record, k):
         plan = record.plan
         if record.stopped:
             return
         if plan.lifetime is not None and k * plan.every > plan.lifetime:
-            self.queries.pop(record.qid, None)  # soft-state expiry
+            if record.execution is not None:
+                # Keep the record adopted until the final epoch settles:
+                # a plan refresh landing mid-final-epoch must hit the
+                # already-running query (duplicate-adoption guard), not
+                # spawn a second standing execution over the same
+                # epoch-free namespaces. Stragglers get the same grace a
+                # rebuilt epoch's close timer gave them.
+                self.set_timer(
+                    plan.deadline + self.config.teardown_slack,
+                    self._retire_standing, record,
+                )
+            else:
+                self.queries.pop(record.qid, None)  # soft-state expiry
             return
         t_k = record.t0 + k * plan.every
         delay = max(0.0, t_k - self.clock.now)
@@ -214,16 +301,54 @@ class PierEngine:
     def _start_epoch(self, record, k, t_k):
         if record.stopped:
             return
-        execution = EpochExecution(
-            self, record.plan, record.qid, k, t_k, record.origin
-        )
-        self.executions[(record.qid, k)] = execution
-        execution.start()
-        close_at = t_k + record.plan.deadline + self.config.teardown_slack
-        self.set_timer(max(0.0, close_at - self.clock.now),
-                       self._close_epoch, record.qid, k)
+        if self._plan_is_standing(record.plan):
+            self._advance_standing(record, k, t_k)
+        else:
+            execution = EpochExecution(
+                self, record.plan, record.qid, k, t_k, record.origin
+            )
+            self.executions[(record.qid, k)] = execution
+            execution.start()
+            close_at = t_k + record.plan.deadline + self.config.teardown_slack
+            self.set_timer(max(0.0, close_at - self.clock.now),
+                           self._close_epoch, record.qid, k)
         if record.plan.mode == "continuous":
             self._schedule_epoch(record, k + 1)
+
+    def _advance_standing(self, record, k, t_k):
+        """Epoch boundary for a standing query: build once, then roll."""
+        execution = record.execution
+        if execution is None:
+            execution = StandingExecution(
+                self, record.plan, record.qid, k, t_k, record.origin
+            )
+            record.execution = execution
+            self.executions[(record.qid, k)] = execution
+            execution.start()
+        else:
+            self.executions.pop((record.qid, execution.current_epoch), None)
+            self.executions[(record.qid, k)] = execution
+            execution.advance_epoch(k, t_k)
+
+    def _retire_standing(self, record):
+        """Lifetime reached and the final epoch has settled."""
+        if self.queries.get(record.qid) is record:
+            self.queries.pop(record.qid, None)  # soft-state expiry
+        self._close_standing(record)
+
+    def _close_standing(self, record):
+        execution = record.execution
+        if execution is None:
+            return
+        record.execution = None
+        self.executions.pop((record.qid, execution.current_epoch), None)
+        execution.close()
+        # The query is gone for good: reclaim its per-key soft state.
+        prefix = "q|{}|".format(record.qid)
+        for key in [k for k in self._route_owners if k[0].startswith(prefix)]:
+            del self._route_owners[key]
+        for key in [k for k in self._exchange_mutes if k[0].startswith(prefix)]:
+            del self._exchange_mutes[key]
 
     def _close_epoch(self, qid, epoch):
         execution = self.executions.pop((qid, epoch), None)
@@ -234,21 +359,50 @@ class PierEngine:
             record.stopped = True
             self.queries.pop(qid, None)
 
+    def _sweep_soft_maps(self):
+        """Reclaim expired tombstones / mutes / owner-cache entries.
+
+        These maps are TTL'd but mostly read by keys that stay hot;
+        entries whose key never comes back (a stopped query's qid, a
+        muted rid never pushed again) would otherwise linger. Swept
+        opportunistically on adoption and stop -- both regular events on
+        a busy engine -- so growth is bounded by the TTLs.
+        """
+        now = self.clock.now
+        for qid in [q for q, t in self._stop_tombstones.items() if t <= now]:
+            del self._stop_tombstones[qid]
+        for key in [k for k, t in self._exchange_mutes.items() if t <= now]:
+            del self._exchange_mutes[key]
+        for key in [k for k, (_r, t) in self._route_owners.items() if t <= now]:
+            del self._route_owners[key]
+
     def _stop_query(self, qid):
+        # Remember the stop regardless of whether we run the query: a
+        # plan-refresh broadcast already in flight (or one this node
+        # missed the stop for) must not re-adopt a stopped query.
+        self._sweep_soft_maps()
+        self._stop_tombstones[qid] = (
+            self.clock.now + self.config.stop_tombstone_ttl
+        )
         # Early rows held for this query's namespaces will never find a
         # subscriber now; drop them instead of waiting out their TTL.
         # (Done even without a query record: a node the plan broadcast
         # missed can still have buffered rehashed rows for it.)
         prefix = "q|{}|".format(qid)
         for ns in [n for n in self._undelivered if n.startswith(prefix)]:
-            del self._undelivered[ns]
-            self._undelivered_expiry.pop(ns, None)
+            self._send_nacks(ns)  # authoritative: the query is stopped
+            self._drop_undelivered(ns)
+        for key in [k for k in self._exchange_mutes if k[0].startswith(prefix)]:
+            del self._exchange_mutes[key]
+        for key in [k for k in self._route_owners if k[0].startswith(prefix)]:
+            del self._route_owners[key]
         record = self.queries.pop(qid, None)
         if record is None:
             return
         record.stopped = True
         if record.next_epoch_timer is not None:
             record.next_epoch_timer.cancel()
+        record.execution = None
         for (open_qid, epoch) in list(self.executions):
             if open_qid == qid:
                 self.executions.pop((open_qid, epoch)).close()
@@ -256,16 +410,28 @@ class PierEngine:
     # ------------------------------------------------------------------
     # Exchange plumbing
     # ------------------------------------------------------------------
-    def register_exchange_input(self, ns, execution, op_id, port, combine=None):
+    def register_exchange_input(self, ns, execution, op_id, port, combine=None,
+                                standing=False):
         """Claim an exchange namespace for a local operator input.
 
         ``combine`` carries tree-mode parameters ({"agg_specs": ...});
         when present a :class:`TreeCombiner` intercept is installed so
         this node merges pass-through partials for that edge.
+
+        ``standing`` marks a long-lived registration (epoch-free
+        namespace): delivery forwards each payload's epoch tag so the
+        execution can drop late arrivals, and buffered early rows are
+        replayed tag by tag.
         """
 
-        def deliver(payload, route_msg):
-            execution.deliver_batch(op_id, port, payload_rows(payload))
+        if standing:
+            def deliver(payload, route_msg):
+                execution.deliver_batch(
+                    op_id, port, payload_rows(payload), payload.get("epoch")
+                )
+        else:
+            def deliver(payload, route_msg):
+                execution.deliver_batch(op_id, port, payload_rows(payload))
 
         self.dht.register_delivery(ns, deliver)
         if combine is not None:
@@ -277,8 +443,15 @@ class PierEngine:
             )
             self.combiners[ns] = combiner
             self.dht.register_intercept(upcall, combiner.handler)
+        rows = self._undelivered.pop(ns, ())
+        tags = self._undelivered_tags.pop(ns, ())
+        self._undelivered_origins.pop(ns, None)
         self._undelivered_expiry.pop(ns, None)
-        execution.deliver_batch(op_id, port, self._undelivered.pop(ns, ()))
+        if standing:
+            for row, tag in zip(rows, tags):
+                execution.deliver_batch(op_id, port, (row,), tag)
+        else:
+            execution.deliver_batch(op_id, port, rows)
 
     def unregister_exchange_input(self, ns):
         self.dht.unregister_delivery(ns)
@@ -286,7 +459,12 @@ class PierEngine:
         if combiner is not None:
             combiner.close()
             self.dht.unregister_intercept(combiner.upcall)
+        self._drop_undelivered(ns)
+
+    def _drop_undelivered(self, ns):
         self._undelivered.pop(ns, None)
+        self._undelivered_tags.pop(ns, None)
+        self._undelivered_origins.pop(ns, None)
         self._undelivered_expiry.pop(ns, None)
 
     def _on_unclaimed_delivery(self, payload, route_msg):
@@ -295,12 +473,15 @@ class PierEngine:
         # arrives (the broadcast can miss this node, or the query may
         # already be stopping), so the buffer is bounded two ways: each
         # namespace is dropped ``undelivered_ttl`` after its first early
-        # row, and holds at most ``undelivered_cap`` rows.
+        # row, and holds at most ``undelivered_cap`` rows. Whenever the
+        # buffer sheds rows it NACKs the exchanges that sent them.
         ns = payload["ns"]
         incoming = payload_rows(payload)
         rows = self._undelivered.get(ns)
         if rows is None:
             rows = self._undelivered[ns] = []
+            self._undelivered_tags[ns] = []
+            self._undelivered_origins[ns] = {}
             self._undelivered_expiry[ns] = (
                 self.clock.now + self.config.undelivered_ttl
             )
@@ -308,21 +489,112 @@ class PierEngine:
                 self._undelivered_timer = self.set_timer(
                     self.config.undelivered_ttl, self._expire_undelivered
                 )
+            if payload.get("epoch") is not None:
+                # A standing query is live somewhere and its epoch-free
+                # rendezvous hashes *here* -- every epoch's rows will
+                # keep arriving at this node. Waiting out the refresh
+                # period would hole the answer for several epochs (the
+                # rebuild path never had this problem: its per-epoch
+                # keys re-hashed away from a planless node). Pull the
+                # missing soft state instead: ask the query site for
+                # the plan directly, once per buffer generation.
+                self._request_plan(ns)
+        origin = getattr(route_msg, "origin", None)
+        rid = payload.get("rid")
+        if origin is not None and rid is not None:
+            self._undelivered_origins[ns].setdefault(
+                origin.address, set()
+            ).add(rid)
         space = self.config.undelivered_cap - len(rows)
         if space > 0:
-            rows.extend(incoming[:space])
+            taken = list(incoming[:space])
+            rows.extend(taken)
+            self._undelivered_tags[ns].extend(
+                [payload.get("epoch")] * len(taken)
+            )
+        if len(incoming) > max(space, 0):
+            # Cap overflow: this node is drowning in rows nobody here
+            # subscribes to. NACK the senders -- which only goes out if
+            # the query is tombstoned here (see _send_nacks); a
+            # merely-missed plan keeps dropping silently.
+            self._send_nacks(ns)
+
+    def _request_plan(self, ns):
+        """Ask the query site for a plan we evidently missed.
+
+        ``qid`` embeds the submitting node's address (``addr#seq``, a
+        coordinator invariant), so the request needs no lookup. A stale
+        or stopped query simply gets no reply and the buffered rows age
+        out as before.
+        """
+        if not ns.startswith("q|"):
+            return
+        qid = ns.split("|")[1]
+        if qid in self.queries or qid in self._stop_tombstones:
+            return
+        origin = qid.rsplit("#", 1)[0]
+        if origin and origin != self.address:
+            self.dht.direct(origin, {"op": "xplan", "qid": qid})
+
+    def _send_nacks(self, ns):
+        """Tell origin exchanges their rehashes for ``ns`` go nowhere.
+
+        Carries the routing ids observed from each origin, so the
+        sender can mute exactly the keys that hash to this node (it has
+        no other way to know which keys terminate here). Sent at most
+        once per origin per buffer generation.
+
+        Only *authoritative* rejections are sent: the query must carry
+        a stop tombstone here. A node that merely missed the plan
+        broadcast stays silent -- the refresh will enroll it shortly,
+        and muting a live query's keys at the senders would silently
+        hole the answer for the whole mute window (ownership can also
+        move to a healthy subscriber while the mute persists).
+        """
+        qid = ns.split("|")[1] if ns.startswith("q|") else None
+        if qid is None or qid not in self._stop_tombstones:
+            return
+        origins = self._undelivered_origins.get(ns)
+        if not origins:
+            return
+        for address, rids in origins.items():
+            self.dht.direct(address, {
+                "op": "xnack", "ns": ns, "rids": list(rids),
+            })
+        origins.clear()
 
     def _expire_undelivered(self):
         self._undelivered_timer = None
         now = self.clock.now
         for ns in [n for n, t in self._undelivered_expiry.items() if t <= now]:
-            self._undelivered.pop(ns, None)
-            self._undelivered_expiry.pop(ns, None)
+            self._send_nacks(ns)
+            self._drop_undelivered(ns)
         if self._undelivered_expiry:
             next_deadline = min(self._undelivered_expiry.values())
             self._undelivered_timer = self.set_timer(
                 max(0.0, next_deadline - now), self._expire_undelivered
             )
+
+    def exchange_muted(self, ns, rid):
+        """Has a receiver NACKed this routing key? (checked per push)"""
+        expiry = self._exchange_mutes.get((ns, rid))
+        if expiry is None:
+            return False
+        if expiry <= self.clock.now:
+            del self._exchange_mutes[(ns, rid)]
+            return False
+        return True
+
+    def cached_owner(self, ns, rid):
+        """Learned terminal owner for a standing exchange key, if fresh."""
+        entry = self._route_owners.get((ns, rid))
+        if entry is None:
+            return None
+        ref, expiry = entry
+        if expiry <= self.clock.now or self.dht.is_suspect(ref.address):
+            del self._route_owners[(ns, rid)]
+            return None
+        return ref
 
     # ------------------------------------------------------------------
     # Recursion progress (quiescence detection support)
@@ -348,18 +620,46 @@ class PierEngine:
             })
 
     # ------------------------------------------------------------------
-    # Direct messages (results, progress, filters) go to the coordinator
+    # Direct messages: engine-level control, then coordinator traffic
     # ------------------------------------------------------------------
     def _on_direct(self, payload, src):
-        if self.coordinator is None or not isinstance(payload, dict):
+        if not isinstance(payload, dict):
             return
         op = payload.get("op")
+        if op == "xnack":
+            # Mutes only matter while we still run the query: a NACK
+            # straggling in after our own stop-cleanup would otherwise
+            # park an entry nothing ever reads again.
+            ns = payload["ns"]
+            qid = ns.split("|")[1] if ns.startswith("q|") else None
+            if qid in self.queries:
+                expiry = self.clock.now + self.config.nack_mute_ttl
+                for rid in payload["rids"]:
+                    self._exchange_mutes[(ns, rid)] = expiry
+            return
+        if op == "xowner":
+            if payload.get("rid") is not None:
+                self._route_owners[(payload["ns"], payload["rid"])] = (
+                    payload["ref"],
+                    self.clock.now + self.config.route_cache_ttl,
+                )
+            return
+        if op == "xowner_stale":
+            self._route_owners.pop((payload["ns"], payload["rid"]), None)
+            return
+        if op == "xplan_reply":
+            self._adopt_query(payload)
+            return
+        if self.coordinator is None:
+            return
         if op == "qres":
             self.coordinator.on_result(payload)
         elif op == "qprog":
             self.coordinator.on_progress(payload)
         elif op == "qbloom":
             self.coordinator.on_bloom(payload)
+        elif op == "xplan":
+            self.coordinator.on_plan_request(payload, src)
 
     # ------------------------------------------------------------------
     # Failure semantics
@@ -371,8 +671,13 @@ class PierEngine:
         self.queries = {}
         self.combiners = {}
         self._undelivered = {}
+        self._undelivered_tags = {}
+        self._undelivered_origins = {}
         self._undelivered_expiry = {}
         self._undelivered_timer = None  # node timers die with the crash
+        self._stop_tombstones = {}
+        self._exchange_mutes = {}
+        self._route_owners = {}
         self._progress_pending = {}
         self._progress_timer = None
         self._maintained = {}  # the publisher died; its rows will expire

@@ -27,6 +27,22 @@ k co-keyed rows costs one multi-hop route (and one hop-ack per hop)
 instead of k. ``max_batch_rows`` / ``max_batch_bytes`` bound how much
 a single message can carry; ``flush_delay = 0`` restores the original
 message-per-row behaviour (the benchmarks' unbatched baseline).
+
+Every payload carries its routing id (``rid``) so a receiver that has
+no subscriber can NACK the sender, muting further rehashes of that key
+toward a node that will only drop them.
+
+Standing continuous plans add two behaviours:
+
+* payloads are tagged with the epoch they belong to (namespaces are
+  epoch-free, so the tag is how receivers sort late from current), and
+  ``advance_epoch`` ships any still-buffered rows under the old tag
+  before adopting the new epoch;
+* rehash-mode exchanges cache the terminal owner per routing key --
+  the same epoch-free key routes every epoch, so after the first
+  routed walk (which asks the terminal to identify itself) batches go
+  direct in one hop instead of O(log N), falling back to key routing
+  if the cached owner dies.
 """
 
 from repro.core.dataflow import Operator
@@ -34,6 +50,17 @@ from repro.core.operators import register_operator
 from repro.dht.chord import storage_key
 from repro.util.errors import PlanError
 from repro.util.serde import wire_size
+
+
+def epoch_route_ns(route_ns, epoch):
+    """Routing namespace for one epoch of a standing exchange.
+
+    Standing delivery namespaces are epoch-free, but tree-mode routing
+    keys are salted per epoch so the rendezvous owner rotates like the
+    rebuild path's did (see ``Exchange._route``). The combiner forwards
+    under the same salt so combined partials converge with the originals.
+    """
+    return "{}|e{}".format(route_ns, epoch)
 
 
 def payload_rows(payload):
@@ -77,6 +104,21 @@ class Exchange(Operator):
         self._max_batch_bytes = spec.params.get(
             "max_batch_bytes", config.max_batch_bytes
         )
+        self._standing = bool(getattr(ctx, "standing", False))
+        self._epoch = ctx.epoch if self._standing else None
+        # Owner caching only pays off when the routing key is stable
+        # across epochs (standing, epoch-free namespaces) and no
+        # per-hop combining would be skipped (rehash mode only).
+        self._cache_owners = (
+            self._standing and self.mode == "rehash"
+            and getattr(config, "route_cache_ttl", 0) > 0
+        )
+        # Resolved via getattr so harness stubs without the full engine
+        # surface (unit tests) still drive the batching logic.
+        self._muted_fn = getattr(ctx.engine, "exchange_muted", None)
+        self._owner_fn = getattr(ctx.engine, "cached_owner", None)
+        if self._owner_fn is None:
+            self._cache_owners = False
         self._pending = {}  # routing id -> [rows] awaiting the flush window
         self._pending_bytes = {}  # routing id -> estimated payload bytes
         self._timer = None
@@ -96,6 +138,8 @@ class Exchange(Operator):
 
     def push(self, row, port=0):
         rid = self._key_fn(row)
+        if self._muted_fn is not None and self._muted_fn(self._ns, rid):
+            return  # receiver NACKed this key: it would only drop the row
         if self._flush_delay <= 0:
             self._route(rid, [row])
             return
@@ -121,11 +165,35 @@ class Exchange(Operator):
             self._route(rid, rows)
 
     def _route(self, rid, rows):
-        key = storage_key(self._route_ns, rid)
         if len(rows) == 1:
-            payload = {"op": "deliver", "ns": self._ns, "data": rows[0]}
+            payload = {"op": "deliver", "ns": self._ns, "rid": rid,
+                       "data": rows[0]}
         else:
-            payload = {"op": "deliver_batch", "ns": self._ns, "rows": rows}
+            payload = {"op": "deliver_batch", "ns": self._ns, "rid": rid,
+                       "rows": rows}
+        if self._standing:
+            payload["epoch"] = self._epoch
+            if self._cache_owners:
+                key = storage_key(self._route_ns, rid)
+                owner = self._owner_fn(self._ns, rid)
+                if owner is not None:
+                    self.ctx.dht.route_via(owner, key, payload)
+                    return
+                payload["learn"] = True  # ask the terminal to identify itself
+                self.ctx.dht.route(key, payload, upcall=self._upcall)
+                return
+            # No owner cache (tree mode): salt the routing key with the
+            # epoch so successive epochs rendezvous at *different*
+            # nodes, as the rebuild path's per-epoch namespaces did. A
+            # fixed rendezvous would correlate every epoch's owner risk
+            # onto one node -- one flaky host could hole a standing
+            # query's answer epoch after epoch. Delivery stays keyed by
+            # the epoch-free namespace, so whoever terminates the
+            # salted key dispatches to the same standing registration.
+            key = storage_key(epoch_route_ns(self._route_ns, self._epoch), rid)
+            self.ctx.dht.route(key, payload, upcall=self._upcall)
+            return
+        key = storage_key(self._route_ns, rid)
         self.ctx.dht.route(key, payload, upcall=self._upcall)
 
     def flush(self):
@@ -133,6 +201,14 @@ class Exchange(Operator):
             self.ctx.dht.cancel_timer(self._timer)
             self._timer = None
         self._flush_pending()
+
+    def advance_epoch(self, k, t_k):
+        # Ship leftovers tagged with the epoch they belong to before
+        # adopting the new one; receivers that already advanced drop
+        # them as late, exactly as the rebuild path's teardown flush
+        # landed in closed executions.
+        self.flush()
+        self._epoch = k
 
     def teardown(self):
         # Best effort, like the unbatched path: a row pushed just before

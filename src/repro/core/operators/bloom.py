@@ -71,5 +71,15 @@ class BloomStage(Operator):
             if other_filter is None or self._key_fn(row) in other_filter:
                 self.emit(row)
 
+    def advance_epoch(self, k, t_k):
+        # Defensive only: the planner keeps bloom plans on the rebuild
+        # path (the filter round-trip is wired per-epoch at the site).
+        self._buffered = []
+        self._released = False
+        self._filter = BloomFilter.for_capacity(
+            self.spec.params.get("capacity", 1024),
+            self.spec.params.get("fp_rate", 0.03),
+        )
+
     def teardown(self):
         self._buffered = []

@@ -44,6 +44,11 @@ class GroupByPartial(Operator):
             self.emit((gvals, tuple(states)))
         self._groups = {}
 
+    def advance_epoch(self, k, t_k):
+        # Post-flush stragglers die with their epoch, exactly as they
+        # did inside a torn-down execution.
+        self._groups = {}
+
 
 @register_operator("groupby_final")
 class GroupByFinal(Operator):
@@ -85,6 +90,15 @@ class GroupByFinal(Operator):
             # healing two nodes can both act as a group's owner, and the
             # query site can only reconcile them if states stay algebraic.
             self.emit((tuple(gvals), tuple(states)))
+
+    def advance_epoch(self, k, t_k):
+        # A pending refinement reflush must not leak last epoch's
+        # groups into the new epoch's result stream.
+        if self._reflush_timer is not None:
+            self.ctx.dht.cancel_timer(self._reflush_timer)
+            self._reflush_timer = None
+        self._groups = {}
+        self._flushed = False
 
     def teardown(self):
         if self._reflush_timer is not None:

@@ -52,6 +52,9 @@ class SymmetricHashJoin(Operator):
             if self._residual is None or self._residual(joined):
                 self.emit(joined)
 
+    def advance_epoch(self, k, t_k):
+        self._tables = ({}, {})
+
     def teardown(self):
         self._tables = ({}, {})
 
@@ -105,6 +108,13 @@ class FetchMatches(Operator):
             joined = probe_row + table_row
             if self._residual is None or self._residual(joined):
                 self.emit(joined)
+
+    def advance_epoch(self, k, t_k):
+        # In-flight gets belong to the finished epoch: their replies
+        # find no waiting probes and are dropped, matching the closed
+        # execution they would have landed in on the rebuild path.
+        self._waiting.clear()
+        self._cache.clear()
 
     def teardown(self):
         self._waiting.clear()

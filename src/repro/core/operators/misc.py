@@ -35,6 +35,9 @@ class Distinct(Operator):
             self.ctx.engine.note_progress(self.ctx.query_id, self.ctx.epoch, 1)
         self.emit(row)
 
+    def advance_epoch(self, k, t_k):
+        self._seen = set()
+
     def teardown(self):
         self._seen = set()
 
@@ -59,6 +62,10 @@ class Limit(Operator):
         if self._remaining > 0:
             self._remaining -= 1
             self.emit(row)
+
+    def advance_epoch(self, k, t_k):
+        # Each epoch answers the LIMIT afresh, as a rebuilt op would.
+        self._remaining = self.spec.params["limit"]
 
 
 @register_operator("result")
@@ -114,6 +121,12 @@ class ResultReturn(Operator):
             self.ctx.dht.cancel_timer(self._timer)
             self._timer = None
         self._send()
+
+    def advance_epoch(self, k, t_k):
+        # Runs while ctx.epoch still names the epoch being retired, so
+        # this last send is tagged for the epoch its rows belong to.
+        self.flush()
+        self._batch = []
 
     def teardown(self):
         self.flush()

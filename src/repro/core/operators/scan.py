@@ -9,6 +9,23 @@ that receives the plan scans what *it* has:
 * ``stream`` tables: the rows in this epoch's window
   ``(t0 - window, t0]``.
 
+Under a disposable per-epoch execution the scan runs once, at start.
+Under a :class:`~repro.core.dataflow.StandingExecution` it *subscribes*
+instead of re-scanning:
+
+* stream tables: an append hook on the fragment feeds a pending buffer;
+  each ``advance_epoch`` emits the buffered rows falling in the new
+  epoch's window and prunes what can never appear in a later one, so a
+  row is touched O(1) times instead of once per epoch it survives in
+  the retention deque;
+* dht tables: a TTL'd ``newData`` subscription (renewed every epoch)
+  tracks arriving items by reference; each epoch emits the tracked
+  items still live -- identical to a fresh ``lscan`` because renewals
+  and re-puts update the shared :class:`StoredItem` in place -- and
+  prunes the dead;
+* local tables: rows never age, every epoch reads all of them, so the
+  scan simply re-reads the fragment (there is no delta to exploit).
+
 Params: ``table`` (catalog name). The optional ``alias`` only matters
 at planning time (column qualification); at runtime rows are positional.
 """
@@ -19,20 +36,154 @@ from repro.core.operators import register_operator
 
 @register_operator("scan")
 class Scan(Operator):
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        self._standing = bool(getattr(ctx, "standing", False))
+        self._table_def = None
+        self._pending = []  # stream mode: [(ts, row)] not yet aged out
+        self._tracked = {}  # dht mode: item key -> StoredItem (by ref)
+        self._sub_token = None
+        self._append_token = None
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+    def _count(self, n):
+        self.ctx.engine.note_rows_scanned(n)
+
+    def _window(self):
+        window = self.spec.params.get("window") or self.ctx.plan.window
+        if window is None:
+            window = self._table_def.window
+        return window
+
     def start(self):
         table_name = self.spec.params["table"]
-        table_def = self.ctx.engine.catalog.lookup(table_name)
-        if table_def.source == "dht":
-            for item in self.ctx.dht.lscan(table_name):
+        self._table_def = self.ctx.engine.catalog.lookup(table_name)
+        if self._standing:
+            self._start_standing(table_name)
+            return
+        if self._table_def.source == "dht":
+            items = self.ctx.dht.lscan(table_name)
+            self._count(len(items))
+            for item in items:
                 self.emit(tuple(item.value))
             return
         fragment = self.ctx.fragment(table_name)
-        if table_def.source == "stream":
-            window = self.spec.params.get("window") or self.ctx.plan.window
-            if window is None:
-                window = table_def.window
-            rows = fragment.scan_window(self.ctx.t0 - window, self.ctx.t0)
+        if self._table_def.source == "stream":
+            # The whole retention deque is examined to select the window.
+            self._count(len(fragment))
+            rows = fragment.scan_window(self.ctx.t0 - self._window(), self.ctx.t0)
         else:
             rows = fragment.scan()
+            self._count(len(rows))
         for row in rows:
             self.emit(row)
+
+    # ------------------------------------------------------------------
+    # Standing (subscription) mode
+    # ------------------------------------------------------------------
+    def _start_standing(self, table_name):
+        source = self._table_def.source
+        if source == "stream":
+            fragment = self.ctx.fragment(table_name)
+            # Seed with history already retained, then hear about each
+            # future append exactly once.
+            self._pending = fragment.items()
+            self._count(len(self._pending))
+            self._append_token = fragment.on_append(self._on_append)
+            self._emit_stream_epoch(self.ctx.t0)
+        elif source == "dht":
+            for item in self.ctx.dht.lscan(table_name):
+                self._tracked[item.key()] = item
+            self._sub_token = self.ctx.dht.new_data(
+                table_name, self._on_new_item, ttl=self._sub_ttl()
+            )
+            self._emit_dht_epoch()
+        else:
+            rows = self.ctx.fragment(table_name).scan()
+            self._count(len(rows))
+            for row in rows:
+                self.emit(row)
+
+    def _sub_ttl(self):
+        # Outlive one missed boundary, not a dead query: the next
+        # advance renews; a crashed execution lets it age out.
+        return 2.0 * (self.ctx.plan.every or 30.0)
+
+    def _on_append(self, timestamp, row):
+        self._pending.append((timestamp, row))
+        self._count(1)
+
+    def _on_new_item(self, item):
+        self._tracked[item.key()] = item
+        self._count(1)
+
+    def advance_epoch(self, k, t_k):
+        if not self._standing:
+            return
+        source = self._table_def.source
+        if source == "stream":
+            self._emit_stream_epoch(t_k)
+        elif source == "dht":
+            if self._sub_token is not None:
+                table = self.spec.params["table"]
+                if not self.ctx.dht.renew_new_data(
+                    table, self._sub_token, self._sub_ttl()
+                ):
+                    # The subscription aged out (e.g. this node crashed
+                    # and recovered): re-seed from the store, exactly
+                    # like a fresh adoption.
+                    self._tracked = {
+                        i.key(): i for i in self.ctx.dht.lscan(table)
+                    }
+                    self._sub_token = self.ctx.dht.new_data(
+                        table, self._on_new_item, ttl=self._sub_ttl()
+                    )
+            self._emit_dht_epoch()
+        else:
+            rows = self.ctx.fragment(self.spec.params["table"]).scan()
+            self._count(len(rows))
+            for row in rows:
+                self.emit(row)
+
+    def _emit_stream_epoch(self, t_k):
+        window = self._window()
+        lo = t_k - window
+        every = self.ctx.plan.every or window
+        # Rows at or before the *next* window's low edge can never be
+        # scanned again; keep the overlap (window > every) for re-emission.
+        keep_after = t_k + every - window
+        kept = []
+        for ts, row in self._pending:
+            self._count(1)
+            if lo < ts <= t_k:
+                self.emit(row)
+            if ts > keep_after:
+                kept.append((ts, row))
+        self._pending = kept
+
+    def _emit_dht_epoch(self):
+        now = self.ctx.clock.now
+        dead = []
+        for key, item in self._tracked.items():
+            self._count(1)
+            if item.expires_at > now:
+                self.emit(tuple(item.value))
+            else:
+                dead.append(key)
+        for key in dead:
+            del self._tracked[key]
+
+    def teardown(self):
+        if self._append_token is not None:
+            fragment = self.ctx.fragment(self.spec.params["table"])
+            fragment.remove_append_hook(self._append_token)
+            self._append_token = None
+        if self._sub_token is not None:
+            self.ctx.dht.remove_new_data(
+                self.spec.params["table"], self._sub_token
+            )
+            self._sub_token = None
+        self._pending = []
+        self._tracked = {}

@@ -84,6 +84,13 @@ class TopK(Operator):
         for row in ordered:
             self.emit(row)
 
+    def advance_epoch(self, k, t_k):
+        if self._reflush_timer is not None:
+            self.ctx.dht.cancel_timer(self._reflush_timer)
+            self._reflush_timer = None
+        self._rows = []
+        self._flushed = False
+
     def teardown(self):
         if self._reflush_timer is not None:
             self.ctx.dht.cancel_timer(self._reflush_timer)

@@ -42,7 +42,7 @@ class QueryPlan:
 
     def __init__(self, specs, root_id, mode="oneshot", every=None, window=None,
                  lifetime=None, flush_offsets=None, deadline=10.0,
-                 finishing=None, metadata=None):
+                 finishing=None, metadata=None, standing=False):
         self.specs = {spec.op_id: spec for spec in specs}
         if len(self.specs) != len(specs):
             raise PlanError("duplicate op ids in plan")
@@ -64,6 +64,13 @@ class QueryPlan:
         # sort/cut that in-network operators can only approximate.
         self.finishing = finishing if finishing is not None else {}
         self.metadata = metadata if metadata is not None else {}
+        # Standing plans run one long-lived execution per node whose
+        # operators roll over via ``advance_epoch`` instead of being
+        # torn down and rebuilt; only continuous plans whose flush
+        # schedule fits inside one period qualify (the planner decides).
+        if standing and mode != "continuous":
+            raise PlanError("only continuous plans can be standing")
+        self.standing = standing
         self._validate()
 
     def _validate(self):
@@ -99,9 +106,12 @@ class QueryPlan:
             flush = ""
             if op_id in self.flush_offsets:
                 flush = " flush@{:.1f}s".format(self.flush_offsets[op_id])
-            lines.append("{}: {}{}{}".format(op_id, spec.kind, inputs, flush))
-        lines.append("root: {} mode: {} deadline: {:.1f}s".format(
-            self.root_id, self.mode, self.deadline))
+            tag = " [standing]" if spec.params.get("standing") else ""
+            lines.append("{}: {}{}{}{}".format(
+                op_id, spec.kind, tag, inputs, flush))
+        lines.append("root: {} mode: {}{} deadline: {:.1f}s".format(
+            self.root_id, self.mode,
+            " (standing)" if self.standing else "", self.deadline))
         return "\n".join(lines)
 
     def __repr__(self):

@@ -167,6 +167,18 @@ def _plan_flat(lq, catalog, timing):
     deadline = ready + timing.collect
 
     mode = "continuous" if lq.every else "oneshot"
+    standing = _standing_eligible(b, lq, mode)
+    if standing:
+        # Mark the networked boundary ops (EXPLAIN metadata: standing
+        # scans subscribe to their sources once and push per-epoch
+        # deltas; standing exchanges use epoch-free namespaces with
+        # epoch-tagged batches). At runtime operators key off the
+        # execution's ctx.standing; the discipline itself must be
+        # cluster-uniform (see EngineConfig.standing) because the two
+        # paths register incompatible exchange namespaces.
+        for spec in b.specs:
+            if spec.kind in ("scan", "exchange"):
+                spec.params["standing"] = True
     finishing = {}
     if agg_finishing is not None:
         finishing["aggregate"] = agg_finishing
@@ -184,7 +196,63 @@ def _plan_flat(lq, catalog, timing):
         b.specs, result_id, mode=mode, every=lq.every, window=lq.window,
         lifetime=lq.lifetime, flush_offsets=b.flush_offsets,
         deadline=deadline, finishing=finishing, metadata=metadata,
+        standing=standing,
     )
+
+
+_STANDING_XFER_MARGIN = 1.0  # flush window + worst simulated RTT
+
+
+def _standing_eligible(b, lq, mode):
+    """Can this continuous plan run as one long-lived execution?
+
+    The standing path rolls every operator over at each epoch boundary,
+    so the whole per-epoch dataflow (last flush included) must complete
+    within one period -- otherwise adjacent epochs would need two live
+    copies of the stateful operators and the rebuild path handles that
+    already. A flush whose output still has to *cross an exchange* must
+    additionally clear the boundary with a transfer margin: its rows
+    travel tagged with the retiring epoch, and a receiver that has
+    already advanced drops them as late (the rebuild path kept the old
+    epoch's registration open past the boundary, so it was forgiving
+    here). Result-bound flushes only need to fit the period -- their
+    rows go direct to the query site, which collects by epoch tag until
+    its own deadline. Bloom-stage plans are excluded: their filter
+    round-trip is driven per-epoch by the query site and only epoch 0
+    is wired today. The ``standing`` query option forces the rebuild
+    path when False (the continuous benchmarks use this as the ablation
+    knob).
+    """
+    if mode != "continuous":
+        return False
+    if lq.options.get("standing") is False:
+        return False
+    if any(spec.kind == "bloom_stage" for spec in b.specs):
+        return False
+    consumers = {}
+    for spec in b.specs:
+        for input_id in spec.inputs:
+            consumers.setdefault(input_id, []).append(spec)
+
+    def feeds_exchange(op_id, seen=None):
+        seen = seen if seen is not None else set()
+        if op_id in seen:
+            return False
+        seen.add(op_id)
+        for consumer in consumers.get(op_id, ()):
+            if consumer.kind == "exchange":
+                return True
+            if feeds_exchange(consumer.op_id, seen):
+                return True
+        return False
+
+    for op_id, offset in b.flush_offsets.items():
+        budget = lq.every
+        if feeds_exchange(op_id):
+            budget -= _STANDING_XFER_MARGIN
+        if offset > budget:
+            return False
+    return True
 
 
 def _plan_from_where(b, lq, catalog, timing):

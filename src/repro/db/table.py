@@ -1,9 +1,43 @@
-"""Node-local table fragments."""
+"""Node-local table fragments.
+
+Fragments support two read disciplines: one-shot scans (``scan`` /
+``scan_window``) and *append subscriptions* (``on_append``), which
+standing continuous queries use so a scan operator hears about each new
+row exactly once instead of re-reading the whole fragment every epoch.
+Hooks receive ``(timestamp, row)`` -- for local tables the timestamp is
+None (their rows have no time axis).
+"""
 
 from repro.util.errors import CatalogError
 
 
-class LocalTable:
+class AppendHooks:
+    """Mixin: per-fragment append subscriptions.
+
+    ``on_append(callback)`` registers ``callback(timestamp, row)`` and
+    returns the callback as a removal token for ``remove_append_hook``;
+    a standing scan unsubscribes when its execution closes so fragments
+    never pin dead query state.
+    """
+
+    _hooks = ()
+
+    def on_append(self, callback):
+        if not self._hooks:
+            self._hooks = []
+        self._hooks.append(callback)
+        return callback
+
+    def remove_append_hook(self, token):
+        if self._hooks and token in self._hooks:
+            self._hooks.remove(token)
+
+    def _fire_append(self, timestamp, row):
+        for callback in self._hooks:
+            callback(timestamp, row)
+
+
+class LocalTable(AppendHooks):
     """The rows one node contributes to a ``local`` relation.
 
     Inserts accept dicts or positional sequences and coerce through the
@@ -14,6 +48,7 @@ class LocalTable:
         self.table_def = table_def
         self.schema = table_def.schema
         self._rows = []
+        self._hooks = []
 
     def insert(self, row):
         if isinstance(row, dict):
@@ -21,6 +56,7 @@ class LocalTable:
         else:
             coerced = self.schema.coerce_row(row)
         self._rows.append(coerced)
+        self._fire_append(None, coerced)
         return coerced
 
     def insert_many(self, rows):

@@ -9,8 +9,10 @@ table's configured horizon.
 
 from collections import deque
 
+from repro.db.table import AppendHooks
 
-class TimeWindow:
+
+class TimeWindow(AppendHooks):
     """Timestamped row buffer with a fixed retention horizon."""
 
     def __init__(self, table_def):
@@ -18,6 +20,7 @@ class TimeWindow:
         self.schema = table_def.schema
         self.horizon = table_def.window
         self._rows = deque()  # (timestamp, row), timestamps non-decreasing
+        self._hooks = []
 
     def append(self, timestamp, row):
         if isinstance(row, dict):
@@ -29,6 +32,7 @@ class TimeWindow:
             # approximate rather than re-sorting the deque.
             timestamp = self._rows[-1][0]
         self._rows.append((timestamp, coerced))
+        self._fire_append(timestamp, coerced)
         return coerced
 
     def evict_older_than(self, cutoff):
@@ -46,6 +50,10 @@ class TimeWindow:
     def scan(self):
         """All retained rows (the full current window)."""
         return [row for _ts, row in self._rows]
+
+    def items(self):
+        """Retained ``(timestamp, row)`` pairs (standing-scan seeding)."""
+        return list(self._rows)
 
     def latest(self):
         return self._rows[-1] if self._rows else None

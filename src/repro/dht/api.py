@@ -67,14 +67,31 @@ class DhtApi:
 
     def new_data(self, namespace, callback, ttl=None):
         """Subscribe to arrivals; with ``ttl`` the subscription itself
-        is soft state and ages out like everything else stored here."""
-        self._node.new_data(namespace, callback, ttl)
+        is soft state and ages out like everything else stored here.
+        Returns a token for :meth:`renew_new_data` -- standing scans
+        renew their subscription once per epoch instead of re-scanning.
+        """
+        return self._node.new_data(namespace, callback, ttl)
+
+    def renew_new_data(self, namespace, token, ttl):
+        """Extend a TTL'd subscription; False once it has aged out."""
+        return self._node.renew_new_data(namespace, token, ttl)
+
+    def remove_new_data(self, namespace, token=None):
+        self._node.remove_new_data(namespace, token)
 
     # ------------------------------------------------------------------
     # Communication
     # ------------------------------------------------------------------
     def route(self, key, payload, upcall=None):
         self._node.route(key, payload, upcall)
+
+    def route_via(self, owner, key, payload):
+        """One-hop delivery to a cached owner, with routed fallback."""
+        self._node.route_via(owner, key, payload)
+
+    def is_suspect(self, address):
+        return self._node.is_suspect(address)
 
     def register_delivery(self, namespace, handler):
         self._node.register_delivery(namespace, handler)

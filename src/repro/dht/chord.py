@@ -169,6 +169,12 @@ class ChordNode(SimNode, RpcNode):
         self._pending_hop_acks.clear()
         self._suspects.clear()
         self._seen_broadcasts.clear()
+        # Delivery handlers and intercepts point into executions that
+        # just died with the engine; a recovered node must not feed
+        # rows to those zombies, it must fall back to the engine's
+        # default (buffering) delivery until a plan is re-adopted.
+        self._delivery_handlers.clear()
+        self._intercepts.clear()
         super().crash()
 
     def recover(self, bootstrap_address=None):
@@ -418,6 +424,38 @@ class ChordNode(SimNode, RpcNode):
         message = msg.Route(key, payload, self.ref, hops=0, upcall=upcall)
         self._advance(message, key, frozenset())
 
+    def route_via(self, owner, key, payload):
+        """Ship a key-routed payload straight to a previously learned owner.
+
+        Standing continuous queries route the same epoch-free exchange
+        keys every epoch; once the terminal node is known, one direct
+        hop replaces the O(log N) recursive walk. The send is still
+        hop-acked: if the cached owner has died, the message falls back
+        to normal key routing around it, so a stale cache costs one
+        timeout rather than lost rows.
+        """
+        message = msg.Route(key, payload, self.ref, hops=0)
+        message.force_terminal = True  # deliver at the cached owner
+        req = self._fresh_req()
+        message.hop_ack = (self.address, req)
+
+        def not_acked():
+            if self._pending_hop_acks.pop(req, None) is None:
+                return
+            self._suspect(owner.address)
+            message.force_terminal = False
+            message.hop_ack = None
+            self._advance(message, key, frozenset({owner.address}))
+
+        timer = self.set_timer(self.config.rpc_timeout, not_acked)
+        self._pending_hop_acks[req] = timer
+        message.hops += 1
+        self.send(owner.address, message)
+
+    def is_suspect(self, address):
+        """Expose failure suspicion (owner caches skip suspected nodes)."""
+        return self._is_suspect(address)
+
     def forward_route(self, message):
         """Continue routing a message an upcall previously absorbed."""
         self._advance(message, message.key, frozenset())
@@ -460,6 +498,39 @@ class ChordNode(SimNode, RpcNode):
                 }),
             )
         elif op == "deliver" or op == "deliver_batch":
+            if (
+                payload.get("learn")
+                and message.origin != self.ref
+                and (self.owns(message.key) or self.successor == self.ref)
+            ):
+                # The origin asked who terminates this key (a standing
+                # exchange warming its owner cache): answer once, then
+                # it can skip the recursive walk until the hint expires.
+                # Only the *owner* answers -- an heir that absorbed this
+                # delivery while the owner is suspected must not get
+                # cached, or batches would go direct to a non-owner for
+                # the whole cache TTL. The origin simply keeps walking
+                # until a true owner replies.
+                self.send_direct(message.origin.address, {
+                    "op": "xowner", "ns": payload["ns"],
+                    "rid": payload.get("rid"), "ref": self.ref,
+                })
+            elif (
+                message.force_terminal
+                and message.origin != self.ref
+                and payload.get("rid") is not None
+                and not self.owns(message.key)
+            ):
+                # A cache-directed (or heir) delivery landed on a node
+                # that no longer owns the key -- ownership moved, e.g. a
+                # joiner took over the range while the sender's owner
+                # cache was warm. Deliver anyway (approximate delivery
+                # beats a drop) but tell the origin to forget the entry
+                # so its next batch re-walks the ring and re-learns.
+                self.send_direct(message.origin.address, {
+                    "op": "xowner_stale", "ns": payload["ns"],
+                    "rid": payload["rid"],
+                })
             handler = self._delivery_handlers.get(payload["ns"])
             if handler is not None:
                 handler(payload, message)
@@ -632,9 +703,17 @@ class ChordNode(SimNode, RpcNode):
 
         ``ttl`` makes the subscription soft state: the store's sweeper
         drops it once expired, so a subscriber that dies with an epoch
-        can never leak its callback.
+        can never leak its callback. Returns the subscription token for
+        :meth:`renew_new_data`.
         """
-        self.store.on_new_data(namespace, callback, ttl)
+        return self.store.on_new_data(namespace, callback, ttl)
+
+    def renew_new_data(self, namespace, token, ttl):
+        """Extend a TTL'd subscription (standing scans renew per epoch)."""
+        return self.store.renew_new_data(namespace, token, ttl)
+
+    def remove_new_data(self, namespace, token=None):
+        self.store.remove_new_data(namespace, token)
 
     def send_direct(self, dst_address, payload):
         """Point-to-point app message (PIER uses this for result return)."""

@@ -60,8 +60,9 @@ class SoftStateStore:
         self._expiry_heap = []  # (expires_at, seq, key); entries are lazy
         self._heap_seq = 0  # tie-break so keys never get compared
         self._heap_deadline = {}  # key -> latest deadline queued in the heap
-        self._new_data_callbacks = {}  # ns -> [(callback, expires_at|None)]
+        self._new_data_callbacks = {}  # ns -> {token: (callback, expires_at|None)}
         self._next_callback_expiry = None  # earliest TTL'd subscription deadline
+        self._next_sub_token = 0
 
     def __len__(self):
         return len(self._items)
@@ -112,13 +113,23 @@ class SoftStateStore:
         A key whose previous item has already expired counts as new: an
         unswept corpse must not shadow the live replacement, or a
         subscriber would never hear about the re-published row.
+
+        A re-put of a *live* key is folded into the existing
+        :class:`StoredItem` in place rather than replacing the object.
+        Handoff and standing-scan subscribers hold these items by
+        reference (the sweep already relies on that for renewals), so
+        the refresh must stay visible through the reference they keep.
         """
         key = item.key()
         existing = self._items.get(key)
-        is_new = existing is None or existing.expires_at <= self.clock.now
+        if existing is not None and existing.expires_at > self.clock.now:
+            existing.value = item.value
+            existing.expires_at = item.expires_at
+            self._push_expiry(existing, key)
+            return existing
         self._index(item, key)
-        if is_new:
-            self._fire_new_data(item.namespace, item)
+        self._fire_new_data(item.namespace, item)
+        return item
 
     def put(self, namespace, resource_id, instance_id, value, ttl):
         """Insert or refresh an item; firing any newData subscribers."""
@@ -127,8 +138,7 @@ class SoftStateStore:
         item = StoredItem(
             namespace, resource_id, instance_id, value, self.clock.now + ttl
         )
-        self._adopt(item)
-        return item
+        return self._adopt(item)
 
     def put_item(self, item):
         """Adopt an already-built item (bulk transfer path) verbatim.
@@ -211,24 +221,65 @@ class SoftStateStore:
         With a ``ttl`` the subscription is itself soft state -- the
         sweeper drops it once expired, matching how everything else in
         the store ages out. Without one it lives until the namespace is
-        removed (or ``remove_new_data``).
+        removed (or ``remove_new_data``). Returns a subscription token;
+        a long-lived subscriber (a standing continuous scan) passes it
+        to :meth:`renew_new_data` each epoch instead of re-subscribing,
+        which would duplicate the callback.
         """
         expires_at = None if ttl is None else self.clock.now + ttl
-        self._new_data_callbacks.setdefault(namespace, []).append(
-            (callback, expires_at)
+        self._next_sub_token += 1
+        token = self._next_sub_token
+        self._new_data_callbacks.setdefault(namespace, {})[token] = (
+            callback, expires_at
         )
+        self._note_sub_expiry(expires_at)
+        return token
+
+    def renew_new_data(self, namespace, token, ttl):
+        """Extend a TTL'd subscription; returns False if it aged out.
+
+        Like item renewal, an expired subscription is reclaimed on the
+        spot rather than resurrected -- the subscriber must re-subscribe
+        (and re-seed itself) because arrivals during the gap were lost.
+        """
+        bucket = self._new_data_callbacks.get(namespace)
+        entry = bucket.get(token) if bucket else None
+        if entry is None:
+            return False
+        callback, expires_at = entry
+        if expires_at is not None and expires_at <= self.clock.now:
+            del bucket[token]
+            if not bucket:
+                del self._new_data_callbacks[namespace]
+            return False
+        new_expiry = None if ttl is None else self.clock.now + ttl
+        bucket[token] = (callback, new_expiry)
+        self._note_sub_expiry(new_expiry)
+        return True
+
+    def _note_sub_expiry(self, expires_at):
         if expires_at is not None and (
             self._next_callback_expiry is None
             or expires_at < self._next_callback_expiry
         ):
             self._next_callback_expiry = expires_at
 
-    def remove_new_data(self, namespace):
-        self._new_data_callbacks.pop(namespace, None)
+    def remove_new_data(self, namespace, token=None):
+        if token is None:
+            self._new_data_callbacks.pop(namespace, None)
+            return
+        bucket = self._new_data_callbacks.get(namespace)
+        if bucket is not None:
+            bucket.pop(token, None)
+            if not bucket:
+                del self._new_data_callbacks[namespace]
 
     def _fire_new_data(self, namespace, item):
         now = self.clock.now
-        for callback, expires_at in self._new_data_callbacks.get(namespace, ()):
+        bucket = self._new_data_callbacks.get(namespace)
+        if not bucket:
+            return
+        for callback, expires_at in list(bucket.values()):
             if expires_at is None or expires_at > now:
                 callback(item)
 
@@ -272,14 +323,14 @@ class SoftStateStore:
             return
         next_expiry = None
         for namespace in list(self._new_data_callbacks):
-            entries = [
-                (cb, exp)
-                for cb, exp in self._new_data_callbacks[namespace]
+            entries = {
+                token: (cb, exp)
+                for token, (cb, exp) in self._new_data_callbacks[namespace].items()
                 if exp is None or exp > now
-            ]
+            }
             if entries:
                 self._new_data_callbacks[namespace] = entries
-                for _cb, exp in entries:
+                for _cb, exp in entries.values():
                     if exp is not None and (next_expiry is None or exp < next_expiry):
                         next_expiry = exp
             else:
