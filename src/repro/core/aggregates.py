@@ -5,31 +5,74 @@ init/add/merge/final form (Gray et al.'s algebraic aggregates): nodes
 accumulate local partials, the aggregation tree *merges* partials at
 every hop, and only the root runs *final*. AVG therefore carries
 (sum, count), never a ratio.
+
+Paned sliding-window aggregation adds a second axis to the protocol:
+when a continuous query's window overlaps its epoch period
+(``WINDOW > EVERY``), per-epoch deltas are folded into *panes* of width
+``gcd(WINDOW, EVERY)`` and each epoch's answer is assembled from pane
+partials instead of from raw rows. Aggregates that are *invertible*
+(``invertible = True``) additionally support :meth:`Aggregate.unmerge`,
+which subtracts a pane's partial back out of a running window state --
+so advancing the window costs O(panes changed) merges instead of
+re-merging the whole window. Non-invertible aggregates (MIN, MAX,
+COUNT DISTINCT) fall back to re-merging the window's live panes, which
+is still O(panes) per epoch rather than O(rows).
 """
 
 from repro.util.errors import PlanError
 
 
 class Aggregate:
-    """One aggregate function in decomposable form."""
+    """One aggregate function in decomposable form.
+
+    Subclasses implement the algebraic protocol: ``init`` produces an
+    empty partial state, ``add`` folds one input value into a state,
+    ``merge`` combines two states, and ``final`` turns a state into the
+    answer. States must be immutable values (numbers, tuples,
+    frozensets) so partials can be shipped, held, and snapshotted
+    without defensive copying. Invertible aggregates set
+    ``invertible = True`` and implement :meth:`unmerge`.
+    """
 
     name = "abstract"
 
+    #: Whether :meth:`unmerge` can subtract a previously merged state
+    #: back out. Only invertible aggregates get the O(1)-per-pane
+    #: sliding-window path; the rest re-merge live panes.
+    invertible = False
+
     def init(self):
+        """Return the empty partial state (the fold's identity)."""
         raise NotImplementedError
 
     def add(self, state, value):
+        """Fold one input value into ``state``; returns the new state."""
         raise NotImplementedError
 
     def merge(self, left, right):
+        """Combine two partial states into one."""
         raise NotImplementedError
 
+    def unmerge(self, state, part):
+        """Remove a previously merged ``part`` from ``state``.
+
+        Only meaningful when ``invertible``; the paned window keeps the
+        raw pane partial around exactly so it can be handed back here
+        when the pane slides out of the window. ``unmerge(merge(s, p),
+        p)`` must equal ``s`` (up to float rounding).
+        """
+        raise PlanError("{} is not invertible".format(self.name))
+
     def final(self, state):
+        """Finish a state into the user-visible value (identity here)."""
         return state
 
 
 class CountStar(Aggregate):
+    """COUNT(*): counts rows; the only aggregate that ignores its input."""
+
     name = "COUNT(*)"
+    invertible = True
 
     def init(self):
         return 0
@@ -40,11 +83,15 @@ class CountStar(Aggregate):
     def merge(self, left, right):
         return left + right
 
+    def unmerge(self, state, part):
+        return state - part
+
 
 class Count(Aggregate):
     """COUNT(expr): counts non-null values."""
 
     name = "COUNT"
+    invertible = True
 
     def init(self):
         return 0
@@ -55,9 +102,21 @@ class Count(Aggregate):
     def merge(self, left, right):
         return left + right
 
+    def unmerge(self, state, part):
+        return state - part
+
 
 class Sum(Aggregate):
+    """SUM(expr): null-preserving sum (SUM over no rows is NULL).
+
+    A ``None`` state means "no non-null input yet"; unmerging an
+    all-null pane therefore leaves the state untouched, and a pane with
+    real values can only be unmerged from a state that once absorbed it
+    (so the state is never ``None`` when ``part`` is not).
+    """
+
     name = "SUM"
+    invertible = True
 
     def init(self):
         return None  # SUM of no rows is NULL, per SQL
@@ -74,8 +133,17 @@ class Sum(Aggregate):
             return left
         return left + right
 
+    def unmerge(self, state, part):
+        if part is None:
+            return state
+        return state - part
+
 
 class Min(Aggregate):
+    """MIN(expr): not invertible -- removing the minimum would need the
+    runner-up, which a scalar state cannot carry. The paned window
+    re-merges live panes instead."""
+
     name = "MIN"
 
     def init(self):
@@ -90,6 +158,8 @@ class Min(Aggregate):
 
 
 class Max(Aggregate):
+    """MAX(expr): see :class:`Min` -- merge-only, pane-re-merge fallback."""
+
     name = "MAX"
 
     def init(self):
@@ -110,7 +180,9 @@ class CountDistinct(Aggregate):
     tree combiner merges sets, so intermediate messages carry the
     distinct values seen so far. That is exactly how PIER had to do it
     too: distinct-counting is not algebraically compressible without
-    sketches, which the original also did not ship.
+    sketches, which the original also did not ship. Set union has no
+    inverse (an element may be present in several panes), so it is not
+    invertible either.
     """
 
     name = "COUNT_DISTINCT"
@@ -134,6 +206,7 @@ class Avg(Aggregate):
     """AVG via a (sum, count) partial -- merge-safe, unlike a ratio."""
 
     name = "AVG"
+    invertible = True
 
     def init(self):
         return (0, 0)
@@ -145,6 +218,9 @@ class Avg(Aggregate):
 
     def merge(self, left, right):
         return (left[0] + right[0], left[1] + right[1])
+
+    def unmerge(self, state, part):
+        return (state[0] - part[0], state[1] - part[1])
 
     def final(self, state):
         total, count = state
@@ -163,6 +239,7 @@ _REGISTRY = {
 
 
 def aggregate_by_name(name):
+    """Look up a shared :class:`Aggregate` instance by SQL name."""
     agg = _REGISTRY.get(name.upper())
     if agg is None:
         raise PlanError("unknown aggregate {!r}".format(name))
@@ -186,6 +263,8 @@ class AggSpec:
         self.output_name = output_name
 
     def compile_arg(self, schema):
+        """Compile ``arg`` against ``schema`` into a row -> value callable
+        (a constant ``None`` extractor for COUNT(*))."""
         if self.arg is None:
             return lambda row: None
         return self.arg.compile(schema)

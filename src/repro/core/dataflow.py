@@ -10,24 +10,39 @@ Two execution disciplines share the machinery:
 
 * :class:`EpochExecution` -- one node's instantiation of one plan for
   one epoch. One-shot and recursive queries use it, as do continuous
-  plans whose flush schedule spills past the epoch period (overlapping
-  epochs need two live copies of the stateful operators, which only
-  disposable per-epoch instances provide).
+  plans the planner could not mark standing (bloom-stage plans, and
+  flush schedules spilling past two epoch periods).
 * :class:`StandingExecution` -- one node's *only* instantiation of a
   standing continuous plan. Operators are built and wired once; at
   every epoch boundary the engine calls :meth:`advance_epoch`, which
-  rolls each operator over (ship or drop the old epoch's held state,
-  reset for the new one) instead of tearing the graph down and
+  rolls each operator over instead of tearing the graph down and
   rebuilding it. Exchange namespaces are epoch-free and registered
   once per query, batches carry an epoch tag, and arrivals tagged with
   an already-finished epoch are dropped at the door -- the soft-state
   answer to stragglers.
+
+Epoch rollover is a *two-phase open/seal lifecycle*. Opening epoch
+``k`` (``Operator.open_epoch``) starts fresh per-epoch state and lets
+sources emit the new epoch's delta; sealing an epoch
+(``Operator.seal_epoch``) ships whatever the operator still holds for
+it and discards that epoch's state. For plans whose whole flush
+schedule fits inside one period the two phases collapse into the
+single boundary call ``advance_epoch(k) = seal(k-1); open(k)``. For
+*overlapping-epoch* plans (flush offsets past the period but within
+two periods -- ``QueryPlan.epoch_overlap``) the phases separate: the
+boundary opens epoch ``k`` while epoch ``k-1`` stays live, so up to
+two epoch states coexist per operator, and ``k-1`` is sealed when
+epoch ``k+1`` opens. Every delivery and flush runs inside
+:meth:`LocalQueryContext.in_epoch`, so stateful operators always know
+which epoch's state a row or deadline belongs to.
 
 End-of-stream is deliberately absent: a planetary-scale system cannot
 agree on "all rows have arrived", so operators flush on plan-specified
 deadlines and the query site closes each epoch at the plan's deadline.
 Late rows are dropped -- the soft-state philosophy the paper leans on.
 """
+
+from contextlib import contextmanager
 
 from repro.util.errors import PlanError
 
@@ -37,7 +52,10 @@ class LocalQueryContext:
 
     For standing executions ``epoch`` / ``t0`` are *mutable*: the
     execution re-points them at each boundary, after the operators have
-    finished rolling the previous epoch over.
+    finished rolling the previous epoch over. ``active_epoch`` is the
+    epoch the *current* push or flush belongs to -- usually equal to
+    ``epoch``, but different while an overlapping-epoch execution
+    delivers rows (or fires deadlines) for a still-live previous epoch.
     """
 
     def __init__(self, engine, plan, query_id, epoch, t0, origin,
@@ -51,6 +69,21 @@ class LocalQueryContext:
         self.t0 = t0  # epoch start (plan-global sim time)
         self.origin = origin  # query-site address for result return
         self.standing = standing
+        self.active_epoch = epoch
+
+    @contextmanager
+    def in_epoch(self, epoch):
+        """Scope ``active_epoch`` to ``epoch`` for one push/flush chain.
+
+        Pushes cascade synchronously through the local graph, so a
+        dynamically scoped epoch tag is enough for every operator
+        downstream to file the rows under the right epoch state.
+        """
+        previous, self.active_epoch = self.active_epoch, epoch
+        try:
+            yield
+        finally:
+            self.active_epoch = previous
 
     def namespace(self, op_id, port):
         """DHT namespace for rows bound for (op, port).
@@ -70,9 +103,11 @@ class LocalQueryContext:
         return "t|{}|{}|{}|{}".format(self.query_id, self.epoch, op_id, port)
 
     def fragment(self, table_name):
+        """This node's local/stream fragment of ``table_name``."""
         return self.engine.fragment(table_name)
 
     def send_to_origin(self, payload):
+        """Ship a payload directly to the query site (result return)."""
         self.dht.direct(self.origin, payload)
 
 
@@ -85,14 +120,25 @@ class Operator:
     ``teardown``. ``control`` receives coordinator control messages
     (e.g. a merged Bloom filter).
 
-    Standing executions add ``advance_epoch(k, t_k)``: finish the
-    previous epoch (ship held output where the rebuild path would have,
-    discard per-epoch state otherwise) and get ready for epoch ``k``.
-    It runs in two waves -- non-source operators first, while
-    ``ctx.epoch`` still names the epoch being retired, then sources
-    after the context has moved, so scans emit the new epoch's delta
-    into already-reset consumers. The default is a no-op: stateless
-    operators carry nothing across the boundary.
+    Standing executions add the epoch lifecycle. ``open_epoch(k, t_k)``
+    begins epoch ``k``: sources emit the new epoch's delta, stateful
+    operators lazily start a fresh per-epoch state on first push.
+    ``seal_epoch(k)`` finishes epoch ``k`` at this operator: ship
+    whatever is still held under that epoch's tag (exchanges, result
+    sinks) or discard it (post-flush straggler state), exactly where
+    the rebuild path's teardown would have. ``advance_epoch(k, t_k)``
+    is the single-boundary composition ``seal(k-1); open(k)`` used when
+    epochs do not overlap; executions running overlapping-epoch plans
+    call the two phases separately so two epoch states stay live at
+    once. Stateful operators key their state by
+    ``ctx.active_epoch``, which the execution scopes around every
+    delivery and flush.
+
+    Paned plans additionally thread ``open_pane(p)`` markers through
+    the local chain between a stream scan and the pane-aware stateful
+    operator above it: the scan announces which pane the next emitted
+    rows belong to, stateless operators forward the marker, and the
+    pane-aware consumer switches its accumulation bucket.
     """
 
     def __init__(self, ctx, spec):
@@ -101,31 +147,71 @@ class Operator:
         self.consumers = []  # (operator instance, port)
 
     def wire(self, consumer, port):
+        """Connect this operator's output to ``consumer``'s input port."""
         self.consumers.append((consumer, port))
 
     def start(self):
+        """Run once after the graph is wired; sources emit here."""
         pass
 
     def push(self, row, port=0):
+        """Receive one row on ``port`` (operators without inputs raise)."""
         raise NotImplementedError(
             "{} does not accept input".format(type(self).__name__)
         )
 
     def flush(self):
+        """Plan deadline for this op: emit held state downstream.
+
+        Runs inside ``ctx.in_epoch`` scoping, so per-epoch operators
+        flush exactly the state of ``ctx.active_epoch``.
+        """
         pass
 
     def control(self, payload):
+        """Receive a coordinator control message (Bloom filters etc.)."""
+        pass
+
+    def open_epoch(self, k, t_k):
+        """Begin epoch ``k`` (sources emit the epoch's delta here)."""
+        pass
+
+    def seal_epoch(self, k):
+        """Finish epoch ``k``: ship or drop anything still held for it."""
         pass
 
     def advance_epoch(self, k, t_k):
-        pass
+        """Single-boundary rollover for non-overlapping standing plans.
+
+        Runs in two execution waves -- non-source operators first, while
+        ``ctx.epoch`` still names the epoch being retired, then sources
+        after the context has moved, so scans emit the new epoch's delta
+        into already-reset consumers. The default composition covers
+        stateless operators and any operator whose open/seal phases are
+        independent; override only to change the composition itself.
+        """
+        self.seal_epoch(k - 1)
+        self.open_epoch(k, t_k)
 
     def teardown(self):
+        """Execution is closing: release subscriptions, ship leftovers."""
         pass
 
     def emit(self, row):
+        """Push ``row`` to every wired consumer."""
         for consumer, port in self.consumers:
             consumer.push(row, port)
+
+    def open_pane(self, pane):
+        """A paned scan announces the pane its next rows belong to.
+
+        Stateless operators forward the marker down the local chain;
+        pane-aware stateful operators (group-by partials, top-k)
+        override this to switch their accumulation bucket and stop the
+        propagation.
+        """
+        for consumer, _port in self.consumers:
+            consumer.open_pane(pane)
 
     def reset_batch(self):
         """A cumulative upstream operator is about to re-emit its full
@@ -134,6 +220,25 @@ class Operator:
         """
         for consumer, _port in self.consumers:
             consumer.reset_batch()
+
+    def _active_epoch(self):
+        """Epoch tag for the current push/flush (stub-context safe)."""
+        ctx = self.ctx
+        return getattr(ctx, "active_epoch", getattr(ctx, "epoch", 0))
+
+    def _run_in_epoch(self, epoch, fn):
+        """Run ``fn`` with ``ctx.active_epoch`` scoped to ``epoch``.
+
+        Operator-internal timers (refinement re-flushes, async fetch
+        replies) fire outside the execution's own epoch scoping and use
+        this to restore the epoch their state belongs to.
+        """
+        scope = getattr(self.ctx, "in_epoch", None)
+        if scope is None:
+            fn()
+            return
+        with scope(epoch):
+            fn()
 
     def __repr__(self):
         return "{}({!r})".format(type(self).__name__, self.spec.op_id)
@@ -207,17 +312,23 @@ class _ExecutionBase:
                 ns = self.ctx.namespace(consumer_id, port)
                 self.engine.unregister_exchange_input(ns)
 
-    def _schedule_flushes(self):
+    def _schedule_flushes(self, epoch=None, t0=None):
+        """Arm one timer per planned flush offset, bound to ``epoch``."""
         now = self.engine.clock.now
+        epoch = epoch if epoch is not None else self.ctx.epoch
+        t0 = t0 if t0 is not None else self.ctx.t0
         for op_id, offset in self.plan.flush_offsets.items():
             if op_id not in self.ops:
                 continue
-            delay = max(0.0, self.ctx.t0 + offset - now)
-            timer = self.engine.set_timer(delay, self._flush_op, op_id)
+            delay = max(0.0, t0 + offset - now)
+            timer = self.engine.set_timer(delay, self._flush_op, op_id, epoch)
             self._flush_timers.append(timer)
 
-    def _flush_op(self, op_id):
-        if not self.closed:
+    def _flush_op(self, op_id, epoch=None):
+        if self.closed:
+            return
+        epoch = epoch if epoch is not None else self.ctx.epoch
+        with self.ctx.in_epoch(epoch):
             self.ops[op_id].flush()
 
     def deliver(self, op_id, port, row):
@@ -250,6 +361,9 @@ class _ExecutionBase:
                 candidate.control(payload)
 
     def close(self):
+        """Tear the execution down: cancel timers, teardown every op,
+        release this node's exchange registrations. Idempotent; later
+        deliveries hit the ``closed`` guard and drop."""
         if self.closed:
             return
         self.closed = True
@@ -282,25 +396,48 @@ class StandingExecution(_ExecutionBase):
     then call :meth:`advance_epoch` at each boundary. Exchange inputs
     are registered once (epoch-free namespaces), so the engine's
     early-row buffering window shrinks to first adoption only, and
-    arrivals carry an epoch tag checked here: late tags are dropped,
-    early tags (a sender whose boundary timer fired first) are parked
-    until this node advances.
+    arrivals carry an epoch tag checked here: tags for sealed epochs
+    are dropped as late, early tags (a sender whose boundary timer
+    fired first) are parked until this node advances.
+
+    For non-overlapping plans exactly one epoch is open at a time and a
+    boundary is one composite ``advance_epoch`` wave per operator. For
+    overlapping-epoch plans (``plan.epoch_overlap``) a boundary opens
+    epoch ``k`` while ``k-1`` stays open -- its flush deadlines, which
+    stretch past the period, still fire against its own state, and
+    exchange arrivals tagged ``k-1`` still land in it. Opening ``k``
+    seals ``k-2``, so at most two epoch states are ever live per
+    operator (the planner's eligibility bound).
     """
 
     standing = True
 
     def __init__(self, engine, plan, query_id, epoch, t0, origin):
         super().__init__(engine, plan, query_id, epoch, t0, origin)
+        self.overlap = bool(getattr(plan, "epoch_overlap", False))
         self._early = {}  # epoch -> [(op_id, port, rows)]
+        self._open_epochs = {epoch: t0}  # epoch -> t_k, ascending
+        self._sealed_through = epoch - 1  # epochs <= this are closed here
 
     @property
     def current_epoch(self):
+        """The newest open epoch (what the engine indexes this node's
+        execution under)."""
         return self.ctx.epoch
 
     def advance_epoch(self, k, t_k):
-        """Roll every operator over from the previous epoch into ``k``."""
+        """Epoch boundary: open ``k`` (and retire what that implies)."""
         if self.closed:
             return
+        if self.overlap:
+            self._advance_overlapping(k, t_k)
+        else:
+            self._advance_disjoint(k, t_k)
+        for op_id, port, rows in self._early.pop(k, ()):
+            self.deliver_batch(op_id, port, rows, k)
+
+    def _advance_disjoint(self, k, t_k):
+        """Single-boundary rollover: the whole previous epoch is done."""
         for timer in self._flush_timers:
             timer.cancel()
         self._flush_timers = []
@@ -311,37 +448,80 @@ class StandingExecution(_ExecutionBase):
         for op_id, op in self.ops.items():
             if op_id not in sources:
                 op.advance_epoch(k, t_k)
-        self.ctx.epoch = k
-        self.ctx.t0 = t_k
-        self.epoch = k
-        self.t0 = t_k
+        self._sealed_through = self.ctx.epoch
+        self._open_epochs = {k: t_k}
+        self._move_context(k, t_k)
         self._schedule_flushes()
         # Wave 2 -- begin the new epoch: scans emit their delta into
         # the freshly reset graph.
         for op_id in sources:
             self.ops[op_id].advance_epoch(k, t_k)
-        for op_id, port, rows in self._early.pop(k, ()):
-            self.deliver_batch(op_id, port, rows, k)
+
+    def _advance_overlapping(self, k, t_k):
+        """Open epoch ``k`` while ``k-1`` stays live; seal ``k-2``."""
+        for stale in [e for e in self._open_epochs if e <= k - 2]:
+            self._seal_epoch(stale)
+        now = self.engine.clock.now
+        self._flush_timers = [
+            t for t in self._flush_timers if not t.cancelled and t.time > now
+        ]
+        self._open_epochs[k] = t_k
+        self._move_context(k, t_k)
+        sources = self._source_ids()
+        for op_id, op in self.ops.items():
+            if op_id not in sources:
+                op.open_epoch(k, t_k)
+        self._schedule_flushes(k, t_k)
+        for op_id in sources:
+            self.ops[op_id].open_epoch(k, t_k)
+
+    def _move_context(self, k, t_k):
+        self.ctx.epoch = k
+        self.ctx.t0 = t_k
+        self.ctx.active_epoch = k
+        self.epoch = k
+        self.t0 = t_k
+
+    def _seal_epoch(self, e):
+        """Close epoch ``e`` everywhere: ship leftovers, drop its state."""
+        self._open_epochs.pop(e, None)
+        self._early.pop(e, None)
+        sources = self._source_ids()
+        with self.ctx.in_epoch(e):
+            for op_id, op in self.ops.items():
+                if op_id not in sources:
+                    op.seal_epoch(e)
+            for op_id in sources:
+                self.ops[op_id].seal_epoch(e)
+        self._sealed_through = max(self._sealed_through, e)
 
     def deliver(self, op_id, port, row, epoch=None):
+        """Single-row exchange arrival (see :meth:`deliver_batch`)."""
         self.deliver_batch(op_id, port, (row,), epoch)
 
     def deliver_batch(self, op_id, port, rows, epoch=None):
+        """Exchange arrival tagged ``epoch``: deliver into that epoch's
+        state if it is open here, drop it as late if already sealed,
+        park it as early if this node has not opened it yet."""
         if self.closed:
             return
-        if epoch is not None and epoch != self.ctx.epoch:
-            if epoch < self.ctx.epoch:
+        if epoch is None:
+            epoch = self.ctx.epoch
+        if epoch not in self._open_epochs:
+            if epoch <= self._sealed_through:
                 return  # late: that epoch already closed here
             if epoch > self.ctx.epoch + 2:
                 return  # implausibly far ahead: don't park unboundedly
             self._early.setdefault(epoch, []).append((op_id, port, list(rows)))
             return
         op = self.ops[op_id]
-        for row in rows:
-            op.push(row, port)
+        with self.ctx.in_epoch(epoch):
+            for row in rows:
+                op.push(row, port)
 
     def close(self):
         self._early = {}
+        self._open_epochs = {}
         super().close()
 
     def __repr__(self):

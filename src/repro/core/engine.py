@@ -9,9 +9,12 @@ One engine runs on every node, glued to that node's DHT API. It:
   :class:`~repro.core.dataflow.EpochExecution`; standing continuous
   plans get one long-lived
   :class:`~repro.core.dataflow.StandingExecution` whose operators are
-  rolled over with ``advance_epoch`` at every boundary instead of
-  being torn down and rebuilt (continuous plans whose flush schedule
-  spills past the period keep the rebuild path),
+  rolled over through the open/seal epoch lifecycle at every boundary
+  instead of being torn down and rebuilt -- including plans whose
+  flush schedule spills past the boundary into the next period
+  (``QueryPlan.epoch_overlap``: up to two live epoch states per
+  operator). Only bloom-stage plans and flush schedules longer than
+  two periods keep the rebuild path,
 * registers exchange namespaces with the DHT so rehashed rows reach
   the right operator instance -- once per epoch for disposable
   executions, once per *query* for standing ones -- and buffers early
@@ -139,6 +142,7 @@ class PierEngine:
         self._publish_seq = 0
         self._maintained = {}  # (table, instance_id) -> republish timer
         self.rows_scanned = 0  # scan effort counter (benchmarks)
+        self.rows_aggregated = 0  # rows folded into stateful window ops
         self.coordinator = None  # set by Coordinator.attach
 
         dht.on_broadcast(self._on_broadcast)
@@ -212,6 +216,13 @@ class PierEngine:
     def note_rows_scanned(self, n):
         """Scan-effort accounting (rows examined by scan operators)."""
         self.rows_scanned += n
+
+    def note_rows_aggregated(self, n):
+        """Aggregation-effort accounting: rows folded into group-by /
+        top-k state. Paned sliding windows fold each row once; the
+        from-scratch path re-folds the whole window every epoch, so the
+        ratio of these counters is the paned benchmark's headline."""
+        self.rows_aggregated += n
 
     # ------------------------------------------------------------------
     # Plan adoption and epoch scheduling

@@ -35,9 +35,11 @@ toward a node that will only drop them.
 Standing continuous plans add two behaviours:
 
 * payloads are tagged with the epoch they belong to (namespaces are
-  epoch-free, so the tag is how receivers sort late from current), and
-  ``advance_epoch`` ships any still-buffered rows under the old tag
-  before adopting the new epoch;
+  epoch-free, so the tag is how receivers sort late from current).
+  Pending batches are keyed per epoch -- an overlapping-epoch plan can
+  push rows for two live epochs through one exchange -- and
+  ``seal_epoch`` ships any still-buffered rows under a retiring
+  epoch's tag;
 * rehash-mode exchanges cache the terminal owner per routing key --
   the same epoch-free key routes every epoch, so after the first
   routed walk (which asks the terminal to identify itself) batches go
@@ -105,7 +107,6 @@ class Exchange(Operator):
             "max_batch_bytes", config.max_batch_bytes
         )
         self._standing = bool(getattr(ctx, "standing", False))
-        self._epoch = ctx.epoch if self._standing else None
         # Owner caching only pays off when the routing key is stable
         # across epochs (standing, epoch-free namespaces) and no
         # per-hop combining would be skipped (rehash mode only).
@@ -119,8 +120,12 @@ class Exchange(Operator):
         self._owner_fn = getattr(ctx.engine, "cached_owner", None)
         if self._owner_fn is None:
             self._cache_owners = False
-        self._pending = {}  # routing id -> [rows] awaiting the flush window
-        self._pending_bytes = {}  # routing id -> estimated payload bytes
+        # Pending batches are keyed (epoch tag, routing id): a standing
+        # overlapping-epoch plan can push rows for two live epochs
+        # through the same exchange instance, and each batch must ship
+        # under the tag of the epoch that produced it.
+        self._pending = {}  # (epoch, rid) -> [rows] awaiting the flush window
+        self._pending_bytes = {}  # (epoch, rid) -> estimated payload bytes
         self._timer = None
 
     def _build_key_fn(self, key_spec):
@@ -140,31 +145,39 @@ class Exchange(Operator):
         rid = self._key_fn(row)
         if self._muted_fn is not None and self._muted_fn(self._ns, rid):
             return  # receiver NACKed this key: it would only drop the row
+        epoch = self._active_epoch() if self._standing else None
         if self._flush_delay <= 0:
-            self._route(rid, [row])
+            self._route(rid, [row], epoch)
             return
-        rows = self._pending.setdefault(rid, [])
+        rows = self._pending.setdefault((epoch, rid), [])
         rows.append(row)
-        size = self._pending_bytes.get(rid, 0) + wire_size(row)
-        self._pending_bytes[rid] = size
+        size = self._pending_bytes.get((epoch, rid), 0) + wire_size(row)
+        self._pending_bytes[(epoch, rid)] = size
         if len(rows) >= self._max_batch_rows or size >= self._max_batch_bytes:
-            del self._pending[rid]
-            del self._pending_bytes[rid]
-            self._route(rid, rows)
+            del self._pending[(epoch, rid)]
+            del self._pending_bytes[(epoch, rid)]
+            self._route(rid, rows, epoch)
             return
         if self._timer is None:
             self._timer = self.ctx.dht.set_timer(
                 self._flush_delay, self._flush_pending
             )
 
-    def _flush_pending(self):
-        self._timer = None
-        pending, self._pending = self._pending, {}
-        self._pending_bytes = {}
-        for rid, rows in pending.items():
-            self._route(rid, rows)
+    def _flush_pending(self, epoch=None):
+        """Ship pending batches -- all of them, or just one epoch's."""
+        if epoch is None:
+            self._timer = None
+            pending, self._pending = self._pending, {}
+            self._pending_bytes = {}
+        else:
+            pending = {}
+            for key in [k for k in self._pending if k[0] == epoch]:
+                pending[key] = self._pending.pop(key)
+                self._pending_bytes.pop(key, None)
+        for (tag, rid), rows in pending.items():
+            self._route(rid, rows, tag)
 
-    def _route(self, rid, rows):
+    def _route(self, rid, rows, epoch=None):
         if len(rows) == 1:
             payload = {"op": "deliver", "ns": self._ns, "rid": rid,
                        "data": rows[0]}
@@ -172,7 +185,7 @@ class Exchange(Operator):
             payload = {"op": "deliver_batch", "ns": self._ns, "rid": rid,
                        "rows": rows}
         if self._standing:
-            payload["epoch"] = self._epoch
+            payload["epoch"] = epoch
             if self._cache_owners:
                 key = storage_key(self._route_ns, rid)
                 owner = self._owner_fn(self._ns, rid)
@@ -190,11 +203,17 @@ class Exchange(Operator):
             # query's answer epoch after epoch. Delivery stays keyed by
             # the epoch-free namespace, so whoever terminates the
             # salted key dispatches to the same standing registration.
-            key = storage_key(epoch_route_ns(self._route_ns, self._epoch), rid)
+            key = storage_key(epoch_route_ns(self._route_ns, epoch), rid)
             self.ctx.dht.route(key, payload, upcall=self._upcall)
             return
         key = storage_key(self._route_ns, rid)
         self.ctx.dht.route(key, payload, upcall=self._upcall)
+
+    def open_pane(self, pane):
+        """Pane markers are a node-local protocol; they never cross the
+        network, and the planner never places an exchange between a
+        paned scan and its pane-aware consumer. Swallow the marker so
+        it cannot leak through the locally wired consumer edge."""
 
     def flush(self):
         if self._timer is not None:
@@ -202,13 +221,12 @@ class Exchange(Operator):
             self._timer = None
         self._flush_pending()
 
-    def advance_epoch(self, k, t_k):
-        # Ship leftovers tagged with the epoch they belong to before
-        # adopting the new one; receivers that already advanced drop
-        # them as late, exactly as the rebuild path's teardown flush
-        # landed in closed executions.
-        self.flush()
-        self._epoch = k
+    def seal_epoch(self, k):
+        # Ship leftovers tagged with the epoch they belong to;
+        # receivers that already sealed it drop them as late, exactly
+        # as the rebuild path's teardown flush landed in closed
+        # executions.
+        self._flush_pending(k)
 
     def teardown(self):
         # Best effort, like the unbatched path: a row pushed just before

@@ -12,12 +12,28 @@ A node with zero matching rows emits nothing, so global aggregates
 naturally report over the *responding* nodes only -- the semantics
 Figure 1 of the paper plots.
 
-Params (partial): ``group_exprs``, ``agg_specs``, ``schema``.
+Both operators key their held state by ``ctx.active_epoch``, so an
+overlapping-epoch standing execution can run two epochs' aggregation
+concurrently through one instance.
+
+*Paned* partials (``params["paned"]``, standing plans with
+``WINDOW > EVERY``) go further: rows arrive bucketed by pane (the scan
+sends ``open_pane`` markers), partials accumulate per pane, and each
+epoch's flush assembles the window from pane partials instead of
+re-folding the overlap's rows. When every aggregate is invertible the
+operator keeps one running window state per group and slides it --
+``merge`` the panes entering the window, ``unmerge`` the panes leaving
+it -- so per-epoch work is O(panes changed); otherwise it re-merges the
+window's live panes, still O(panes), never O(rows).
+
+Params (partial): ``group_exprs``, ``agg_specs``, ``schema``,
+optional ``paned`` geometry (``{"width", "every", "window"}``).
 Params (final): ``agg_specs``.
 """
 
 from repro.core.dataflow import Operator
 from repro.core.operators import register_operator
+from repro.db.window import window_pane_range
 
 
 @register_operator("groupby_partial")
@@ -28,26 +44,152 @@ class GroupByPartial(Operator):
         self._group_fns = [e.compile(schema) for e in spec.params["group_exprs"]]
         self._agg_specs = spec.params["agg_specs"]
         self._arg_fns = [a.compile_arg(schema) for a in self._agg_specs]
-        self._groups = {}
+        self._note = getattr(ctx.engine, "note_rows_aggregated", None)
+        self._epochs = {}  # epoch -> {gvals: [states]} (unpaned)
+        self._paned = (bool(spec.params.get("paned"))
+                       and bool(getattr(ctx, "standing", False)))
+        if self._paned:
+            geometry = spec.params["paned"]
+            self._panes_per_every = geometry["every"]
+            self._panes_per_window = geometry["window"]
+            self._invertible = all(s.agg.invertible for s in self._agg_specs)
+            self._panes = {}  # pane -> {gvals: [states]} (raw partials)
+            self._current_pane = None
+            # Invertible sliding window: one running merged state per
+            # group, plus which panes it currently covers and how many
+            # of them contribute to each group (so a group vanishes
+            # exactly when its last pane slides out). Versions detect a
+            # pane growing *after* it was merged (a boundary-straggler
+            # row): the running state is then stale and is rebuilt from
+            # the raw panes at the next flush.
+            self._window = {}  # gvals -> [states]
+            self._window_panes = set()
+            self._window_refs = {}  # gvals -> live pane count
+            self._pane_versions = {}  # pane -> push count
+            self._merged_versions = {}  # pane -> version when merged
+
+    def open_pane(self, pane):
+        self._current_pane = pane
 
     def push(self, row, port=0):
         gvals = tuple(fn(row) for fn in self._group_fns)
-        states = self._groups.get(gvals)
+        if self._paned:
+            store = self._panes.setdefault(self._current_pane, {})
+            if self._invertible:
+                self._pane_versions[self._current_pane] = (
+                    self._pane_versions.get(self._current_pane, 0) + 1
+                )
+        else:
+            store = self._epochs.setdefault(self._active_epoch(), {})
+        states = store.get(gvals)
         if states is None:
             states = [a.agg.init() for a in self._agg_specs]
-            self._groups[gvals] = states
+            store[gvals] = states
         for i, spec in enumerate(self._agg_specs):
             states[i] = spec.agg.add(states[i], self._arg_fns[i](row))
+        if self._note is not None:
+            self._note(1)
 
     def flush(self):
-        for gvals, states in self._groups.items():
-            self.emit((gvals, tuple(states)))
-        self._groups = {}
+        if not self._paned:
+            # Emit-and-clear: post-flush stragglers die with their epoch,
+            # exactly as they did inside a torn-down execution.
+            for gvals, states in self._epochs.pop(self._active_epoch(), {}).items():
+                self.emit((gvals, tuple(states)))
+            return
+        lo, hi = window_pane_range(
+            self._active_epoch(), self._panes_per_every,
+            self._panes_per_window,
+        )
+        if self._invertible:
+            if any(self._pane_versions.get(p, 0) != v
+                   for p, v in self._merged_versions.items()):
+                # A merged pane grew after the fact (boundary-straggler
+                # emission): the running state no longer matches the raw
+                # panes, so rebuild it from them.
+                self._window = {}
+                self._window_panes = set()
+                self._window_refs = {}
+                self._merged_versions = {}
+            self._slide_window(lo, hi)
+            for gvals, states in self._window.items():
+                self.emit((gvals, tuple(states)))
+        else:
+            # Pane-re-merge fallback: O(live panes) merges per group.
+            self._panes = {p: d for p, d in self._panes.items() if p >= lo}
+            merged = {}
+            for p in range(lo, hi):
+                for gvals, states in self._panes.get(p, {}).items():
+                    held = merged.get(gvals)
+                    if held is None:
+                        merged[gvals] = list(states)
+                    else:
+                        for i, spec in enumerate(self._agg_specs):
+                            held[i] = spec.agg.merge(held[i], states[i])
+            for gvals, states in merged.items():
+                self.emit((gvals, tuple(states)))
 
-    def advance_epoch(self, k, t_k):
-        # Post-flush stragglers die with their epoch, exactly as they
-        # did inside a torn-down execution.
-        self._groups = {}
+    def _slide_window(self, lo, hi):
+        """Move the running window state to cover panes ``[lo, hi)``.
+
+        Flushes advance monotonically (epoch k-1's deadline precedes
+        epoch k's even when the epochs overlap), so panes only ever
+        retire off the old edge and join on the new one. Retiring
+        consumes the raw pane partial (handed to ``unmerge``); joining
+        keeps it until retirement.
+        """
+        for p in sorted(self._window_panes):
+            if lo <= p < hi:
+                continue
+            for gvals, states in self._panes.pop(p, {}).items():
+                held = self._window[gvals]
+                for i, spec in enumerate(self._agg_specs):
+                    held[i] = spec.agg.unmerge(held[i], states[i])
+                self._window_refs[gvals] -= 1
+                if self._window_refs[gvals] == 0:
+                    del self._window[gvals]
+                    del self._window_refs[gvals]
+            self._window_panes.discard(p)
+            self._merged_versions.pop(p, None)
+            self._pane_versions.pop(p, None)
+        for p in range(lo, hi):
+            if p in self._window_panes:
+                continue
+            self._window_panes.add(p)
+            self._merged_versions[p] = self._pane_versions.get(p, 0)
+            for gvals, states in self._panes.get(p, {}).items():
+                held = self._window.get(gvals)
+                if held is None:
+                    self._window[gvals] = list(states)
+                    self._window_refs[gvals] = 1
+                else:
+                    for i, spec in enumerate(self._agg_specs):
+                        held[i] = spec.agg.merge(held[i], states[i])
+                    self._window_refs[gvals] += 1
+        # Panes older than every window still to come are dead weight.
+        self._panes = {
+            p: d for p, d in self._panes.items()
+            if p >= lo or p in self._window_panes
+        }
+        self._pane_versions = {
+            p: v for p, v in self._pane_versions.items() if p in self._panes
+        }
+
+    def seal_epoch(self, k):
+        # Unpaned: whatever survived the flush dies with its epoch.
+        # Paned: pane partials outlive epochs by design; pruning rides
+        # on each flush's window advance.
+        self._epochs.pop(k, None)
+
+    def teardown(self):
+        self._epochs = {}
+        if self._paned:
+            self._panes = {}
+            self._window = {}
+            self._window_panes = set()
+            self._window_refs = {}
+            self._pane_versions = {}
+            self._merged_versions = {}
 
 
 @register_operator("groupby_final")
@@ -59,49 +201,66 @@ class GroupByFinal(Operator):
     by failed hops) -- PIER's streaming refinement. The downstream
     result operator runs in replace mode, so the query site keeps each
     node's latest contribution rather than double-counting.
+
+    State is keyed per epoch: under an overlapping-epoch standing plan
+    a late partial tagged with the previous epoch merges into (and
+    refines) that epoch's groups while the current epoch accumulates
+    beside it.
     """
 
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
         self._agg_specs = spec.params["agg_specs"]
-        self._groups = {}
-        self._flushed = False
-        self._reflush_timer = None
+        self._epochs = {}  # epoch -> {"groups", "flushed", "timer"}
+
+    def _entry(self, epoch):
+        entry = self._epochs.get(epoch)
+        if entry is None:
+            entry = self._epochs[epoch] = {
+                "groups": {}, "flushed": False, "timer": None,
+            }
+        return entry
 
     def push(self, row, port=0):
+        epoch = self._active_epoch()
+        entry = self._entry(epoch)
         gvals, states = row
-        held = self._groups.get(gvals)
+        held = entry["groups"].get(gvals)
         if held is None:
-            self._groups[gvals] = list(states)
+            entry["groups"][gvals] = list(states)
         else:
             for i, spec in enumerate(self._agg_specs):
                 held[i] = spec.agg.merge(held[i], states[i])
-        if self._flushed and self._reflush_timer is None:
-            self._reflush_timer = self.ctx.dht.set_timer(0.4, self.flush)
+        if entry["flushed"] and entry["timer"] is None:
+            entry["timer"] = self.ctx.dht.set_timer(
+                0.4, self._reflush, epoch
+            )
+
+    def _reflush(self, epoch):
+        self._run_in_epoch(epoch, self.flush)
 
     def flush(self):
-        if self._reflush_timer is not None:
-            self.ctx.dht.cancel_timer(self._reflush_timer)
-            self._reflush_timer = None
-        self._flushed = True
+        entry = self._entry(self._active_epoch())
+        if entry["timer"] is not None:
+            self.ctx.dht.cancel_timer(entry["timer"])
+            entry["timer"] = None
+        entry["flushed"] = True
         self.reset_batch()
-        for gvals, states in self._groups.items():
+        for gvals, states in entry["groups"].items():
             # Ship mergeable *states*, not finalized values: during ring
             # healing two nodes can both act as a group's owner, and the
             # query site can only reconcile them if states stay algebraic.
             self.emit((tuple(gvals), tuple(states)))
 
-    def advance_epoch(self, k, t_k):
-        # A pending refinement reflush must not leak last epoch's
-        # groups into the new epoch's result stream.
-        if self._reflush_timer is not None:
-            self.ctx.dht.cancel_timer(self._reflush_timer)
-            self._reflush_timer = None
-        self._groups = {}
-        self._flushed = False
+    def seal_epoch(self, k):
+        # A pending refinement reflush must not leak a sealed epoch's
+        # groups into a later epoch's result stream.
+        entry = self._epochs.pop(k, None)
+        if entry is not None and entry["timer"] is not None:
+            self.ctx.dht.cancel_timer(entry["timer"])
 
     def teardown(self):
-        if self._reflush_timer is not None:
-            self.ctx.dht.cancel_timer(self._reflush_timer)
-            self._reflush_timer = None
-        self._groups = {}
+        for entry in self._epochs.values():
+            if entry["timer"] is not None:
+                self.ctx.dht.cancel_timer(entry["timer"])
+        self._epochs = {}

@@ -13,6 +13,12 @@ PIER's two workhorse joins (VLDB 2003, section 3.4):
   trigger a ``get`` for their key, so only matching tuples ever cross
   the network. Asynchronous by nature; replies landing after the query
   deadline are dropped by the closed execution, the soft-state way.
+
+Join state is keyed by ``ctx.active_epoch``: under an overlapping-epoch
+standing plan, rows tagged with the previous epoch keep probing (and
+building) that epoch's tables while the current epoch's fill up beside
+them. Sealing an epoch drops its tables, exactly as tearing down a
+rebuilt execution did.
 """
 
 from repro.core.dataflow import Operator
@@ -34,7 +40,7 @@ class SymmetricHashJoin(Operator):
         right_schema = spec.params["right_schema"]
         self._left_key = _key_fn(spec.params["left_keys"], left_schema)
         self._right_key = _key_fn(spec.params["right_keys"], right_schema)
-        self._tables = ({}, {})  # key -> [rows]; index by port
+        self._epochs = {}  # epoch -> ({}, {}): key -> [rows], by port
         residual = spec.params.get("residual")
         if residual is not None:
             out_schema = left_schema.concat(right_schema)
@@ -43,8 +49,9 @@ class SymmetricHashJoin(Operator):
             self._residual = None
 
     def push(self, row, port=0):
+        tables = self._epochs.setdefault(self._active_epoch(), ({}, {}))
         key = self._left_key(row) if port == 0 else self._right_key(row)
-        mine, other = self._tables[port], self._tables[1 - port]
+        mine, other = tables[port], tables[1 - port]
         mine.setdefault(key, []).append(row)
         for match in other.get(key, ()):
             # Column order is left-then-right regardless of arrival side.
@@ -52,11 +59,19 @@ class SymmetricHashJoin(Operator):
             if self._residual is None or self._residual(joined):
                 self.emit(joined)
 
-    def advance_epoch(self, k, t_k):
-        self._tables = ({}, {})
+    def seal_epoch(self, k):
+        self._epochs.pop(k, None)
 
     def teardown(self):
-        self._tables = ({}, {})
+        self._epochs = {}
+
+
+def _key_fn(exprs, schema):
+    compiled = [e.compile(schema) for e in exprs]
+    if len(compiled) == 1:
+        fn = compiled[0]
+        return lambda row: (fn(row),)
+    return lambda row: tuple(fn(row) for fn in compiled)
 
 
 @register_operator("fetch_matches")
@@ -82,26 +97,49 @@ class FetchMatches(Operator):
         else:
             self._residual = None
         self._dedup = spec.params.get("dedup_keys", False)
-        self._cache = {}  # key -> rows (when dedup enabled)
-        self._waiting = {}  # key -> probe rows awaiting an in-flight get
+        self._epochs = {}  # epoch -> {"cache": {...}, "waiting": {...}}
+
+    def _entry(self, epoch):
+        entry = self._epochs.get(epoch)
+        if entry is None:
+            entry = self._epochs[epoch] = {"cache": {}, "waiting": {}}
+        return entry
 
     def push(self, row, port=0):
+        epoch = self._active_epoch()
+        entry = self._entry(epoch)
         key = self._probe_key(row)
-        if self._dedup and key in self._cache:
-            self._join(row, self._cache[key])
+        if self._dedup and key in entry["cache"]:
+            self._join(row, entry["cache"][key])
             return
-        if key in self._waiting:
-            self._waiting[key].append(row)
+        if key in entry["waiting"]:
+            entry["waiting"][key].append(row)
             return
-        self._waiting[key] = [row]
-        self.ctx.dht.get(self._table, key, lambda values: self._fetched(key, values))
+        entry["waiting"][key] = [row]
+        self.ctx.dht.get(
+            self._table, key,
+            lambda values: self._fetched(epoch, key, values),
+        )
 
-    def _fetched(self, key, values):
+    def _fetched(self, epoch, key, values):
+        # The reply lands asynchronously: re-enter the epoch the probe
+        # rows were pushed under so downstream state files the joins
+        # correctly. A sealed epoch's entry is gone -- its reply finds
+        # no waiting probes and is dropped, matching the closed
+        # execution it would have landed in on the rebuild path.
+        entry = self._epochs.get(epoch)
+        if entry is None:
+            return
         rows = [tuple(v) for _iid, v in values]
         if self._dedup:
-            self._cache[key] = rows
-        for probe_row in self._waiting.pop(key, ()):
-            self._join(probe_row, rows)
+            entry["cache"][key] = rows
+        waiting = entry["waiting"].pop(key, ())
+
+        def deliver():
+            for probe_row in waiting:
+                self._join(probe_row, rows)
+
+        self._run_in_epoch(epoch, deliver)
 
     def _join(self, probe_row, table_rows):
         for table_row in table_rows:
@@ -109,21 +147,8 @@ class FetchMatches(Operator):
             if self._residual is None or self._residual(joined):
                 self.emit(joined)
 
-    def advance_epoch(self, k, t_k):
-        # In-flight gets belong to the finished epoch: their replies
-        # find no waiting probes and are dropped, matching the closed
-        # execution they would have landed in on the rebuild path.
-        self._waiting.clear()
-        self._cache.clear()
+    def seal_epoch(self, k):
+        self._epochs.pop(k, None)
 
     def teardown(self):
-        self._waiting.clear()
-        self._cache.clear()
-
-
-def _key_fn(exprs, schema):
-    compiled = [e.compile(schema) for e in exprs]
-    if len(compiled) == 1:
-        fn = compiled[0]
-        return lambda row: (fn(row),)
-    return lambda row: tuple(fn(row) for fn in compiled)
+        self._epochs = {}

@@ -8,6 +8,10 @@ which the engine reports to the query site as quiescence.
 ``result`` is the query-site boundary: rows are batched briefly and
 sent directly (not via DHT routing) to the origin node, exactly how
 PIER returns answers.
+
+Stateful operators here key their state by ``ctx.active_epoch``, so an
+overlapping-epoch standing execution keeps two epochs' state apart
+through one instance.
 """
 
 from repro.core.dataflow import Operator
@@ -24,22 +28,23 @@ class Distinct(Operator):
 
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
-        self._seen = set()
+        self._seen = {}  # epoch -> set of rows
         self._report = spec.params.get("report_progress", False)
 
     def push(self, row, port=0):
-        if row in self._seen:
+        seen = self._seen.setdefault(self._active_epoch(), set())
+        if row in seen:
             return
-        self._seen.add(row)
+        seen.add(row)
         if self._report:
             self.ctx.engine.note_progress(self.ctx.query_id, self.ctx.epoch, 1)
         self.emit(row)
 
-    def advance_epoch(self, k, t_k):
-        self._seen = set()
+    def seal_epoch(self, k):
+        self._seen.pop(k, None)
 
     def teardown(self):
-        self._seen = set()
+        self._seen = {}
 
 
 @register_operator("union")
@@ -52,20 +57,29 @@ class Union(Operator):
 
 @register_operator("limit")
 class Limit(Operator):
-    """Stop forwarding after ``limit`` rows (local short-circuit)."""
+    """Stop forwarding after ``limit`` rows (local short-circuit).
+
+    The countdown is per epoch: each epoch answers the LIMIT afresh,
+    as a rebuilt operator would.
+    """
 
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
-        self._remaining = spec.params["limit"]
+        self._remaining = {}  # epoch -> rows still allowed through
 
     def push(self, row, port=0):
-        if self._remaining > 0:
-            self._remaining -= 1
+        epoch = self._active_epoch()
+        remaining = self._remaining.get(epoch)
+        if remaining is None:
+            remaining = self.spec.params["limit"]
+        if remaining > 0:
+            self._remaining[epoch] = remaining - 1
             self.emit(row)
+        else:
+            self._remaining[epoch] = 0
 
-    def advance_epoch(self, k, t_k):
-        # Each epoch answers the LIMIT afresh, as a rebuilt op would.
-        self._remaining = self.spec.params["limit"]
+    def seal_epoch(self, k):
+        self._remaining.pop(k, None)
 
 
 @register_operator("result")
@@ -81,36 +95,45 @@ class ResultReturn(Operator):
       final operators re-emit their *full* state when stragglers
       refine it; each message carries this node's complete current
       contribution and the query site keeps only the latest one.
+
+    Batches are keyed by the epoch that produced their rows, and every
+    message carries that epoch so the query site's per-epoch collection
+    buckets stay correct even when two epochs are in flight at once.
     """
 
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
         self._replace = spec.params.get("replace", False)
-        self._batch = []
+        self._batches = {}  # epoch -> [rows]
         self._timer = None
         self._delay = spec.params.get("batch_delay", 0.25)
 
     def push(self, row, port=0):
-        self._batch.append(row)
+        self._batches.setdefault(self._active_epoch(), []).append(row)
         if self._timer is None:
             self._timer = self.ctx.dht.set_timer(self._delay, self._send)
 
     def reset_batch(self):
         if self._replace:
-            self._batch = []
+            self._batches.pop(self._active_epoch(), None)
 
     def _send(self):
         self._timer = None
-        if not self._batch:
+        for epoch in sorted(self._batches):
+            self._send_epoch(epoch)
+
+    def _send_epoch(self, epoch):
+        rows = self._batches.get(epoch)
+        if not rows:
             return
         if self._replace:
-            rows = list(self._batch)  # keep: later sends resend the cycle
+            rows = list(rows)  # keep: later sends resend the cycle
         else:
-            rows, self._batch = self._batch, []
+            del self._batches[epoch]
         self.ctx.send_to_origin({
             "op": "qres",
             "qid": self.ctx.query_id,
-            "epoch": self.ctx.epoch,
+            "epoch": epoch,
             "node": self.ctx.engine.address,
             "rows": rows,
             "replace": self._replace,
@@ -120,13 +143,15 @@ class ResultReturn(Operator):
         if self._timer is not None:
             self.ctx.dht.cancel_timer(self._timer)
             self._timer = None
-        self._send()
+        self._send_epoch(self._active_epoch())
 
-    def advance_epoch(self, k, t_k):
-        # Runs while ctx.epoch still names the epoch being retired, so
-        # this last send is tagged for the epoch its rows belong to.
-        self.flush()
-        self._batch = []
+    def seal_epoch(self, k):
+        # Last call for the retiring epoch's rows: ship, then forget.
+        self._send_epoch(k)
+        self._batches.pop(k, None)
 
     def teardown(self):
-        self.flush()
+        if self._timer is not None:
+            self.ctx.dht.cancel_timer(self._timer)
+            self._timer = None
+        self._send()

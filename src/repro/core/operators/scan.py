@@ -14,7 +14,7 @@ Under a :class:`~repro.core.dataflow.StandingExecution` it *subscribes*
 instead of re-scanning:
 
 * stream tables: an append hook on the fragment feeds a pending buffer;
-  each ``advance_epoch`` emits the buffered rows falling in the new
+  each ``open_epoch`` emits the buffered rows falling in the new
   epoch's window and prunes what can never appear in a later one, so a
   row is touched O(1) times instead of once per epoch it survives in
   the retention deque;
@@ -26,12 +26,25 @@ instead of re-scanning:
 * local tables: rows never age, every epoch reads all of them, so the
   scan simply re-reads the fragment (there is no delta to exploit).
 
+When the planner marked the plan *paned* (``WINDOW > EVERY`` above a
+pane-aware aggregate), the standing stream scan goes one step further:
+instead of re-emitting the window overlap every epoch, it buckets its
+delta into panes of width ``plan.pane``, announces each bucket with an
+``open_pane`` marker, and emits every row exactly once. The pane-aware
+operator downstream keeps the pane partials and assembles each epoch's
+window from them, so nothing in the overlap is ever re-scanned *or*
+re-aggregated.
+
 Params: ``table`` (catalog name). The optional ``alias`` only matters
 at planning time (column qualification); at runtime rows are positional.
+``paned`` carries the pane geometry (``{"width", "every", "window"}``,
+width in seconds, the others in panes) and switches on the pane-emission
+mode described above.
 """
 
 from repro.core.dataflow import Operator
 from repro.core.operators import register_operator
+from repro.db.window import pane_index, window_pane_range
 
 
 @register_operator("scan")
@@ -39,11 +52,20 @@ class Scan(Operator):
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
         self._standing = bool(getattr(ctx, "standing", False))
+        self._paned = bool(spec.params.get("paned")) and self._standing
         self._table_def = None
         self._pending = []  # stream mode: [(ts, row)] not yet aged out
         self._tracked = {}  # dht mode: item key -> StoredItem (by ref)
         self._sub_token = None
         self._append_token = None
+        if self._paned:
+            geometry = spec.params["paned"]  # set by the planner
+            self._pane = geometry["width"]
+            self._panes_per_every = geometry["every"]
+            self._panes_per_window = geometry["window"]
+            # Pane indices are aligned to the query's submission time,
+            # recovered from the epoch the execution joined at.
+            self._pane_origin = ctx.t0 - ctx.epoch * ctx.plan.every
 
     # ------------------------------------------------------------------
     # Shared plumbing
@@ -92,7 +114,10 @@ class Scan(Operator):
             self._pending = fragment.items()
             self._count(len(self._pending))
             self._append_token = fragment.on_append(self._on_append)
-            self._emit_stream_epoch(self.ctx.t0)
+            if self._paned:
+                self._emit_paned_epoch(self.ctx.epoch)
+            else:
+                self._emit_stream_epoch(self.ctx.t0)
         elif source == "dht":
             for item in self.ctx.dht.lscan(table_name):
                 self._tracked[item.key()] = item
@@ -119,12 +144,16 @@ class Scan(Operator):
         self._tracked[item.key()] = item
         self._count(1)
 
-    def advance_epoch(self, k, t_k):
+    def open_epoch(self, k, t_k):
+        """Emit epoch ``k``'s delta (subscription mode only)."""
         if not self._standing:
             return
         source = self._table_def.source
         if source == "stream":
-            self._emit_stream_epoch(t_k)
+            if self._paned:
+                self._emit_paned_epoch(k)
+            else:
+                self._emit_stream_epoch(t_k)
         elif source == "dht":
             if self._sub_token is not None:
                 table = self.spec.params["table"]
@@ -162,6 +191,38 @@ class Scan(Operator):
             if ts > keep_after:
                 kept.append((ts, row))
         self._pending = kept
+
+    def _emit_paned_epoch(self, k):
+        """Bucket the delta by pane and emit each row exactly once.
+
+        Panes up to (but excluding) ``k * panes_per_every`` close with
+        epoch ``k``'s window; rows older than the window (panes below
+        ``lo``) can never be scanned again and are dropped. A row can
+        land in an already-emitted pane that is *still inside the
+        window* -- an append stamped exactly on the previous boundary
+        whose event fired just after that boundary's emission wave --
+        and is emitted into its true pane now: the pane's partials stay
+        live downstream for every window that still covers it, exactly
+        as the from-scratch path would keep re-scanning the row. Rows
+        for still-open panes stay pending for the next epoch.
+        """
+        lo, hi = window_pane_range(
+            k, self._panes_per_every, self._panes_per_window
+        )
+        kept, buckets = [], {}
+        for ts, row in self._pending:
+            p = pane_index(ts, self._pane_origin, self._pane)
+            if p >= hi:
+                kept.append((ts, row))
+                continue
+            self._count(1)
+            if p >= lo:
+                buckets.setdefault(p, []).append(row)
+        self._pending = kept
+        for p in sorted(buckets):
+            self.open_pane(p)
+            for row in buckets[p]:
+                self.emit(row)
 
     def _emit_dht_epoch(self):
         now = self.ctx.clock.now

@@ -6,14 +6,23 @@ same sort/cut again globally in its finishing step. Because top-k is
 not decomposable the partial phase is *safe* only because every node's
 true top k is a superset of its contribution to the global top k.
 
+Row buffers are keyed per epoch so an overlapping-epoch standing plan
+can cut two epochs concurrently. *Paned* instances (standing plans
+with ``WINDOW > EVERY``) buffer per pane instead: top-k has no inverse,
+but a window's top k can only come from its panes' top k's, so each
+closed pane is cut once to ``k`` rows and every epoch's flush merges
+the window's pane caches -- O(k x panes) sorted per epoch instead of
+re-buffering the whole overlap.
+
 Params: ``sort_keys`` (list of (Expr, descending?)), ``limit``,
-``schema`` (input).
+``schema`` (input), optional ``paned`` geometry.
 """
 
 import functools
 
 from repro.core.dataflow import Operator
 from repro.core.operators import register_operator
+from repro.db.window import window_pane_range
 
 
 def make_sort_cmp(sort_keys, schema):
@@ -39,6 +48,7 @@ def make_sort_cmp(sort_keys, schema):
 
 
 def sort_rows(rows, sort_keys, schema):
+    """Sort rows by the compiled comparator (best first)."""
     return sorted(rows, key=functools.cmp_to_key(make_sort_cmp(sort_keys, schema)))
 
 
@@ -55,44 +65,111 @@ class TopK(Operator):
         self._limit = spec.params["limit"]
         self._schema = spec.params["schema"]
         self._replay = spec.params.get("replay", False)
-        self._rows = []
-        self._flushed = False
-        self._reflush_timer = None
+        self._note = getattr(ctx.engine, "note_rows_aggregated", None)
+        self._epochs = {}  # epoch -> {"rows", "flushed", "timer"}
+        self._paned = (bool(spec.params.get("paned"))
+                       and bool(getattr(ctx, "standing", False)))
+        if self._paned:
+            geometry = spec.params["paned"]
+            self._panes_per_every = geometry["every"]
+            self._panes_per_window = geometry["window"]
+            self._panes = {}  # pane -> rows (cut to limit once closed)
+            self._pane_cut = set()
+            self._current_pane = None
+
+    def _entry(self, epoch):
+        entry = self._epochs.get(epoch)
+        if entry is None:
+            entry = self._epochs[epoch] = {
+                "rows": [], "flushed": False, "timer": None,
+            }
+        return entry
+
+    def open_pane(self, pane):
+        self._current_pane = pane
 
     def push(self, row, port=0):
-        self._rows.append(row)
-        if self._replay and self._flushed and self._reflush_timer is None:
-            self._reflush_timer = self.ctx.dht.set_timer(0.2, self.flush)
+        if self._note is not None:
+            self._note(1)
+        if self._paned:
+            self._panes.setdefault(self._current_pane, []).append(row)
+            # A straggler landing in an already-cut pane re-opens it
+            # (its cached cut no longer reflects all of its rows; the
+            # cut-then-extend superset property keeps this safe).
+            self._pane_cut.discard(self._current_pane)
+            return
+        entry = self._entry(self._active_epoch())
+        entry["rows"].append(row)
+        if self._replay and entry["flushed"] and entry["timer"] is None:
+            entry["timer"] = self.ctx.dht.set_timer(
+                0.2, self._reflush, self._active_epoch()
+            )
+
+    def _reflush(self, epoch):
+        self._run_in_epoch(epoch, self.flush)
 
     def reset_batch(self):
         if self._replay:
-            self._rows = []
+            self._entry(self._active_epoch())["rows"] = []
         super().reset_batch()
 
-    def flush(self):
-        if self._reflush_timer is not None:
-            self.ctx.dht.cancel_timer(self._reflush_timer)
-            self._reflush_timer = None
-        self._flushed = True
-        ordered = sort_rows(self._rows, self._sort_keys, self._schema)
+    def _cut(self, rows):
+        ordered = sort_rows(rows, self._sort_keys, self._schema)
         if self._limit is not None:
             ordered = ordered[: self._limit]
+        return ordered
+
+    def flush(self):
+        if self._paned:
+            self._flush_paned(self._active_epoch())
+            return
+        entry = self._entry(self._active_epoch())
+        if entry["timer"] is not None:
+            self.ctx.dht.cancel_timer(entry["timer"])
+            entry["timer"] = None
+        entry["flushed"] = True
+        ordered = self._cut(entry["rows"])
         if self._replay:
             self.reset_batch()
         else:
-            self._rows = []
+            entry["rows"] = []
         for row in ordered:
             self.emit(row)
 
-    def advance_epoch(self, k, t_k):
-        if self._reflush_timer is not None:
-            self.ctx.dht.cancel_timer(self._reflush_timer)
-            self._reflush_timer = None
-        self._rows = []
-        self._flushed = False
+    def _flush_paned(self, epoch):
+        """Assemble epoch ``epoch``'s top k from its panes' top k's.
+
+        Every pane in the window closed with this epoch's boundary, so
+        each can be cut to ``limit`` rows once and reused by every
+        later window that still covers it.
+        """
+        lo, hi = window_pane_range(
+            epoch, self._panes_per_every, self._panes_per_window
+        )
+        self._panes = {p: r for p, r in self._panes.items() if p >= lo}
+        self._pane_cut = {p for p in self._pane_cut if p >= lo}
+        candidates = []
+        for p in range(lo, hi):
+            rows = self._panes.get(p)
+            if rows is None:
+                continue
+            if p not in self._pane_cut:
+                rows = self._panes[p] = self._cut(rows)
+                self._pane_cut.add(p)
+            candidates.extend(rows)
+        for row in self._cut(candidates):
+            self.emit(row)
+
+    def seal_epoch(self, k):
+        entry = self._epochs.pop(k, None)
+        if entry is not None and entry["timer"] is not None:
+            self.ctx.dht.cancel_timer(entry["timer"])
 
     def teardown(self):
-        if self._reflush_timer is not None:
-            self.ctx.dht.cancel_timer(self._reflush_timer)
-            self._reflush_timer = None
-        self._rows = []
+        for entry in self._epochs.values():
+            if entry["timer"] is not None:
+                self.ctx.dht.cancel_timer(entry["timer"])
+        self._epochs = {}
+        if self._paned:
+            self._panes = {}
+            self._pane_cut = set()

@@ -42,7 +42,8 @@ class QueryPlan:
 
     def __init__(self, specs, root_id, mode="oneshot", every=None, window=None,
                  lifetime=None, flush_offsets=None, deadline=10.0,
-                 finishing=None, metadata=None, standing=False):
+                 finishing=None, metadata=None, standing=False,
+                 epoch_overlap=False, pane=None):
         self.specs = {spec.op_id: spec for spec in specs}
         if len(self.specs) != len(specs):
             raise PlanError("duplicate op ids in plan")
@@ -65,12 +66,23 @@ class QueryPlan:
         self.finishing = finishing if finishing is not None else {}
         self.metadata = metadata if metadata is not None else {}
         # Standing plans run one long-lived execution per node whose
-        # operators roll over via ``advance_epoch`` instead of being
-        # torn down and rebuilt; only continuous plans whose flush
-        # schedule fits inside one period qualify (the planner decides).
+        # operators roll over via the open/seal epoch lifecycle instead
+        # of being torn down and rebuilt. ``epoch_overlap`` marks
+        # standing plans whose flush schedule spills past the period
+        # (but fits within two): operators then hold up to two live
+        # epoch states at once. ``pane`` is the pane geometry
+        # ({"width", "every", "window"} -- width in seconds, the others
+        # in panes) when the plan uses paned sliding-window aggregation
+        # (WINDOW > EVERY over a pane-aware operator chain); the same
+        # geometry rides on the marked op specs. The planner decides
+        # all three.
         if standing and mode != "continuous":
             raise PlanError("only continuous plans can be standing")
+        if epoch_overlap and not standing:
+            raise PlanError("epoch_overlap requires a standing plan")
         self.standing = standing
+        self.epoch_overlap = epoch_overlap
+        self.pane = pane
         self._validate()
 
     def _validate(self):
@@ -107,11 +119,16 @@ class QueryPlan:
             if op_id in self.flush_offsets:
                 flush = " flush@{:.1f}s".format(self.flush_offsets[op_id])
             tag = " [standing]" if spec.params.get("standing") else ""
+            if spec.params.get("paned"):
+                tag += " [paned]"
             lines.append("{}: {}{}{}{}".format(
                 op_id, spec.kind, tag, inputs, flush))
+        standing = ""
+        if self.standing:
+            standing = " (standing, overlapping)" if self.epoch_overlap \
+                else " (standing)"
         lines.append("root: {} mode: {}{} deadline: {:.1f}s".format(
-            self.root_id, self.mode,
-            " (standing)" if self.standing else "", self.deadline))
+            self.root_id, self.mode, standing, self.deadline))
         return "\n".join(lines)
 
     def __repr__(self):

@@ -28,6 +28,7 @@ from repro.core.opgraph import OpSpec, QueryPlan
 from repro.db.expressions import ColumnRef, equi_join_pairs
 from repro.db.schema import Column, Schema
 from repro.db.types import ANY
+from repro.db.window import pane_width
 from repro.util.errors import CatalogError, PlanError
 
 
@@ -167,7 +168,8 @@ def _plan_flat(lq, catalog, timing):
     deadline = ready + timing.collect
 
     mode = "continuous" if lq.every else "oneshot"
-    standing = _standing_eligible(b, lq, mode)
+    standing, epoch_overlap = _standing_eligible(b, lq, mode)
+    pane = None
     if standing:
         # Mark the networked boundary ops (EXPLAIN metadata: standing
         # scans subscribe to their sources once and push per-epoch
@@ -179,6 +181,7 @@ def _plan_flat(lq, catalog, timing):
         for spec in b.specs:
             if spec.kind in ("scan", "exchange"):
                 spec.params["standing"] = True
+        pane = _mark_paned(b, lq, catalog)
     finishing = {}
     if agg_finishing is not None:
         finishing["aggregate"] = agg_finishing
@@ -196,7 +199,7 @@ def _plan_flat(lq, catalog, timing):
         b.specs, result_id, mode=mode, every=lq.every, window=lq.window,
         lifetime=lq.lifetime, flush_offsets=b.flush_offsets,
         deadline=deadline, finishing=finishing, metadata=metadata,
-        standing=standing,
+        standing=standing, epoch_overlap=epoch_overlap, pane=pane,
     )
 
 
@@ -206,29 +209,36 @@ _STANDING_XFER_MARGIN = 1.0  # flush window + worst simulated RTT
 def _standing_eligible(b, lq, mode):
     """Can this continuous plan run as one long-lived execution?
 
-    The standing path rolls every operator over at each epoch boundary,
-    so the whole per-epoch dataflow (last flush included) must complete
-    within one period -- otherwise adjacent epochs would need two live
-    copies of the stateful operators and the rebuild path handles that
-    already. A flush whose output still has to *cross an exchange* must
-    additionally clear the boundary with a transfer margin: its rows
-    travel tagged with the retiring epoch, and a receiver that has
-    already advanced drops them as late (the rebuild path kept the old
-    epoch's registration open past the boundary, so it was forgiving
-    here). Result-bound flushes only need to fit the period -- their
-    rows go direct to the query site, which collects by epoch tag until
-    its own deadline. Bloom-stage plans are excluded: their filter
-    round-trip is driven per-epoch by the query site and only epoch 0
-    is wired today. The ``standing`` query option forces the rebuild
-    path when False (the continuous benchmarks use this as the ablation
-    knob).
+    Returns ``(standing, epoch_overlap)``. The standing path rolls
+    every operator over at each epoch boundary; how much of the
+    per-epoch dataflow may spill past the boundary decides the tier:
+
+    * every flush (last included) completes within one period --
+      standing, non-overlapping: one live epoch state per operator;
+    * some flush lands in the *next* period but within two -- standing
+      with ``epoch_overlap``: operators hold up to two live epoch
+      states (the open/seal lifecycle), and an epoch is sealed when its
+      successor's successor opens;
+    * anything later -- rebuild-per-epoch, the disposable path.
+
+    A flush whose output still has to *cross an exchange* must clear
+    its budget with a transfer margin: its rows travel tagged with the
+    producing epoch, and a receiver seals that epoch two boundaries
+    later (the rebuild path kept the old epoch's registration open past
+    the boundary, so it was forgiving here). Result-bound flushes need
+    no margin -- their rows go direct to the query site, which collects
+    by epoch tag until its own deadline. Bloom-stage plans are
+    excluded: their filter round-trip is driven per-epoch by the query
+    site and only epoch 0 is wired today. The ``standing`` query option
+    forces the rebuild path when False (the continuous benchmarks use
+    this as the ablation knob).
     """
     if mode != "continuous":
-        return False
+        return False, False
     if lq.options.get("standing") is False:
-        return False
+        return False, False
     if any(spec.kind == "bloom_stage" for spec in b.specs):
-        return False
+        return False, False
     consumers = {}
     for spec in b.specs:
         for input_id in spec.inputs:
@@ -246,13 +256,74 @@ def _standing_eligible(b, lq, mode):
                 return True
         return False
 
+    overlap = False
     for op_id, offset in b.flush_offsets.items():
-        budget = lq.every
-        if feeds_exchange(op_id):
-            budget -= _STANDING_XFER_MARGIN
-        if offset > budget:
-            return False
-    return True
+        margin = _STANDING_XFER_MARGIN if feeds_exchange(op_id) else 0.0
+        if offset <= lq.every - margin:
+            continue
+        if offset <= 2.0 * lq.every - margin:
+            overlap = True
+            continue
+        return False, False
+    return True, overlap
+
+
+def _mark_paned(b, lq, catalog):
+    """Mark a standing plan for paned sliding-window aggregation.
+
+    Paned evaluation applies when the window overlaps the period
+    (``WINDOW > EVERY``, commensurable on the millisecond grid) and the
+    plan's shape supports node-local pane markers: a single stream-table
+    scan whose rows reach one pane-aware stateful operator
+    (``groupby_partial`` or ``topk``) through stateless row operators
+    only. Both ends of that chain get the pane geometry in their params
+    (``{"width", "every", "window"}``, the latter two in panes); the
+    scan then emits each row once into its pane and the aggregate
+    assembles every epoch's window from pane partials. Returns the
+    geometry, or None when the plan keeps from-scratch evaluation (the
+    ``paned`` query option forces that, as the benchmarks' ablation
+    knob).
+    """
+    if lq.options.get("paned") is False:
+        return None
+    if len(lq.tables) != 1:
+        return None
+    table_name, _alias = lq.tables[0]
+    table_def = catalog.lookup(table_name)
+    if table_def.source != "stream":
+        return None
+    window = lq.window if lq.window is not None else table_def.window
+    every = lq.every
+    if window is None or every is None or window <= every:
+        return None
+    width = pane_width(window, every)
+    if width is None:
+        return None
+    consumers = {}
+    for spec in b.specs:
+        for input_id in spec.inputs:
+            consumers.setdefault(input_id, []).append(spec)
+    scans = [s for s in b.specs if s.kind == "scan"]
+    if len(scans) != 1:
+        return None
+    spec = scans[0]
+    while True:
+        downstream = consumers.get(spec.op_id, ())
+        if len(downstream) != 1:
+            return None
+        spec = downstream[0]
+        if spec.kind in ("select", "project"):
+            continue
+        if spec.kind in ("groupby_partial", "topk"):
+            geometry = {
+                "width": width,
+                "every": round(every / width),
+                "window": round(window / width),
+            }
+            scans[0].params["paned"] = geometry
+            spec.params["paned"] = geometry
+            return geometry
+        return None
 
 
 def _plan_from_where(b, lq, catalog, timing):

@@ -1,15 +1,82 @@
-"""Sliding time windows for stream tables.
+"""Sliding time windows for stream tables, and the pane math under them.
 
 Continuous queries in PIER's SQL dialect read a window of recent rows
 each epoch (``... WINDOW 60 SECONDS EVERY 30 SECONDS``). A TimeWindow
 is the node-local buffer behind that: append-only with timestamps,
 range scans by time, and eager eviction of anything older than the
 table's configured horizon.
+
+When ``WINDOW > EVERY`` adjacent windows overlap, and re-aggregating
+the overlap every epoch is the dominant per-epoch cost. The classic
+fix is *panes*: slice time into buckets of width ``gcd(WINDOW,
+EVERY)`` so every window is an exact union of panes and each epoch
+only introduces ``EVERY / pane`` new ones. The module-level helpers
+here define that arithmetic once, shared by the standing scan (which
+buckets its per-epoch delta) and the pane-aware stateful operators
+(which decide which panes a given epoch's window covers):
+
+* :func:`pane_width` -- the pane size for a (window, every) pair, or
+  ``None`` when the two are not commensurable;
+* :func:`pane_index` -- which pane a timestamp falls into, with panes
+  aligned to the query's submission time so window edges land exactly
+  on pane edges;
+* :func:`window_pane_range` -- the half-open pane-index range
+  ``[lo, hi)`` that epoch ``k``'s window covers.
 """
 
+import math
 from collections import deque
 
 from repro.db.table import AppendHooks
+
+_PANE_RESOLUTION = 1000  # pane math at millisecond resolution
+
+
+def pane_width(window, every):
+    """Pane size (seconds) for a window/period pair, or ``None``.
+
+    The pane is ``gcd(window, every)`` computed at millisecond
+    resolution, so both the window and the period are exact pane
+    multiples and every epoch's window edge coincides with a pane
+    edge. Returns ``None`` when either duration is missing,
+    non-positive, or not representable on the millisecond grid (then
+    paned aggregation is not applicable and callers fall back to
+    from-scratch window evaluation).
+    """
+    if not window or not every:
+        return None
+    w = round(window * _PANE_RESOLUTION)
+    e = round(every * _PANE_RESOLUTION)
+    if w <= 0 or e <= 0:
+        return None
+    if (abs(w - window * _PANE_RESOLUTION) > 1e-6
+            or abs(e - every * _PANE_RESOLUTION) > 1e-6):
+        return None
+    return math.gcd(w, e) / _PANE_RESOLUTION
+
+
+def pane_index(timestamp, origin, width):
+    """Index of the pane containing ``timestamp``.
+
+    Panes tile time relative to ``origin`` (the query's t0): pane ``p``
+    covers the half-open interval ``(origin + p*width, origin +
+    (p+1)*width]`` -- right-closed to match the window convention
+    ``(t_k - WINDOW, t_k]``, so a row stamped exactly on an epoch
+    boundary belongs to the epoch that ends there. Indices may be
+    negative for history older than the query.
+    """
+    return math.ceil(round((timestamp - origin) / width, 9)) - 1
+
+
+def window_pane_range(epoch, panes_per_every, panes_per_window):
+    """Half-open pane range ``[lo, hi)`` covered by epoch ``k``'s window.
+
+    Epoch ``k`` closes at ``t0 + k*EVERY`` and reads ``(t_k - WINDOW,
+    t_k]``; in pane units that is the ``panes_per_window`` panes ending
+    just before index ``k * panes_per_every``.
+    """
+    hi = epoch * panes_per_every
+    return hi - panes_per_window, hi
 
 
 class TimeWindow(AppendHooks):

@@ -43,11 +43,25 @@ class TestStandingLifecycle:
         # One-shot plans never are.
         assert not net.compile_sql("SELECT COUNT(*) AS n FROM s").standing
 
-    def test_overlong_flush_schedule_falls_back_to_rebuild(self, net):
-        # deadline flushes stretch past a 5s period: epochs overlap, so
-        # the plan must keep the disposable per-epoch path.
+    def test_overlapping_flush_schedule_still_standing(self, net):
+        # Flushes stretch past a 5s period but fit within two: the plan
+        # stays standing, marked overlapping (operators keep two live
+        # epoch states instead of falling back to rebuild-per-epoch).
         plan = net.compile_sql(
             "SELECT SUM(v) AS total FROM s EVERY 5 SECONDS "
+            "WINDOW 4 SECONDS LIFETIME 40 SECONDS"
+        )
+        assert plan.standing
+        assert plan.epoch_overlap
+        # Within one period: standing without overlap.
+        assert not net.compile_sql(CONTINUOUS_SQL).epoch_overlap
+
+    def test_overlong_flush_schedule_falls_back_to_rebuild(self, net):
+        # Flushes stretch past even two 4s periods: more than two epoch
+        # states would have to coexist, so the plan must keep the
+        # disposable per-epoch path.
+        plan = net.compile_sql(
+            "SELECT SUM(v) AS total FROM s EVERY 4 SECONDS "
             "WINDOW 4 SECONDS LIFETIME 40 SECONDS"
         )
         assert not plan.standing
@@ -150,6 +164,12 @@ class TestStandingLifecycle:
         assert not fragment._hooks
 
 
+def final_groups(execution, op_id, epoch):
+    """A groupby_final's held groups for one epoch (empty if none)."""
+    entry = execution.ops[op_id]._epochs.get(epoch)
+    return dict(entry["groups"]) if entry else {}
+
+
 class TestEpochTags:
     def test_late_epoch_rows_dropped(self, net):
         handle = net.submit_sql(CONTINUOUS_SQL)
@@ -160,9 +180,10 @@ class TestEpochTags:
         op_id = next(
             spec.op_id for spec in handle.plan.ops_of_kind("groupby_final")
         )
-        before = dict(execution.ops[op_id]._groups)
+        before = final_groups(execution, op_id, 2)
         execution.deliver_batch(op_id, 0, [((), (99.0,))], epoch=1)
-        assert execution.ops[op_id]._groups == before  # late tag: dropped
+        assert final_groups(execution, op_id, 2) == before  # late: dropped
+        assert final_groups(execution, op_id, 1) == {}
 
     def test_early_epoch_rows_parked_until_advance(self, net):
         handle = net.submit_sql(CONTINUOUS_SQL)
@@ -173,9 +194,9 @@ class TestEpochTags:
             spec.op_id for spec in handle.plan.ops_of_kind("groupby_final")
         )
         execution.deliver_batch(op_id, 0, [(("x",), (7.0, 1))], epoch=2)
-        assert execution.ops[op_id]._groups == {}  # parked, not pushed
+        assert final_groups(execution, op_id, 2) == {}  # parked, not pushed
         net.advance(10)  # boundary: epoch 2 begins and drains the parking
-        assert ("x",) in execution.ops[op_id]._groups
+        assert ("x",) in final_groups(execution, op_id, 2)
 
 
 class TestChurn:

@@ -1,0 +1,89 @@
+"""Docs gate: intra-repo markdown link check + README doctests.
+
+Two failure modes this catches before merge:
+
+* a markdown file links to a repo path that does not exist (docs rot as
+  files move);
+* a README code block's shown output drifts from what the code actually
+  prints (the examples are doctests and really run).
+
+Usage: ``PYTHONPATH=src python tools/check_docs.py`` from the repo
+root. Exit status is the number of failures.
+"""
+
+import doctest
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) -- excluding images; anchors and external URLs skipped.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+DOCTEST_FILES = ["README.md"]
+
+
+def markdown_files():
+    skip_parts = {".git", ".claude", "node_modules"}
+    for path in sorted(REPO.rglob("*.md")):
+        if not skip_parts.intersection(path.relative_to(REPO).parts):
+            yield path
+
+
+def check_links():
+    failures = []
+    for md in markdown_files():
+        text = md.read_text(encoding="utf-8")
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = (md.parent / target_path).resolve()
+            if not resolved.exists():
+                failures.append("{}: broken link -> {}".format(
+                    md.relative_to(REPO), target))
+    return failures
+
+
+def check_doctests():
+    failures = []
+    for name in DOCTEST_FILES:
+        path = REPO / name
+        text = path.read_text(encoding="utf-8")
+        blocks = [b for b in _FENCE.findall(text) if ">>>" in b]
+        if not blocks:
+            failures.append("{}: no doctest-able python blocks".format(name))
+            continue
+        # Blocks share one namespace, in order, like one long session.
+        globs = {}
+        runner = doctest.DocTestRunner(verbose=False,
+                                       optionflags=doctest.ELLIPSIS)
+        parser = doctest.DocTestParser()
+        for i, block in enumerate(blocks):
+            test = parser.get_doctest(
+                block, globs, "{}[block {}]".format(name, i), name, 0
+            )
+            runner.run(test, clear_globs=False)
+            globs = test.globs
+        results = runner.summarize(verbose=False)
+        if results.failed:
+            failures.append("{}: {} doctest example(s) failed".format(
+                name, results.failed))
+    return failures
+
+
+def main():
+    failures = check_links() + check_doctests()
+    for failure in failures:
+        print("FAIL:", failure)
+    if not failures:
+        print("docs ok: links resolve, README examples run")
+    return len(failures)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
