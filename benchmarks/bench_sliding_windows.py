@@ -178,8 +178,9 @@ def run_overlap_check(seed=31, nodes=OVERLAP_NODES, every=OVERLAP_EVERY,
         handle = net.submit_sql(sql, node=net.any_address(),
                                 on_epoch=results.append, options=options)
         if label == "standing":
-            assert handle.plan.standing and handle.plan.epoch_overlap, (
-                "overlapping-flush plan fell back to rebuild"
+            assert handle.plan.standing and handle.plan.epoch_overlap > 1, (
+                "overlapping-flush plan fell back to rebuild (or lost "
+                "its overlap: ring width {})".format(handle.plan.epoch_overlap)
             )
             net.advance(1.5 * every)
             live = [

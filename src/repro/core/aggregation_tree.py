@@ -42,9 +42,17 @@ class TreeCombiner:
         Batch-aware: a ``deliver_batch`` message (the batched exchange
         path, or a re-emitting upstream partial) is merged entry by
         entry, so one absorbed message can fold many partials at once.
+
+        Absorbing *consumes* the message's dedup id: a replay of the
+        same message (re-forwarded after a lost hop ack) that lands on
+        this node again is dropped instead of double-merged. A message
+        passed through to the owner keeps its id unconsumed -- the
+        delivery layer there does the dedup.
         """
         if at_owner:
             return True  # land normally; the final group-by merges it
+        if not node.accept_delivery_once(route_msg.payload.get("mid")):
+            return False  # replay already folded into a held partial
         epoch = route_msg.payload.get("epoch")
         for gvals, states in payload_rows(route_msg.payload):
             self._absorb(epoch, gvals, states)
@@ -66,8 +74,11 @@ class TreeCombiner:
         held, self._held = self._held, {}
         for (epoch, gvals), states in held.items():
             self.forwarded += 1
+            # A combined message is new traffic: it gets its own dedup
+            # id (the absorbed originals' ids were consumed on absorb).
             payload = {"op": "deliver", "ns": self.ns, "rid": gvals,
-                       "data": (gvals, tuple(states))}
+                       "data": (gvals, tuple(states)),
+                       "mid": self.dht.fresh_mid()}
             route_ns = self.route_ns
             if epoch is not None:
                 payload["epoch"] = epoch

@@ -61,6 +61,7 @@ class QueryHandle:
         self.raw_replace = {}  # epoch -> {node: rows} (replace-mode)
         self.reporters = {}  # epoch -> set of addresses
         self.bloom_partials = {}  # (epoch, op_id) -> {side: filter}
+        self.bloom_done = -1  # epochs <= this already broadcast filters
         self.last_progress = t0
         self.finished = False
 
@@ -102,9 +103,8 @@ class Coordinator:
             self._schedule_close(handle, 0)
             if plan.mode == "recursive":
                 self._schedule_quiescence_check(handle)
-        bloom_offset = plan.metadata.get("bloom_broadcast_offset")
-        if bloom_offset is not None:
-            self.engine.set_timer(bloom_offset, self._broadcast_bloom, handle, 0)
+        if plan.metadata.get("bloom_broadcast_offset") is not None:
+            self._schedule_bloom(handle, 0)
         return handle
 
     def _broadcast_plan(self, handle, refresh):
@@ -276,7 +276,10 @@ class Coordinator:
         handle = self.active.get(payload["qid"])
         if handle is None:
             return
-        key = (payload["epoch"], payload["op_id"])
+        epoch = payload["epoch"]
+        if epoch <= handle.bloom_done:
+            return  # that epoch's merged filters already went out
+        key = (epoch, payload["op_id"])
         merged = handle.bloom_partials.setdefault(key, {})
         side = payload["side"]
         incoming = payload["filter"]
@@ -285,20 +288,40 @@ class Coordinator:
         else:
             merged[side] = incoming
 
-    def _broadcast_bloom(self, handle, epoch):
-        if handle.finished:
+    def _schedule_bloom(self, handle, epoch):
+        """Arm the merge-and-broadcast step of epoch ``epoch``'s filter
+        round-trip. Continuous plans re-run the round-trip every epoch
+        (both execution disciplines rely on it: the standing path's
+        bloom stages hold per-epoch filter namespaces, and the rebuild
+        fallback instantiates fresh stages each epoch)."""
+        plan = handle.plan
+        if plan.mode == "continuous" and plan.lifetime is not None \
+                and epoch * plan.every > plan.lifetime:
             return
-        for (ep, op_id), filters in handle.bloom_partials.items():
-            if ep != epoch:
-                continue
+        offset = plan.metadata["bloom_broadcast_offset"]
+        t_k = handle.t0 + (epoch * plan.every if plan.mode == "continuous" else 0)
+        self.engine.set_timer(
+            max(0.0, t_k + offset - self.clock.now),
+            self._broadcast_bloom, handle, epoch,
+        )
+
+    def _broadcast_bloom(self, handle, epoch):
+        if handle.finished or handle.qid not in self.active:
+            return
+        fired = [key for key in handle.bloom_partials if key[0] == epoch]
+        for key in fired:
+            filters = handle.bloom_partials.pop(key)
             self.dht.broadcast({
                 "ctl": "bloom",
-                "token": "bloom|{}|{}|{}".format(handle.qid, ep, op_id),
+                "token": "bloom|{}|{}|{}".format(handle.qid, epoch, key[1]),
                 "qid": handle.qid,
-                "epoch": ep,
-                "op_id": op_id,
+                "epoch": epoch,
+                "op_id": key[1],
                 "filters": filters,
             })
+        handle.bloom_done = max(handle.bloom_done, epoch)
+        if handle.plan.mode == "continuous":
+            self._schedule_bloom(handle, epoch + 1)
 
     # ------------------------------------------------------------------
     # Recursive quiescence

@@ -9,9 +9,10 @@ rows between nodes through the DHT.
 Two execution disciplines share the machinery:
 
 * :class:`EpochExecution` -- one node's instantiation of one plan for
-  one epoch. One-shot and recursive queries use it, as do continuous
-  plans the planner could not mark standing (bloom-stage plans, and
-  flush schedules spilling past two epoch periods).
+  one epoch. One-shot and recursive queries use it; continuous plans
+  reach it only through the compatibility fallback
+  (``EngineConfig.standing = False``, or the ``standing`` query
+  option, or a flush horizon past the planner's overlap cap).
 * :class:`StandingExecution` -- one node's *only* instantiation of a
   standing continuous plan. Operators are built and wired once; at
   every epoch boundary the engine calls :meth:`advance_epoch`, which
@@ -25,16 +26,20 @@ Epoch rollover is a *two-phase open/seal lifecycle*. Opening epoch
 ``k`` (``Operator.open_epoch``) starts fresh per-epoch state and lets
 sources emit the new epoch's delta; sealing an epoch
 (``Operator.seal_epoch``) ships whatever the operator still holds for
-it and discards that epoch's state. For plans whose whole flush
-schedule fits inside one period the two phases collapse into the
-single boundary call ``advance_epoch(k) = seal(k-1); open(k)``. For
-*overlapping-epoch* plans (flush offsets past the period but within
-two periods -- ``QueryPlan.epoch_overlap``) the phases separate: the
-boundary opens epoch ``k`` while epoch ``k-1`` stays live, so up to
-two epoch states coexist per operator, and ``k-1`` is sealed when
-epoch ``k+1`` opens. Every delivery and flush runs inside
-:meth:`LocalQueryContext.in_epoch`, so stateful operators always know
-which epoch's state a row or deadline belongs to.
+it and discards that epoch's state. How far the two phases separate is
+the plan's *epoch ring width* ``N = QueryPlan.epoch_overlap`` (derived
+by the planner from the flush schedule: the ceiling of the worst flush
+horizon over the period, transfer margin included). The execution
+keeps an ordered map of open epoch states and seals epoch ``k - N``
+when opening ``k``, so at most ``N`` epoch states are ever live per
+operator: ``N = 1`` collapses to the classic single-boundary rollover
+(seal ``k-1``, open ``k``), ``N = 2`` is the former two-live-epoch
+overlap mode, and longer flush schedules simply widen the ring instead
+of falling back to rebuild-per-epoch. Every delivery and flush runs
+inside :meth:`LocalQueryContext.in_epoch`, so stateful operators
+always know which epoch's state a row or deadline belongs to; their
+per-epoch state lives behind :class:`EpochStateRing`, which keeps the
+create-on-first-touch / discard-on-seal bookkeeping in one place.
 
 End-of-stream is deliberately absent: a planetary-scale system cannot
 agree on "all rows have arrived", so operators flush on plan-specified
@@ -111,6 +116,77 @@ class LocalQueryContext:
         self.dht.direct(self.origin, payload)
 
 
+class EpochStateRing:
+    """Per-epoch operator state behind the open/seal lifecycle.
+
+    Every stateful operator holds what it has accumulated for each live
+    epoch (hash tables, group states, pending batches, reflush timers)
+    in one *state object per epoch*. The ring owns the bookkeeping that
+    used to be re-implemented per operator:
+
+    * ``state(epoch)`` creates the epoch's state lazily on first touch
+      (``factory()``), so an epoch that never sees a row costs nothing;
+    * ``seal(epoch)`` pops the state exactly once, running ``on_seal``
+      (timer cancellation and the like) before handing it back to the
+      caller -- after a seal the epoch's memory is reclaimed and any
+      straggler touching it simply starts from ``peek() is None``;
+    * ``clear()`` is teardown: every live state is sealed.
+
+    The execution bounds how many epochs are live at once (its plan's
+    ``epoch_overlap``); the ring itself only promises that state for an
+    epoch exists between first touch and seal, and never after.
+    """
+
+    __slots__ = ("_factory", "_on_seal", "_states")
+
+    def __init__(self, factory, on_seal=None):
+        self._factory = factory
+        self._on_seal = on_seal
+        self._states = {}
+
+    def state(self, epoch):
+        """The epoch's state, created on first touch."""
+        state = self._states.get(epoch)
+        if state is None:
+            state = self._states[epoch] = self._factory()
+        return state
+
+    def peek(self, epoch):
+        """The epoch's state if it was ever touched and not yet sealed."""
+        return self._states.get(epoch)
+
+    def seal(self, epoch):
+        """Discard (and return) the epoch's state; ``on_seal`` runs first."""
+        state = self._states.pop(epoch, None)
+        if state is not None and self._on_seal is not None:
+            self._on_seal(state)
+        return state
+
+    def epochs(self):
+        """Live epochs, ascending."""
+        return sorted(self._states)
+
+    def items(self):
+        """(epoch, state) pairs for every live epoch, ascending."""
+        return [(e, self._states[e]) for e in sorted(self._states)]
+
+    def clear(self):
+        """Teardown: seal every live epoch."""
+        states, self._states = self._states, {}
+        if self._on_seal is not None:
+            for state in states.values():
+                self._on_seal(state)
+
+    def __contains__(self, epoch):
+        return epoch in self._states
+
+    def __len__(self):
+        return len(self._states)
+
+    def __repr__(self):
+        return "EpochStateRing(live={})".format(sorted(self._states))
+
+
 class Operator:
     """Base class for operator instances.
 
@@ -126,12 +202,12 @@ class Operator:
     ``seal_epoch(k)`` finishes epoch ``k`` at this operator: ship
     whatever is still held under that epoch's tag (exchanges, result
     sinks) or discard it (post-flush straggler state), exactly where
-    the rebuild path's teardown would have. ``advance_epoch(k, t_k)``
-    is the single-boundary composition ``seal(k-1); open(k)`` used when
-    epochs do not overlap; executions running overlapping-epoch plans
-    call the two phases separately so two epoch states stay live at
-    once. Stateful operators key their state by
-    ``ctx.active_epoch``, which the execution scopes around every
+    the rebuild path's teardown would have. The execution keeps up to
+    ``plan.epoch_overlap`` epochs open at once and drives the two
+    phases directly -- sealing ``k - N`` before opening ``k`` -- so an
+    operator never needs to know the ring width. Stateful operators
+    key their state by ``ctx.active_epoch`` (kept in an
+    :class:`EpochStateRing`), which the execution scopes around every
     delivery and flush.
 
     Paned plans additionally thread ``open_pane(p)`` markers through
@@ -179,19 +255,6 @@ class Operator:
     def seal_epoch(self, k):
         """Finish epoch ``k``: ship or drop anything still held for it."""
         pass
-
-    def advance_epoch(self, k, t_k):
-        """Single-boundary rollover for non-overlapping standing plans.
-
-        Runs in two execution waves -- non-source operators first, while
-        ``ctx.epoch`` still names the epoch being retired, then sources
-        after the context has moved, so scans emit the new epoch's delta
-        into already-reset consumers. The default composition covers
-        stateless operators and any operator whose open/seal phases are
-        independent; override only to change the composition itself.
-        """
-        self.seal_epoch(k - 1)
-        self.open_epoch(k, t_k)
 
     def teardown(self):
         """Execution is closing: release subscriptions, ship leftovers."""
@@ -313,7 +376,12 @@ class _ExecutionBase:
                 self.engine.unregister_exchange_input(ns)
 
     def _schedule_flushes(self, epoch=None, t0=None):
-        """Arm one timer per planned flush offset, bound to ``epoch``."""
+        """Arm one timer per planned flush offset, bound to ``epoch``.
+
+        Timers are tracked as ``(epoch, timer)`` so a standing
+        execution can cancel exactly one epoch's deadlines when it
+        seals that epoch.
+        """
         now = self.engine.clock.now
         epoch = epoch if epoch is not None else self.ctx.epoch
         t0 = t0 if t0 is not None else self.ctx.t0
@@ -322,7 +390,7 @@ class _ExecutionBase:
                 continue
             delay = max(0.0, t0 + offset - now)
             timer = self.engine.set_timer(delay, self._flush_op, op_id, epoch)
-            self._flush_timers.append(timer)
+            self._flush_timers.append((epoch, timer))
 
     def _flush_op(self, op_id, epoch=None):
         if self.closed:
@@ -344,21 +412,28 @@ class _ExecutionBase:
         for row in rows:
             op.push(row, port)
 
-    def control(self, op_id, payload):
+    def control(self, op_id, payload, epoch=None):
         """Deliver a control payload to one op, or to a filter group.
 
         Bloom control messages target a group id shared by both stage
-        ops of a join rather than a single op id.
+        ops of a join rather than a single op id, and carry the epoch
+        whose filters they complete: delivery is scoped to that epoch
+        so per-epoch operator state files the release correctly.
         """
         if self.closed:
             return
+        targets = []
         op = self.ops.get(op_id)
         if op is not None:
-            op.control(payload)
-            return
-        for candidate in self.ops.values():
-            if candidate.spec.params.get("group") == op_id:
-                candidate.control(payload)
+            targets.append(op)
+        else:
+            targets = [
+                candidate for candidate in self.ops.values()
+                if candidate.spec.params.get("group") == op_id
+            ]
+        with self.ctx.in_epoch(epoch if epoch is not None else self.ctx.epoch):
+            for target in targets:
+                target.control(payload)
 
     def close(self):
         """Tear the execution down: cancel timers, teardown every op,
@@ -367,7 +442,7 @@ class _ExecutionBase:
         if self.closed:
             return
         self.closed = True
-        for timer in self._flush_timers:
+        for _epoch, timer in self._flush_timers:
             timer.cancel()
         self._flush_timers = []
         # Teardown before unregistering: an exchange's teardown flush
@@ -400,24 +475,31 @@ class StandingExecution(_ExecutionBase):
     are dropped as late, early tags (a sender whose boundary timer
     fired first) are parked until this node advances.
 
-    For non-overlapping plans exactly one epoch is open at a time and a
-    boundary is one composite ``advance_epoch`` wave per operator. For
-    overlapping-epoch plans (``plan.epoch_overlap``) a boundary opens
-    epoch ``k`` while ``k-1`` stays open -- its flush deadlines, which
-    stretch past the period, still fire against its own state, and
-    exchange arrivals tagged ``k-1`` still land in it. Opening ``k``
-    seals ``k-2``, so at most two epoch states are ever live per
-    operator (the planner's eligibility bound).
+    The execution keeps an ordered map of open epochs bounded by the
+    plan's ring width ``N = plan.epoch_overlap``: opening epoch ``k``
+    seals every epoch at or below ``k - N``. A sealed epoch's still-
+    pending flush timers are cancelled with it; the surviving epochs'
+    deadlines -- which may stretch several periods past their boundary
+    -- keep firing against their own state, and exchange arrivals
+    tagged with any open epoch still land in it. ``N = 1`` is the
+    classic one-live-epoch rollover; larger ``N`` is how slow flush
+    schedules (tree holds, bloom round-trips) run standing instead of
+    rebuilding per epoch.
     """
 
     standing = True
 
     def __init__(self, engine, plan, query_id, epoch, t0, origin):
         super().__init__(engine, plan, query_id, epoch, t0, origin)
-        self.overlap = bool(getattr(plan, "epoch_overlap", False))
+        self.live_epochs = max(1, int(getattr(plan, "epoch_overlap", 1) or 1))
         self._early = {}  # epoch -> [(op_id, port, rows)]
         self._open_epochs = {epoch: t0}  # epoch -> t_k, ascending
         self._sealed_through = epoch - 1  # epochs <= this are closed here
+
+    @property
+    def overlap(self):
+        """True when the ring holds more than one live epoch."""
+        return self.live_epochs > 1
 
     @property
     def current_epoch(self):
@@ -426,44 +508,17 @@ class StandingExecution(_ExecutionBase):
         return self.ctx.epoch
 
     def advance_epoch(self, k, t_k):
-        """Epoch boundary: open ``k`` (and retire what that implies)."""
+        """Epoch boundary: open ``k``, sealing every epoch <= ``k - N``."""
         if self.closed:
             return
-        if self.overlap:
-            self._advance_overlapping(k, t_k)
-        else:
-            self._advance_disjoint(k, t_k)
-        for op_id, port, rows in self._early.pop(k, ()):
-            self.deliver_batch(op_id, port, rows, k)
-
-    def _advance_disjoint(self, k, t_k):
-        """Single-boundary rollover: the whole previous epoch is done."""
-        for timer in self._flush_timers:
-            timer.cancel()
-        self._flush_timers = []
-        sources = self._source_ids()
-        # Wave 1 -- retire the old epoch while ctx still names it:
-        # exchanges and result sinks ship what they hold under the old
-        # tag, stateful operators drop per-epoch state.
-        for op_id, op in self.ops.items():
-            if op_id not in sources:
-                op.advance_epoch(k, t_k)
-        self._sealed_through = self.ctx.epoch
-        self._open_epochs = {k: t_k}
-        self._move_context(k, t_k)
-        self._schedule_flushes()
-        # Wave 2 -- begin the new epoch: scans emit their delta into
-        # the freshly reset graph.
-        for op_id in sources:
-            self.ops[op_id].advance_epoch(k, t_k)
-
-    def _advance_overlapping(self, k, t_k):
-        """Open epoch ``k`` while ``k-1`` stays live; seal ``k-2``."""
-        for stale in [e for e in self._open_epochs if e <= k - 2]:
+        for stale in sorted(
+            e for e in self._open_epochs if e <= k - self.live_epochs
+        ):
             self._seal_epoch(stale)
         now = self.engine.clock.now
         self._flush_timers = [
-            t for t in self._flush_timers if not t.cancelled and t.time > now
+            (e, t) for e, t in self._flush_timers
+            if not t.cancelled and t.time > now
         ]
         self._open_epochs[k] = t_k
         self._move_context(k, t_k)
@@ -472,8 +527,12 @@ class StandingExecution(_ExecutionBase):
             if op_id not in sources:
                 op.open_epoch(k, t_k)
         self._schedule_flushes(k, t_k)
+        # Sources last: scans emit the new epoch's delta into consumers
+        # that have already opened it.
         for op_id in sources:
             self.ops[op_id].open_epoch(k, t_k)
+        for op_id, port, rows in self._early.pop(k, ()):
+            self.deliver_batch(op_id, port, rows, k)
 
     def _move_context(self, k, t_k):
         self.ctx.epoch = k
@@ -486,6 +545,13 @@ class StandingExecution(_ExecutionBase):
         """Close epoch ``e`` everywhere: ship leftovers, drop its state."""
         self._open_epochs.pop(e, None)
         self._early.pop(e, None)
+        kept = []
+        for epoch, timer in self._flush_timers:
+            if epoch == e:
+                timer.cancel()
+            else:
+                kept.append((epoch, timer))
+        self._flush_timers = kept
         sources = self._source_ids()
         with self.ctx.in_epoch(e):
             for op_id, op in self.ops.items():

@@ -6,15 +6,17 @@ One engine runs on every node, glued to that node's DHT API. It:
   publishes rows into DHT tables,
 * adopts query plans that arrive by broadcast and schedules their
   epochs: one-shot/recursive plans get a single disposable
-  :class:`~repro.core.dataflow.EpochExecution`; standing continuous
-  plans get one long-lived
-  :class:`~repro.core.dataflow.StandingExecution` whose operators are
-  rolled over through the open/seal epoch lifecycle at every boundary
-  instead of being torn down and rebuilt -- including plans whose
-  flush schedule spills past the boundary into the next period
-  (``QueryPlan.epoch_overlap``: up to two live epoch states per
-  operator). Only bloom-stage plans and flush schedules longer than
-  two periods keep the rebuild path,
+  :class:`~repro.core.dataflow.EpochExecution`; continuous plans get
+  one long-lived :class:`~repro.core.dataflow.StandingExecution` whose
+  operators are rolled over through the open/seal epoch lifecycle at
+  every boundary instead of being torn down and rebuilt. The plan's
+  epoch ring width (``QueryPlan.epoch_overlap``) says how many epoch
+  states stay live per operator, so flush schedules spanning several
+  periods -- and bloom-stage plans, whose filter round-trip is driven
+  per epoch by the query site -- run standing too. The per-epoch
+  rebuild path survives only as a compatibility fallback, behind
+  ``EngineConfig.standing = False`` (or the per-plan ``standing``
+  query option),
 * registers exchange namespaces with the DHT so rehashed rows reach
   the right operator instance -- once per epoch for disposable
   executions, once per *query* for standing ones -- and buffers early
@@ -56,11 +58,13 @@ class EngineConfig:
     affected routing keys for ``nack_mute_ttl`` seconds.
 
     ``standing`` gates the long-lived execution path for standing
-    continuous plans. It must be uniform across a deployment: the two
-    disciplines use incompatible exchange namespaces, so a mixed
-    cluster would partition a query's dataflow (per-plan ablation goes
-    through the ``standing`` *query option* instead, which turns the
-    whole plan rebuild-per-epoch everywhere). ``route_cache_ttl``
+    continuous plans; setting it False is the compatibility fallback
+    that turns every continuous plan back into rebuild-per-epoch. It
+    must be uniform across a deployment: the two disciplines use
+    incompatible exchange namespaces, so a mixed cluster would
+    partition a query's dataflow (per-plan ablation goes through the
+    ``standing`` *query option* instead, which turns the whole plan
+    rebuild-per-epoch everywhere). ``route_cache_ttl``
     bounds how long a standing rehash exchange may trust a learned
     terminal owner before re-walking the ring; 0 disables owner
     caching. ``stop_tombstone_ttl`` is how long a stopped qid is
@@ -148,6 +152,7 @@ class PierEngine:
         dht.on_broadcast(self._on_broadcast)
         dht.on_direct(self._on_direct)
         dht.set_default_delivery(self._on_unclaimed_delivery)
+        dht.on_storage_probe(self._on_storage_probe)
 
     # ------------------------------------------------------------------
     # Data management
@@ -236,9 +241,19 @@ class PierEngine:
         elif ctl == "stop":
             self._stop_query(payload["qid"])
         elif ctl == "bloom":
-            execution = self.executions.get((payload["qid"], payload["epoch"]))
+            # A standing execution is indexed under its *newest* epoch,
+            # but merged filters for any still-open epoch of its ring
+            # must reach it; the rebuild path keeps per-epoch lookups.
+            epoch = payload["epoch"]
+            record = self.queries.get(payload["qid"])
+            if record is not None and record.execution is not None:
+                execution = record.execution
+            else:
+                execution = self.executions.get((payload["qid"], epoch))
             if execution is not None:
-                execution.control(payload["op_id"], {"filters": payload["filters"]})
+                execution.control(
+                    payload["op_id"], {"filters": payload["filters"]}, epoch
+                )
 
     def _adopt_query(self, payload):
         qid = payload["qid"]
@@ -529,6 +544,14 @@ class PierEngine:
             # the query is tombstoned here (see _send_nacks); a
             # merely-missed plan keeps dropping silently.
             self._send_nacks(ns)
+
+    def _on_storage_probe(self, ns):
+        """A get/lscan probe referenced a continuous query's temp
+        namespace. Same adoption gap as an epoch-tagged unclaimed row
+        (the querying side evidently believes this node participates),
+        same cure: pull the plan from the query site directly instead
+        of waiting out a refresh period."""
+        self._request_plan(ns)
 
     def _request_plan(self, ns):
         """Ask the query site for a plan we evidently missed.

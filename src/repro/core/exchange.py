@@ -37,8 +37,8 @@ Standing continuous plans add two behaviours:
 * payloads are tagged with the epoch they belong to (namespaces are
   epoch-free, so the tag is how receivers sort late from current).
   Pending batches are keyed per epoch -- an overlapping-epoch plan can
-  push rows for two live epochs through one exchange -- and
-  ``seal_epoch`` ships any still-buffered rows under a retiring
+  push rows for every live epoch of its ring through one exchange --
+  and ``seal_epoch`` ships any still-buffered rows under a retiring
   epoch's tag;
 * rehash-mode exchanges cache the terminal owner per routing key --
   the same epoch-free key routes every epoch, so after the first
@@ -47,7 +47,7 @@ Standing continuous plans add two behaviours:
   if the cached owner dies.
 """
 
-from repro.core.dataflow import Operator
+from repro.core.dataflow import EpochStateRing, Operator
 from repro.core.operators import register_operator
 from repro.dht.chord import storage_key
 from repro.util.errors import PlanError
@@ -118,14 +118,15 @@ class Exchange(Operator):
         # surface (unit tests) still drive the batching logic.
         self._muted_fn = getattr(ctx.engine, "exchange_muted", None)
         self._owner_fn = getattr(ctx.engine, "cached_owner", None)
+        self._mid_fn = getattr(ctx.dht, "fresh_mid", None)
         if self._owner_fn is None:
             self._cache_owners = False
-        # Pending batches are keyed (epoch tag, routing id): a standing
-        # overlapping-epoch plan can push rows for two live epochs
-        # through the same exchange instance, and each batch must ship
-        # under the tag of the epoch that produced it.
-        self._pending = {}  # (epoch, rid) -> [rows] awaiting the flush window
-        self._pending_bytes = {}  # (epoch, rid) -> estimated payload bytes
+        # Pending batches are keyed by epoch tag, then routing id: a
+        # standing overlapping-epoch plan can push rows for several
+        # live epochs through the same exchange instance, and each
+        # batch must ship under the tag of the epoch that produced it.
+        # Each epoch's state is {"rows": {rid: [rows]}, "bytes": {rid: n}}.
+        self._pending = EpochStateRing(lambda: {"rows": {}, "bytes": {}})
         self._timer = None
 
     def _build_key_fn(self, key_spec):
@@ -149,13 +150,14 @@ class Exchange(Operator):
         if self._flush_delay <= 0:
             self._route(rid, [row], epoch)
             return
-        rows = self._pending.setdefault((epoch, rid), [])
+        pending = self._pending.state(epoch)
+        rows = pending["rows"].setdefault(rid, [])
         rows.append(row)
-        size = self._pending_bytes.get((epoch, rid), 0) + wire_size(row)
-        self._pending_bytes[(epoch, rid)] = size
+        size = pending["bytes"].get(rid, 0) + wire_size(row)
+        pending["bytes"][rid] = size
         if len(rows) >= self._max_batch_rows or size >= self._max_batch_bytes:
-            del self._pending[(epoch, rid)]
-            del self._pending_bytes[(epoch, rid)]
+            del pending["rows"][rid]
+            del pending["bytes"][rid]
             self._route(rid, rows, epoch)
             return
         if self._timer is None:
@@ -167,15 +169,14 @@ class Exchange(Operator):
         """Ship pending batches -- all of them, or just one epoch's."""
         if epoch is None:
             self._timer = None
-            pending, self._pending = self._pending, {}
-            self._pending_bytes = {}
+            shipping = self._pending.items()
+            self._pending.clear()
         else:
-            pending = {}
-            for key in [k for k in self._pending if k[0] == epoch]:
-                pending[key] = self._pending.pop(key)
-                self._pending_bytes.pop(key, None)
-        for (tag, rid), rows in pending.items():
-            self._route(rid, rows, tag)
+            state = self._pending.seal(epoch)
+            shipping = [(epoch, state)] if state is not None else []
+        for tag, state in shipping:
+            for rid, rows in state["rows"].items():
+                self._route(rid, rows, tag)
 
     def _route(self, rid, rows, epoch=None):
         if len(rows) == 1:
@@ -184,6 +185,11 @@ class Exchange(Operator):
         else:
             payload = {"op": "deliver_batch", "ns": self._ns, "rid": rid,
                        "rows": rows}
+        if self._mid_fn is not None:
+            # Per-message dedup id: survives re-forwards of this exact
+            # message, so the delivery layer drops at-least-once
+            # replays (a delivered hop whose ack was lost).
+            payload["mid"] = self._mid_fn()
         if self._standing:
             payload["epoch"] = epoch
             if self._cache_owners:

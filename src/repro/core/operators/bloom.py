@@ -15,9 +15,20 @@ A ``bloom_stage`` operator does both halves for one side:
    the merge point only changes a constant),
 3. on the merged-filters control message, release the buffered rows
    that pass the opposite side's filter.
+
+Continuous plans run the round-trip once per epoch. Every piece of the
+exchange -- the local filter, the buffered rows, the released flag --
+is per-epoch state in an :class:`~repro.core.dataflow.EpochStateRing`,
+and both the outbound ``qbloom`` partial and the inbound merged-filter
+control message are tagged with the epoch they belong to. A standing
+execution therefore never rebuilds this operator: each ``open_epoch``
+simply starts a fresh filter namespace, fed by the standing scan's
+delta buffers rather than a fresh scan, and ``seal_epoch`` drops
+whatever an epoch's release left behind (unreleased rows die with
+their epoch, exactly as they did inside a torn-down execution).
 """
 
-from repro.core.dataflow import Operator
+from repro.core.dataflow import EpochStateRing, Operator
 from repro.core.operators import register_operator
 from repro.util.bloom import BloomFilter
 
@@ -25,7 +36,8 @@ from repro.util.bloom import BloomFilter
 @register_operator("bloom_stage")
 class BloomStage(Operator):
     """Params: ``side`` ("left"/"right"), ``key_exprs``, ``schema``,
-    ``capacity``, ``fp_rate``."""
+    ``capacity``, ``fp_rate``, ``group`` (filter-merge namespace shared
+    by both sides of the join)."""
 
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
@@ -37,49 +49,61 @@ class BloomStage(Operator):
         else:
             self._key_fn = lambda row: tuple(f(row) for f in compiled)
         self.side = spec.params["side"]
-        self._filter = BloomFilter.for_capacity(
-            spec.params.get("capacity", 1024), spec.params.get("fp_rate", 0.03)
-        )
-        self._buffered = []
-        self._released = False
+        # epoch -> {"filter", "buffered", "released"}
+        self._epochs = EpochStateRing(self._fresh_state)
+
+    def _fresh_state(self):
+        return {
+            "filter": BloomFilter.for_capacity(
+                self.spec.params.get("capacity", 1024),
+                self.spec.params.get("fp_rate", 0.03),
+            ),
+            "buffered": [],
+            "released": False,
+        }
 
     def push(self, row, port=0):
-        self._buffered.append(row)
-        self._filter.add(self._key_fn(row))
+        state = self._epochs.state(self._active_epoch())
+        state["buffered"].append(row)
+        state["filter"].add(self._key_fn(row))
 
     def flush(self):
-        """Ship the local filter to the query site for merging."""
+        """Ship the epoch's local filter to the query site for merging."""
+        epoch = self._active_epoch()
+        state = self._epochs.state(epoch)
         self.ctx.send_to_origin({
             "op": "qbloom",
             "qid": self.ctx.query_id,
-            "epoch": self.ctx.epoch,
+            "epoch": epoch,
             # Merged per filter *group*, shared by both sides of a join.
             "op_id": self.spec.params.get("group", self.spec.op_id),
             "side": self.side,
-            "filter": self._filter,
+            "filter": state["filter"],
         })
 
     def control(self, payload):
-        """Merged filters arrived: release rows passing the opposite side."""
-        if self._released:
+        """Merged filters arrived: release rows passing the opposite side.
+
+        Delivery is scoped to the epoch the control message is tagged
+        with, so under a standing execution the release lands in that
+        epoch's buffer even when a newer epoch is already accumulating.
+        A sealed epoch's state is gone -- its late filters are dropped,
+        like the closed execution they would have hit on the rebuild
+        path.
+        """
+        state = self._epochs.peek(self._active_epoch())
+        if state is None or state["released"]:
             return
-        self._released = True
+        state["released"] = True
         opposite = "right" if self.side == "left" else "left"
         other_filter = payload["filters"].get(opposite)
-        rows, self._buffered = self._buffered, []
+        rows, state["buffered"] = state["buffered"], []
         for row in rows:
             if other_filter is None or self._key_fn(row) in other_filter:
                 self.emit(row)
 
-    def advance_epoch(self, k, t_k):
-        # Defensive only: the planner keeps bloom plans on the rebuild
-        # path (the filter round-trip is wired per-epoch at the site).
-        self._buffered = []
-        self._released = False
-        self._filter = BloomFilter.for_capacity(
-            self.spec.params.get("capacity", 1024),
-            self.spec.params.get("fp_rate", 0.03),
-        )
+    def seal_epoch(self, k):
+        self._epochs.seal(k)
 
     def teardown(self):
-        self._buffered = []
+        self._epochs.clear()

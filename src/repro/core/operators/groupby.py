@@ -12,9 +12,10 @@ A node with zero matching rows emits nothing, so global aggregates
 naturally report over the *responding* nodes only -- the semantics
 Figure 1 of the paper plots.
 
-Both operators key their held state by ``ctx.active_epoch``, so an
-overlapping-epoch standing execution can run two epochs' aggregation
-concurrently through one instance.
+Both operators key their held state by ``ctx.active_epoch`` (one
+``EpochStateRing`` entry per live epoch), so an overlapping-epoch
+standing execution can run every live epoch's aggregation concurrently
+through one instance.
 
 *Paned* partials (``params["paned"]``, standing plans with
 ``WINDOW > EVERY``) go further: rows arrive bucketed by pane (the scan
@@ -31,7 +32,7 @@ optional ``paned`` geometry (``{"width", "every", "window"}``).
 Params (final): ``agg_specs``.
 """
 
-from repro.core.dataflow import Operator
+from repro.core.dataflow import EpochStateRing, Operator
 from repro.core.operators import register_operator
 from repro.db.window import window_pane_range
 
@@ -45,7 +46,7 @@ class GroupByPartial(Operator):
         self._agg_specs = spec.params["agg_specs"]
         self._arg_fns = [a.compile_arg(schema) for a in self._agg_specs]
         self._note = getattr(ctx.engine, "note_rows_aggregated", None)
-        self._epochs = {}  # epoch -> {gvals: [states]} (unpaned)
+        self._epochs = EpochStateRing(dict)  # epoch -> {gvals: [states]}
         self._paned = (bool(spec.params.get("paned"))
                        and bool(getattr(ctx, "standing", False)))
         if self._paned:
@@ -80,7 +81,7 @@ class GroupByPartial(Operator):
                     self._pane_versions.get(self._current_pane, 0) + 1
                 )
         else:
-            store = self._epochs.setdefault(self._active_epoch(), {})
+            store = self._epochs.state(self._active_epoch())
         states = store.get(gvals)
         if states is None:
             states = [a.agg.init() for a in self._agg_specs]
@@ -94,7 +95,8 @@ class GroupByPartial(Operator):
         if not self._paned:
             # Emit-and-clear: post-flush stragglers die with their epoch,
             # exactly as they did inside a torn-down execution.
-            for gvals, states in self._epochs.pop(self._active_epoch(), {}).items():
+            held = self._epochs.seal(self._active_epoch())
+            for gvals, states in (held or {}).items():
                 self.emit((gvals, tuple(states)))
             return
         lo, hi = window_pane_range(
@@ -179,10 +181,10 @@ class GroupByPartial(Operator):
         # Unpaned: whatever survived the flush dies with its epoch.
         # Paned: pane partials outlive epochs by design; pruning rides
         # on each flush's window advance.
-        self._epochs.pop(k, None)
+        self._epochs.seal(k)
 
     def teardown(self):
-        self._epochs = {}
+        self._epochs.clear()
         if self._paned:
             self._panes = {}
             self._window = {}
@@ -211,19 +213,22 @@ class GroupByFinal(Operator):
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
         self._agg_specs = spec.params["agg_specs"]
-        self._epochs = {}  # epoch -> {"groups", "flushed", "timer"}
+        # epoch -> {"groups", "flushed", "timer"}; sealing an epoch
+        # cancels its pending refinement reflush so sealed groups can
+        # never leak into a later epoch's result stream.
+        self._epochs = EpochStateRing(
+            lambda: {"groups": {}, "flushed": False, "timer": None},
+            on_seal=self._cancel_reflush,
+        )
 
-    def _entry(self, epoch):
-        entry = self._epochs.get(epoch)
-        if entry is None:
-            entry = self._epochs[epoch] = {
-                "groups": {}, "flushed": False, "timer": None,
-            }
-        return entry
+    def _cancel_reflush(self, entry):
+        if entry["timer"] is not None:
+            self.ctx.dht.cancel_timer(entry["timer"])
+            entry["timer"] = None
 
     def push(self, row, port=0):
         epoch = self._active_epoch()
-        entry = self._entry(epoch)
+        entry = self._epochs.state(epoch)
         gvals, states = row
         held = entry["groups"].get(gvals)
         if held is None:
@@ -240,10 +245,8 @@ class GroupByFinal(Operator):
         self._run_in_epoch(epoch, self.flush)
 
     def flush(self):
-        entry = self._entry(self._active_epoch())
-        if entry["timer"] is not None:
-            self.ctx.dht.cancel_timer(entry["timer"])
-            entry["timer"] = None
+        entry = self._epochs.state(self._active_epoch())
+        self._cancel_reflush(entry)
         entry["flushed"] = True
         self.reset_batch()
         for gvals, states in entry["groups"].items():
@@ -253,14 +256,7 @@ class GroupByFinal(Operator):
             self.emit((tuple(gvals), tuple(states)))
 
     def seal_epoch(self, k):
-        # A pending refinement reflush must not leak a sealed epoch's
-        # groups into a later epoch's result stream.
-        entry = self._epochs.pop(k, None)
-        if entry is not None and entry["timer"] is not None:
-            self.ctx.dht.cancel_timer(entry["timer"])
+        self._epochs.seal(k)
 
     def teardown(self):
-        for entry in self._epochs.values():
-            if entry["timer"] is not None:
-                self.ctx.dht.cancel_timer(entry["timer"])
-        self._epochs = {}
+        self._epochs.clear()

@@ -14,14 +14,15 @@ PIER's two workhorse joins (VLDB 2003, section 3.4):
   the network. Asynchronous by nature; replies landing after the query
   deadline are dropped by the closed execution, the soft-state way.
 
-Join state is keyed by ``ctx.active_epoch``: under an overlapping-epoch
-standing plan, rows tagged with the previous epoch keep probing (and
-building) that epoch's tables while the current epoch's fill up beside
-them. Sealing an epoch drops its tables, exactly as tearing down a
-rebuilt execution did.
+Join state is keyed by ``ctx.active_epoch`` (one
+:class:`~repro.core.dataflow.EpochStateRing` entry per live epoch):
+under an overlapping-epoch standing plan, rows tagged with a previous
+epoch keep probing (and building) that epoch's tables while the
+current epoch's fill up beside them. Sealing an epoch drops its
+tables, exactly as tearing down a rebuilt execution did.
 """
 
-from repro.core.dataflow import Operator
+from repro.core.dataflow import EpochStateRing, Operator
 from repro.core.operators import register_operator
 
 
@@ -40,7 +41,8 @@ class SymmetricHashJoin(Operator):
         right_schema = spec.params["right_schema"]
         self._left_key = _key_fn(spec.params["left_keys"], left_schema)
         self._right_key = _key_fn(spec.params["right_keys"], right_schema)
-        self._epochs = {}  # epoch -> ({}, {}): key -> [rows], by port
+        # epoch -> ({}, {}): key -> [rows], by port
+        self._epochs = EpochStateRing(lambda: ({}, {}))
         residual = spec.params.get("residual")
         if residual is not None:
             out_schema = left_schema.concat(right_schema)
@@ -49,7 +51,7 @@ class SymmetricHashJoin(Operator):
             self._residual = None
 
     def push(self, row, port=0):
-        tables = self._epochs.setdefault(self._active_epoch(), ({}, {}))
+        tables = self._epochs.state(self._active_epoch())
         key = self._left_key(row) if port == 0 else self._right_key(row)
         mine, other = tables[port], tables[1 - port]
         mine.setdefault(key, []).append(row)
@@ -60,10 +62,10 @@ class SymmetricHashJoin(Operator):
                 self.emit(joined)
 
     def seal_epoch(self, k):
-        self._epochs.pop(k, None)
+        self._epochs.seal(k)
 
     def teardown(self):
-        self._epochs = {}
+        self._epochs.clear()
 
 
 def _key_fn(exprs, schema):
@@ -97,17 +99,12 @@ class FetchMatches(Operator):
         else:
             self._residual = None
         self._dedup = spec.params.get("dedup_keys", False)
-        self._epochs = {}  # epoch -> {"cache": {...}, "waiting": {...}}
-
-    def _entry(self, epoch):
-        entry = self._epochs.get(epoch)
-        if entry is None:
-            entry = self._epochs[epoch] = {"cache": {}, "waiting": {}}
-        return entry
+        # epoch -> {"cache": {...}, "waiting": {...}}
+        self._epochs = EpochStateRing(lambda: {"cache": {}, "waiting": {}})
 
     def push(self, row, port=0):
         epoch = self._active_epoch()
-        entry = self._entry(epoch)
+        entry = self._epochs.state(epoch)
         key = self._probe_key(row)
         if self._dedup and key in entry["cache"]:
             self._join(row, entry["cache"][key])
@@ -127,7 +124,7 @@ class FetchMatches(Operator):
         # correctly. A sealed epoch's entry is gone -- its reply finds
         # no waiting probes and is dropped, matching the closed
         # execution it would have landed in on the rebuild path.
-        entry = self._epochs.get(epoch)
+        entry = self._epochs.peek(epoch)
         if entry is None:
             return
         rows = [tuple(v) for _iid, v in values]
@@ -148,7 +145,7 @@ class FetchMatches(Operator):
                 self.emit(joined)
 
     def seal_epoch(self, k):
-        self._epochs.pop(k, None)
+        self._epochs.seal(k)
 
     def teardown(self):
-        self._epochs = {}
+        self._epochs.clear()

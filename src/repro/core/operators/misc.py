@@ -9,12 +9,13 @@ which the engine reports to the query site as quiescence.
 sent directly (not via DHT routing) to the origin node, exactly how
 PIER returns answers.
 
-Stateful operators here key their state by ``ctx.active_epoch``, so an
-overlapping-epoch standing execution keeps two epochs' state apart
-through one instance.
+Stateful operators here keep their per-``ctx.active_epoch`` state in an
+:class:`~repro.core.dataflow.EpochStateRing`, so an overlapping-epoch
+standing execution keeps up to N epochs' state apart through one
+instance.
 """
 
-from repro.core.dataflow import Operator
+from repro.core.dataflow import EpochStateRing, Operator
 from repro.core.operators import register_operator
 
 
@@ -28,11 +29,11 @@ class Distinct(Operator):
 
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
-        self._seen = {}  # epoch -> set of rows
+        self._seen = EpochStateRing(set)  # epoch -> set of rows
         self._report = spec.params.get("report_progress", False)
 
     def push(self, row, port=0):
-        seen = self._seen.setdefault(self._active_epoch(), set())
+        seen = self._seen.state(self._active_epoch())
         if row in seen:
             return
         seen.add(row)
@@ -41,10 +42,10 @@ class Distinct(Operator):
         self.emit(row)
 
     def seal_epoch(self, k):
-        self._seen.pop(k, None)
+        self._seen.seal(k)
 
     def teardown(self):
-        self._seen = {}
+        self._seen.clear()
 
 
 @register_operator("union")
@@ -65,21 +66,21 @@ class Limit(Operator):
 
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
-        self._remaining = {}  # epoch -> rows still allowed through
+        limit = spec.params["limit"]
+        # epoch -> [rows still allowed through] (one-slot mutable cell)
+        self._remaining = EpochStateRing(lambda: [limit])
 
     def push(self, row, port=0):
-        epoch = self._active_epoch()
-        remaining = self._remaining.get(epoch)
-        if remaining is None:
-            remaining = self.spec.params["limit"]
-        if remaining > 0:
-            self._remaining[epoch] = remaining - 1
+        cell = self._remaining.state(self._active_epoch())
+        if cell[0] > 0:
+            cell[0] -= 1
             self.emit(row)
-        else:
-            self._remaining[epoch] = 0
 
     def seal_epoch(self, k):
-        self._remaining.pop(k, None)
+        self._remaining.seal(k)
+
+    def teardown(self):
+        self._remaining.clear()
 
 
 @register_operator("result")
@@ -104,32 +105,32 @@ class ResultReturn(Operator):
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
         self._replace = spec.params.get("replace", False)
-        self._batches = {}  # epoch -> [rows]
+        self._batches = EpochStateRing(list)  # epoch -> [rows]
         self._timer = None
         self._delay = spec.params.get("batch_delay", 0.25)
 
     def push(self, row, port=0):
-        self._batches.setdefault(self._active_epoch(), []).append(row)
+        self._batches.state(self._active_epoch()).append(row)
         if self._timer is None:
             self._timer = self.ctx.dht.set_timer(self._delay, self._send)
 
     def reset_batch(self):
         if self._replace:
-            self._batches.pop(self._active_epoch(), None)
+            self._batches.seal(self._active_epoch())
 
     def _send(self):
         self._timer = None
-        for epoch in sorted(self._batches):
+        for epoch in self._batches.epochs():
             self._send_epoch(epoch)
 
     def _send_epoch(self, epoch):
-        rows = self._batches.get(epoch)
+        rows = self._batches.peek(epoch)
         if not rows:
             return
         if self._replace:
             rows = list(rows)  # keep: later sends resend the cycle
         else:
-            del self._batches[epoch]
+            self._batches.seal(epoch)
         self.ctx.send_to_origin({
             "op": "qres",
             "qid": self.ctx.query_id,
@@ -148,7 +149,7 @@ class ResultReturn(Operator):
     def seal_epoch(self, k):
         # Last call for the retiring epoch's rows: ship, then forget.
         self._send_epoch(k)
-        self._batches.pop(k, None)
+        self._batches.seal(k)
 
     def teardown(self):
         if self._timer is not None:

@@ -7,7 +7,7 @@ not decomposable the partial phase is *safe* only because every node's
 true top k is a superset of its contribution to the global top k.
 
 Row buffers are keyed per epoch so an overlapping-epoch standing plan
-can cut two epochs concurrently. *Paned* instances (standing plans
+can cut every live epoch of its ring concurrently. *Paned* instances (standing plans
 with ``WINDOW > EVERY``) buffer per pane instead: top-k has no inverse,
 but a window's top k can only come from its panes' top k's, so each
 closed pane is cut once to ``k`` rows and every epoch's flush merges
@@ -20,7 +20,7 @@ Params: ``sort_keys`` (list of (Expr, descending?)), ``limit``,
 
 import functools
 
-from repro.core.dataflow import Operator
+from repro.core.dataflow import EpochStateRing, Operator
 from repro.core.operators import register_operator
 from repro.db.window import window_pane_range
 
@@ -66,7 +66,12 @@ class TopK(Operator):
         self._schema = spec.params["schema"]
         self._replay = spec.params.get("replay", False)
         self._note = getattr(ctx.engine, "note_rows_aggregated", None)
-        self._epochs = {}  # epoch -> {"rows", "flushed", "timer"}
+        # epoch -> {"rows", "flushed", "timer"}; sealing cancels the
+        # epoch's pending replay reflush with its state.
+        self._epochs = EpochStateRing(
+            lambda: {"rows": [], "flushed": False, "timer": None},
+            on_seal=self._cancel_reflush,
+        )
         self._paned = (bool(spec.params.get("paned"))
                        and bool(getattr(ctx, "standing", False)))
         if self._paned:
@@ -77,13 +82,10 @@ class TopK(Operator):
             self._pane_cut = set()
             self._current_pane = None
 
-    def _entry(self, epoch):
-        entry = self._epochs.get(epoch)
-        if entry is None:
-            entry = self._epochs[epoch] = {
-                "rows": [], "flushed": False, "timer": None,
-            }
-        return entry
+    def _cancel_reflush(self, entry):
+        if entry["timer"] is not None:
+            self.ctx.dht.cancel_timer(entry["timer"])
+            entry["timer"] = None
 
     def open_pane(self, pane):
         self._current_pane = pane
@@ -98,7 +100,7 @@ class TopK(Operator):
             # cut-then-extend superset property keeps this safe).
             self._pane_cut.discard(self._current_pane)
             return
-        entry = self._entry(self._active_epoch())
+        entry = self._epochs.state(self._active_epoch())
         entry["rows"].append(row)
         if self._replay and entry["flushed"] and entry["timer"] is None:
             entry["timer"] = self.ctx.dht.set_timer(
@@ -110,7 +112,7 @@ class TopK(Operator):
 
     def reset_batch(self):
         if self._replay:
-            self._entry(self._active_epoch())["rows"] = []
+            self._epochs.state(self._active_epoch())["rows"] = []
         super().reset_batch()
 
     def _cut(self, rows):
@@ -123,10 +125,8 @@ class TopK(Operator):
         if self._paned:
             self._flush_paned(self._active_epoch())
             return
-        entry = self._entry(self._active_epoch())
-        if entry["timer"] is not None:
-            self.ctx.dht.cancel_timer(entry["timer"])
-            entry["timer"] = None
+        entry = self._epochs.state(self._active_epoch())
+        self._cancel_reflush(entry)
         entry["flushed"] = True
         ordered = self._cut(entry["rows"])
         if self._replay:
@@ -161,15 +161,10 @@ class TopK(Operator):
             self.emit(row)
 
     def seal_epoch(self, k):
-        entry = self._epochs.pop(k, None)
-        if entry is not None and entry["timer"] is not None:
-            self.ctx.dht.cancel_timer(entry["timer"])
+        self._epochs.seal(k)
 
     def teardown(self):
-        for entry in self._epochs.values():
-            if entry["timer"] is not None:
-                self.ctx.dht.cancel_timer(entry["timer"])
-        self._epochs = {}
+        self._epochs.clear()
         if self._paned:
             self._panes = {}
             self._pane_cut = set()

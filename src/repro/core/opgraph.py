@@ -43,7 +43,7 @@ class QueryPlan:
     def __init__(self, specs, root_id, mode="oneshot", every=None, window=None,
                  lifetime=None, flush_offsets=None, deadline=10.0,
                  finishing=None, metadata=None, standing=False,
-                 epoch_overlap=False, pane=None):
+                 epoch_overlap=1, pane=None):
         self.specs = {spec.op_id: spec for spec in specs}
         if len(self.specs) != len(specs):
             raise PlanError("duplicate op ids in plan")
@@ -67,18 +67,24 @@ class QueryPlan:
         self.metadata = metadata if metadata is not None else {}
         # Standing plans run one long-lived execution per node whose
         # operators roll over via the open/seal epoch lifecycle instead
-        # of being torn down and rebuilt. ``epoch_overlap`` marks
-        # standing plans whose flush schedule spills past the period
-        # (but fits within two): operators then hold up to two live
-        # epoch states at once. ``pane`` is the pane geometry
-        # ({"width", "every", "window"} -- width in seconds, the others
-        # in panes) when the plan uses paned sliding-window aggregation
-        # (WINDOW > EVERY over a pane-aware operator chain); the same
-        # geometry rides on the marked op specs. The planner decides
-        # all three.
+        # of being torn down and rebuilt. ``epoch_overlap`` is the
+        # epoch ring width N: how many epoch states a standing
+        # execution keeps live at once (the planner derives it as the
+        # ceiling of the worst flush horizon over the period, transfer
+        # margin included; 1 means epochs never overlap). ``pane`` is
+        # the pane geometry ({"width", "every", "window"} -- width in
+        # seconds, the others in panes) when the plan uses paned
+        # sliding-window aggregation (WINDOW > EVERY over a pane-aware
+        # operator chain); the same geometry rides on the marked op
+        # specs. The planner decides all three.
         if standing and mode != "continuous":
             raise PlanError("only continuous plans can be standing")
-        if epoch_overlap and not standing:
+        if isinstance(epoch_overlap, bool):  # legacy two-live-epoch flag
+            epoch_overlap = 2 if epoch_overlap else 1
+        epoch_overlap = int(epoch_overlap)
+        if epoch_overlap < 1:
+            raise PlanError("epoch_overlap must be >= 1 live epoch")
+        if epoch_overlap > 1 and not standing:
             raise PlanError("epoch_overlap requires a standing plan")
         self.standing = standing
         self.epoch_overlap = epoch_overlap
@@ -125,8 +131,10 @@ class QueryPlan:
                 op_id, spec.kind, tag, inputs, flush))
         standing = ""
         if self.standing:
-            standing = " (standing, overlapping)" if self.epoch_overlap \
-                else " (standing)"
+            standing = (
+                " (standing, {} live epochs)".format(self.epoch_overlap)
+                if self.epoch_overlap > 1 else " (standing)"
+            )
         lines.append("root: {} mode: {}{} deadline: {:.1f}s".format(
             self.root_id, self.mode, standing, self.deadline))
         return "\n".join(lines)

@@ -23,6 +23,8 @@ result return and a join against the edge relation whose output cycles
 back into the same ``distinct`` -- semi-naive evaluation as dataflow.
 """
 
+import math
+
 from repro.core.aggregates import AggSpec
 from repro.core.opgraph import OpSpec, QueryPlan
 from repro.db.expressions import ColumnRef, equi_join_pairs
@@ -205,40 +207,45 @@ def _plan_flat(lq, catalog, timing):
 
 _STANDING_XFER_MARGIN = 1.0  # flush window + worst simulated RTT
 
+# Ring-width ceiling: a runaway horizon/period ratio would make every
+# operator hold that many live epoch states, so past this the plan
+# keeps the rebuild path (in practice the planner's timing walk bounds
+# horizons to ~10s, so only sub-second periods ever get near it).
+_STANDING_MAX_OVERLAP = 16
+
 
 def _standing_eligible(b, lq, mode):
     """Can this continuous plan run as one long-lived execution?
 
-    Returns ``(standing, epoch_overlap)``. The standing path rolls
-    every operator over at each epoch boundary; how much of the
-    per-epoch dataflow may spill past the boundary decides the tier:
+    Returns ``(standing, epoch_overlap)`` where ``epoch_overlap`` is
+    the *epoch ring width* N: how many epoch states a standing
+    execution keeps live at once. The standing path rolls every
+    operator over at each boundary, and an epoch is sealed when its
+    N-th successor opens, so N must cover the plan's flush horizon:
 
-    * every flush (last included) completes within one period --
-      standing, non-overlapping: one live epoch state per operator;
-    * some flush lands in the *next* period but within two -- standing
-      with ``epoch_overlap``: operators hold up to two live epoch
-      states (the open/seal lifecycle), and an epoch is sealed when its
-      successor's successor opens;
-    * anything later -- rebuild-per-epoch, the disposable path.
+        N = ceil(worst (flush offset + margin) / period)
 
-    A flush whose output still has to *cross an exchange* must clear
-    its budget with a transfer margin: its rows travel tagged with the
-    producing epoch, and a receiver seals that epoch two boundaries
-    later (the rebuild path kept the old epoch's registration open past
-    the boundary, so it was forgiving here). Result-bound flushes need
-    no margin -- their rows go direct to the query site, which collects
-    by epoch tag until its own deadline. Bloom-stage plans are
-    excluded: their filter round-trip is driven per-epoch by the query
-    site and only epoch 0 is wired today. The ``standing`` query option
-    forces the rebuild path when False (the continuous benchmarks use
-    this as the ablation knob).
+    A flush whose output still has to *cross an exchange* pads its
+    offset with a transfer margin: its rows travel tagged with the
+    producing epoch and must land before a receiver seals that epoch
+    (the rebuild path kept the old epoch's registration open past the
+    boundary, so it was forgiving here). Result-bound flushes need no
+    margin -- their rows go direct to the query site, which collects by
+    epoch tag until its own deadline. Bloom-stage plans ride the same
+    math: their filter flush feeds the query site and the release
+    control message lands well before the downstream exchange flushes
+    the N already accounts for.
+
+    Only two things force the rebuild path now: the ``standing`` query
+    option set False (the continuous benchmarks' ablation knob, and the
+    per-plan face of the ``EngineConfig.standing`` compatibility flag)
+    and a horizon so far past the period that the ring would exceed
+    ``_STANDING_MAX_OVERLAP`` live epochs.
     """
     if mode != "continuous":
-        return False, False
+        return False, 1
     if lq.options.get("standing") is False:
-        return False, False
-    if any(spec.kind == "bloom_stage" for spec in b.specs):
-        return False, False
+        return False, 1
     consumers = {}
     for spec in b.specs:
         for input_id in spec.inputs:
@@ -256,15 +263,13 @@ def _standing_eligible(b, lq, mode):
                 return True
         return False
 
-    overlap = False
+    horizon = 0.0
     for op_id, offset in b.flush_offsets.items():
         margin = _STANDING_XFER_MARGIN if feeds_exchange(op_id) else 0.0
-        if offset <= lq.every - margin:
-            continue
-        if offset <= 2.0 * lq.every - margin:
-            overlap = True
-            continue
-        return False, False
+        horizon = max(horizon, offset + margin)
+    overlap = max(1, math.ceil(horizon / lq.every - 1e-9))
+    if overlap > _STANDING_MAX_OVERLAP:
+        return False, 1
     return True, overlap
 
 

@@ -86,6 +86,10 @@ class DhtApi:
     def route(self, key, payload, upcall=None):
         self._node.route(key, payload, upcall)
 
+    def fresh_mid(self):
+        """A node-unique delivery id (exactly-once exchange delivery)."""
+        return self._node.fresh_mid()
+
     def route_via(self, owner, key, payload):
         """One-hop delivery to a cached owner, with routed fallback."""
         self._node.route_via(owner, key, payload)
@@ -101,6 +105,10 @@ class DhtApi:
 
     def set_default_delivery(self, handler):
         self._node.set_default_delivery(handler)
+
+    def on_storage_probe(self, handler):
+        """``handler(namespace)`` on get/lscan probes of q|... namespaces."""
+        self._node.on_storage_probe(handler)
 
     def register_intercept(self, name, handler):
         self._node.register_intercept(name, handler)

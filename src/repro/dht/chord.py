@@ -87,9 +87,12 @@ class ChordNode(SimNode, RpcNode):
         self._pending_hop_acks = {}
         self._suspects = {}  # address -> suspicion expiry (sim time)
         self._next_req = 0
+        self._next_mid = 0
+        self._seen_mids = {}  # delivery id -> forget-at (replay dedup)
         self._intercepts = {}
         self._delivery_handlers = {}
         self._default_delivery = None
+        self._storage_probe_handlers = []
         self._broadcast_handlers = []
         self._direct_handlers = []
         self._seen_broadcasts = set()
@@ -106,13 +109,49 @@ class ChordNode(SimNode, RpcNode):
             jitter_rng=rng,
         )
         self._sweeper = PeriodicProcess(
-            self.clock, config.storage_sweep_period, self.store.sweep, jitter_rng=rng
+            self.clock, config.storage_sweep_period, self._sweep_soft_state,
+            jitter_rng=rng,
         )
         self._install_rpc_handlers()
 
     def _fresh_req(self):
         self._next_req += 1
         return self._next_req
+
+    def fresh_mid(self):
+        """A node-unique delivery id for exactly-once exchange delivery.
+
+        Stamped into ``deliver``/``deliver_batch`` payloads at the
+        origin (exchanges, tree combiners); the id survives every
+        re-forward of the same message, so a terminal that has already
+        consumed it can drop the replay.
+        """
+        self._next_mid += 1
+        return (self.address, self._next_mid)
+
+    def accept_delivery_once(self, mid):
+        """True exactly once per delivery id within the dedup TTL.
+
+        Hop-by-hop acked forwarding is at-least-once: a delivered hop
+        whose ack is lost re-forwards the same message, and a cached-
+        owner send that times out falls back to key routing. Consuming
+        the id at the point of delivery (or in-network absorption)
+        makes exchange delivery exactly-once *per node* -- the only
+        duplicates left are cross-node ones during ownership ambiguity,
+        which soft state already tolerates.
+        """
+        if mid is None:
+            return True
+        if mid in self._seen_mids:
+            return False
+        self._seen_mids[mid] = self.clock.now + self.config.delivery_dedup_ttl
+        return True
+
+    def _sweep_soft_state(self):
+        self.store.sweep()
+        now = self.clock.now
+        for mid in [m for m, t in self._seen_mids.items() if t <= now]:
+            del self._seen_mids[mid]
 
     # ------------------------------------------------------------------
     # Ring membership
@@ -169,6 +208,7 @@ class ChordNode(SimNode, RpcNode):
         self._pending_hop_acks.clear()
         self._suspects.clear()
         self._seen_broadcasts.clear()
+        self._seen_mids.clear()
         # Delivery handlers and intercepts point into executions that
         # just died with the engine; a recovered node must not feed
         # rows to those zombies, it must fall back to the engine's
@@ -273,23 +313,49 @@ class ChordNode(SimNode, RpcNode):
     # ------------------------------------------------------------------
     # Hop-by-hop acked forwarding (shared by lookups and routes)
     # ------------------------------------------------------------------
-    def _send_hop(self, nxt, message, target, tried):
+    @staticmethod
+    def _dup_sensitive(message):
+        """Does duplicating this message at two nodes corrupt state?
+
+        Exchange deliveries are: a copy consumed at the owner *and* at
+        an heir double-counts rows, and only the dedup id lets a
+        receiver drop a replay. Lookups are answers, puts/renews are
+        idempotent, gets are reads -- duplicating those is harmless, so
+        they keep the fastest possible failure recovery.
+        """
+        payload = getattr(message, "payload", None)
+        return isinstance(payload, dict) and payload.get("mid") is not None
+
+    def _send_hop(self, nxt, message, target, tried, retried=False):
         """Forward ``message`` to ``nxt``, expecting a receipt ack.
 
-        On silence, ``nxt`` becomes a suspect and the message is
-        re-forwarded around it (Bamboo's recursive-routing recovery).
+        On silence, a dup-sensitive message (see :meth:`_dup_sensitive`)
+        is first *retransmitted* once to the same hop: a lost ack is as
+        likely as a lost message, and a retransmit carries the same
+        delivery id, so the receiver's dedup absorbs the duplicate --
+        where rerouting straight away would deliver a second copy at a
+        *different* node (an heir), which no node-local dedup can
+        catch. A second silence (or the first, for idempotent traffic
+        and hops already under suspicion) makes ``nxt`` a suspect and
+        re-forwards the message around it (Bamboo's recursive-routing
+        recovery).
         """
         req = self._fresh_req()
         message.hop_ack = (self.address, req)
-        tried = tried | {nxt.address}
 
         def not_acked():
             if self._pending_hop_acks.pop(req, None) is None:
                 return
+            if (not retried and self._dup_sensitive(message)
+                    and not self._is_suspect(nxt.address)):
+                self._send_hop(nxt, message, target, tried, retried=True)
+                return
             self._suspect(nxt.address)
-            self._advance(message, target, tried)
+            self._advance(message, target, tried | {nxt.address})
 
-        timer = self.set_timer(self.config.rpc_timeout, not_acked)
+        wait = (self.config.hop_retransmit_timeout if retried
+                else self.config.rpc_timeout)
+        timer = self.set_timer(wait, not_acked)
         self._pending_hop_acks[req] = timer
         message.hops += 1
         self.send(nxt.address, message)
@@ -424,15 +490,19 @@ class ChordNode(SimNode, RpcNode):
         message = msg.Route(key, payload, self.ref, hops=0, upcall=upcall)
         self._advance(message, key, frozenset())
 
-    def route_via(self, owner, key, payload):
+    def route_via(self, owner, key, payload, _retried=False):
         """Ship a key-routed payload straight to a previously learned owner.
 
         Standing continuous queries route the same epoch-free exchange
         keys every epoch; once the terminal node is known, one direct
         hop replaces the O(log N) recursive walk. The send is still
-        hop-acked: if the cached owner has died, the message falls back
-        to normal key routing around it, so a stale cache costs one
-        timeout rather than lost rows.
+        hop-acked, with the same dup-aware recovery as routed hops: on
+        silence a dup-sensitive payload is retransmitted once to the
+        owner (same delivery id, so a live owner whose ack was lost
+        dedups the copy instead of an heir double-counting it); only a
+        second silence suspects the owner and falls back to normal key
+        routing around it, so a stale cache costs a timeout rather than
+        lost -- or duplicated -- rows.
         """
         message = msg.Route(key, payload, self.ref, hops=0)
         message.force_terminal = True  # deliver at the cached owner
@@ -442,12 +512,18 @@ class ChordNode(SimNode, RpcNode):
         def not_acked():
             if self._pending_hop_acks.pop(req, None) is None:
                 return
+            if (not _retried and self._dup_sensitive(message)
+                    and not self._is_suspect(owner.address)):
+                self.route_via(owner, key, payload, _retried=True)
+                return
             self._suspect(owner.address)
             message.force_terminal = False
             message.hop_ack = None
             self._advance(message, key, frozenset({owner.address}))
 
-        timer = self.set_timer(self.config.rpc_timeout, not_acked)
+        wait = (self.config.hop_retransmit_timeout if _retried
+                else self.config.rpc_timeout)
+        timer = self.set_timer(wait, not_acked)
         self._pending_hop_acks[req] = timer
         message.hops += 1
         self.send(owner.address, message)
@@ -497,7 +573,14 @@ class ChordNode(SimNode, RpcNode):
                     "values": [(i.instance_id, i.value) for i in items],
                 }),
             )
+            self._note_storage_probe(payload["ns"])
         elif op == "deliver" or op == "deliver_batch":
+            if not self.accept_delivery_once(payload.get("mid")):
+                # Replay of a delivery this node already consumed (a
+                # re-forward after a lost hop ack): drop it here, before
+                # it can double-count in an execution or the engine's
+                # unclaimed-row buffer.
+                return
             if (
                 payload.get("learn")
                 and message.origin != self.ref
@@ -555,6 +638,20 @@ class ChordNode(SimNode, RpcNode):
 
     def unregister_intercept(self, name):
         self._intercepts.pop(name, None)
+
+    def on_storage_probe(self, handler):
+        """``handler(namespace)`` runs when a storage probe (a routed
+        ``get``, or a local ``lscan``) references a query-temporary
+        namespace (``q|...``). The engine uses it to notice evidence of
+        a continuous query it has no plan for and fetch the plan from
+        the query site instead of waiting out a refresh period."""
+        self._storage_probe_handlers.append(handler)
+
+    def _note_storage_probe(self, namespace):
+        if not namespace.startswith("q|"):
+            return
+        for handler in self._storage_probe_handlers:
+            handler(namespace)
 
     def register_delivery(self, namespace, handler):
         """Receive ``deliver`` payloads routed to keys this node owns."""
@@ -696,6 +793,7 @@ class ChordNode(SimNode, RpcNode):
 
     def lscan(self, namespace):
         """Locally stored live items of a namespace (PIER's scan access)."""
+        self._note_storage_probe(namespace)
         return self.store.lscan(namespace)
 
     def new_data(self, namespace, callback, ttl=None):

@@ -25,6 +25,19 @@ class DhtConfig:
         default_ttl=120.0,
         suspect_ttl=30.0,
         graceful_leave=False,
+        # How long a received exchange-delivery id is remembered to
+        # drop replays (hop-by-hop acks make routed forwarding
+        # at-least-once; a delivered message whose ack was lost is
+        # re-forwarded). Must comfortably outlive the longest
+        # retry chain: lookup_timeout x retries plus routing slack.
+        delivery_dedup_ttl=30.0,
+        # How long a retransmitted (same-hop, same delivery id) exchange
+        # message waits for its ack before the hop is suspected and the
+        # message rerouted. One worst-case RTT: a live hop whose ack was
+        # lost answers the retransmit within that; a dead hop never
+        # will, so keeping this short caps the extra discovery latency
+        # the retransmit adds over immediate rerouting.
+        hop_retransmit_timeout=0.4,
     ):
         if successor_list_length < 1:
             raise ValueError("successor list must hold at least one entry")
@@ -40,3 +53,5 @@ class DhtConfig:
         self.default_ttl = default_ttl
         self.suspect_ttl = suspect_ttl
         self.graceful_leave = graceful_leave
+        self.delivery_dedup_ttl = delivery_dedup_ttl
+        self.hop_retransmit_timeout = hop_retransmit_timeout

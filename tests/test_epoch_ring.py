@@ -1,0 +1,404 @@
+"""The N-live-epoch ring: EpochStateRing, planner ring widths, the
+generalized StandingExecution lifecycle, standing bloom joins, plan
+fetch on storage probes, and exactly-once exchange delivery."""
+
+import random
+
+import pytest
+
+from repro.core.dataflow import EpochStateRing, Operator, StandingExecution
+from repro.core.network import PierNetwork
+from repro.core.operators import register_operator
+from repro.core.opgraph import OpSpec, QueryPlan
+from repro.core.planner import _STANDING_XFER_MARGIN
+
+
+# ----------------------------------------------------------------------
+# EpochStateRing unit behaviour
+# ----------------------------------------------------------------------
+class TestEpochStateRing:
+    def test_state_created_on_first_touch_only(self):
+        made = []
+        ring = EpochStateRing(lambda: made.append(1) or {})
+        assert ring.peek(3) is None and len(made) == 0
+        state = ring.state(3)
+        assert ring.state(3) is state and len(made) == 1
+        assert 3 in ring and len(ring) == 1
+
+    def test_seal_reclaims_and_runs_hook_once(self):
+        sealed = []
+        ring = EpochStateRing(dict, on_seal=sealed.append)
+        state = ring.state(7)
+        assert ring.seal(7) is state
+        assert sealed == [state]
+        assert ring.peek(7) is None
+        assert ring.seal(7) is None  # idempotent, hook not re-run
+        assert sealed == [state]
+
+    def test_clear_seals_every_live_epoch(self):
+        sealed = []
+        ring = EpochStateRing(dict, on_seal=sealed.append)
+        for e in (2, 0, 1):
+            ring.state(e)
+        assert ring.epochs() == [0, 1, 2]
+        ring.clear()
+        assert len(sealed) == 3 and len(ring) == 0
+
+    def test_items_ascending(self):
+        ring = EpochStateRing(list)
+        for e in (5, 3, 4):
+            ring.state(e).append(e)
+        assert [e for e, _s in ring.items()] == [3, 4, 5]
+
+
+# ----------------------------------------------------------------------
+# Planner: ring width from the flush schedule
+# ----------------------------------------------------------------------
+@pytest.fixture
+def net():
+    n = PierNetwork(nodes=8, seed=321)
+    n.create_stream_table("s", [("v", "FLOAT")], window=60.0)
+    return n
+
+
+GROUPED_SQL = ("SELECT SUM(v) AS total, COUNT(*) AS n FROM s "
+               "EVERY {} SECONDS WINDOW 4 SECONDS LIFETIME 40 SECONDS")
+
+
+class TestPlannerRingWidth:
+    def test_random_periods_bracket_the_ring_width(self, net):
+        """Property: for random periods, N is sufficient (every flush
+        offset fits inside N periods) and minimal (N-1 periods do not
+        cover the worst offset even with the largest margin)."""
+        rng = random.Random(99)
+        for _ in range(25):
+            every = round(rng.uniform(0.8, 30.0), 2)
+            plan = net.compile_sql(GROUPED_SQL.format(every))
+            if not plan.standing:
+                continue  # ring would exceed the planner's cap
+            n = plan.epoch_overlap
+            worst = max(plan.flush_offsets.values())
+            assert n >= 1
+            assert n * every >= worst, (every, n, worst)
+            if n > 1:
+                assert (n - 1) * every < worst + _STANDING_XFER_MARGIN, (
+                    every, n, worst
+                )
+
+    def test_four_period_flush_schedule_runs_standing(self, net):
+        # tree_xfer pushes the result flush to ~9.1s; a 2.5s period
+        # means the schedule spans four periods -- exactly the shape
+        # PR 3 forced back to rebuild, now standing with a wider ring.
+        plan = net.compile_sql(GROUPED_SQL.format(2.5))
+        assert plan.standing
+        assert plan.epoch_overlap == 4
+
+    def test_bloom_plans_are_standing_now(self, net):
+        net.create_local_table("r", [("k", "INT"), ("v", "INT")])
+        net.create_local_table("s2", [("k", "INT"), ("w", "INT")])
+        plan = net.compile_sql(
+            "SELECT r.v AS v, s2.w AS w FROM r, s2 WHERE r.k = s2.k "
+            "EVERY 12 SECONDS LIFETIME 36 SECONDS",
+            options={"join_strategy": "bloom"},
+        )
+        assert plan.ops_of_kind("bloom_stage")
+        assert plan.standing
+
+    def test_absurd_ratio_keeps_rebuild_fallback(self, net):
+        # Sub-~0.6s periods against a ~9.1s horizon exceed the ring
+        # cap; the plan keeps the compatibility path instead of holding
+        # dozens of live epoch states.
+        plan = net.compile_sql(GROUPED_SQL.format(0.5))
+        assert not plan.standing
+
+
+# ----------------------------------------------------------------------
+# StandingExecution: open/seal ordering over random schedules
+# ----------------------------------------------------------------------
+@register_operator("ring_probe")
+class RingProbe(Operator):
+    """Records its lifecycle and keeps per-epoch state in a ring."""
+
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        self.events = []
+        self.ring = EpochStateRing(dict)
+
+    def open_epoch(self, k, t_k):
+        self.events.append(("open", k))
+        self.ring.state(k)["opened_at"] = t_k
+
+    def seal_epoch(self, k):
+        self.events.append(("seal", k))
+        self.ring.seal(k)
+
+
+class _StubTimer:
+    def __init__(self, time):
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class _StubClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+class _StubEngine:
+    def __init__(self):
+        self.clock = _StubClock()
+        self.dht = self
+        self.address = "stub"
+        self.timers = []
+
+    def set_timer(self, delay, callback, *args):
+        timer = _StubTimer(self.clock.now + delay)
+        self.timers.append(timer)
+        return timer
+
+
+def drive_standing(n_live, every, offsets, boundaries):
+    plan = QueryPlan(
+        [OpSpec("p", "ring_probe")], "p", mode="continuous", every=every,
+        flush_offsets={"p": o for o in offsets[:1]}, standing=True,
+        epoch_overlap=n_live,
+    )
+    engine = _StubEngine()
+    execution = StandingExecution(engine, plan, "q#1", 0, 0.0, "site")
+    execution.start()
+    probe = execution.ops["p"]
+    max_live = 0
+    for k in range(1, boundaries + 1):
+        engine.clock.now = k * every
+        execution.advance_epoch(k, k * every)
+        max_live = max(max_live, len(execution._open_epochs))
+        assert len(probe.ring) <= n_live
+    return execution, probe, max_live
+
+
+class TestStandingRingLifecycle:
+    def test_random_schedules_respect_the_ring(self):
+        """Property over random ring widths and periods: epochs open in
+        order, epoch e is sealed exactly when e+N opens, never more
+        than N states are live, and sealed state is reclaimed."""
+        rng = random.Random(4321)
+        for _ in range(20):
+            n_live = rng.randint(1, 6)
+            every = round(rng.uniform(0.5, 10.0), 2)
+            boundaries = rng.randint(n_live + 1, 4 * n_live + 4)
+            offsets = [round(rng.uniform(0.1, n_live * every), 2)]
+            execution, probe, max_live = drive_standing(
+                n_live, every, offsets, boundaries
+            )
+            opens = [k for kind, k in probe.events if kind == "open"]
+            seals = [k for kind, k in probe.events if kind == "seal"]
+            assert opens == list(range(1, boundaries + 1))
+            assert seals == sorted(seals)  # sealed oldest-first
+            # Epoch e seals exactly when e + n_live opens (epoch 0 was
+            # opened by construction, so it seals with n_live).
+            expected_seals = [
+                e for e in range(0, boundaries - n_live + 1)
+            ]
+            assert seals == expected_seals
+            for e in seals:
+                seal_pos = probe.events.index(("seal", e))
+                open_pos = probe.events.index(("open", e + n_live))
+                assert seal_pos < open_pos  # sealed before the open wave
+            assert max_live <= n_live
+            # Only the newest n_live epochs still hold state.
+            assert probe.ring.epochs() == sorted(
+                execution._open_epochs
+            )
+
+    def test_seal_cancels_that_epochs_flush_timers(self):
+        execution, _probe, _ = drive_standing(
+            2, 5.0, offsets=[8.0], boundaries=4
+        )
+        live = set(execution._open_epochs)
+        for epoch, timer in execution._flush_timers:
+            assert epoch in live
+            assert not timer.cancelled
+
+    def test_late_tags_dropped_early_tags_parked(self):
+        execution, probe, _ = drive_standing(
+            3, 5.0, offsets=[12.0], boundaries=6
+        )
+        # Epochs 4, 5, 6 open; <= 3 sealed.
+        ring_before = probe.ring.epochs()
+        execution.deliver_batch("p", 0, [(1,)], epoch=2)  # late: sealed
+        assert probe.ring.epochs() == ring_before
+        execution.deliver_batch("p", 0, [(1,)], epoch=7)  # early: parked
+        assert 7 in execution._early
+
+
+# ----------------------------------------------------------------------
+# Standing bloom joins: rebuild parity (regression for the retired path)
+# ----------------------------------------------------------------------
+def run_bloom_continuous(standing):
+    net = PierNetwork(nodes=10, seed=5)
+    net.create_local_table("r", [("k", "INT"), ("v", "INT")])
+    net.create_local_table("s2", [("k", "INT"), ("w", "INT")])
+    for i, address in enumerate(net.addresses()):
+        net.insert(address, "r", [((i + j) % 8, 10 + j) for j in range(3)])
+        net.insert(address, "s2", [((2 * i + j) % 16, 100 + j) for j in range(2)])
+    options = {"join_strategy": "bloom"}
+    if not standing:
+        options["standing"] = False
+    results = []
+    handle = net.submit_sql(
+        "SELECT r.k AS k, r.v AS v, s2.w AS w FROM r, s2 WHERE r.k = s2.k "
+        "EVERY 12 SECONDS LIFETIME 36 SECONDS",
+        on_epoch=results.append, options=options,
+    )
+    assert handle.plan.standing == standing
+    if standing:
+        net.advance(14)
+        engine = net.node(net.addresses()[4]).engine
+        execution = engine.queries[handle.qid].execution
+        assert isinstance(execution, StandingExecution)
+        net.advance(36 + handle.plan.deadline + 5 - 14)
+    else:
+        net.advance(36 + handle.plan.deadline + 5)
+    return {r.epoch: sorted(r.rows) for r in results}
+
+
+class TestStandingBloom:
+    def test_bloom_plan_runs_standing_with_rebuild_parity(self):
+        standing = run_bloom_continuous(True)
+        rebuild = run_bloom_continuous(False)
+        assert set(standing) == set(rebuild)
+        assert len(standing) >= 3
+        for epoch in standing:
+            assert standing[epoch] == rebuild[epoch]
+            assert standing[epoch]  # the join actually produced rows
+
+    def test_per_epoch_filter_round_trip(self):
+        # Every epoch gets its own merged-filter broadcast (the old
+        # wiring only drove epoch 0), tagged with that epoch.
+        net = PierNetwork(nodes=10, seed=5)
+        net.create_local_table("r", [("k", "INT"), ("v", "INT")])
+        net.create_local_table("s2", [("k", "INT"), ("w", "INT")])
+        for i, address in enumerate(net.addresses()):
+            net.insert(address, "r", [((i + j) % 8, 10 + j) for j in range(3)])
+            net.insert(address, "s2", [(i % 16, 100)])
+        seen = []
+        site = net.any_address()
+        handle = net.submit_sql(
+            "SELECT r.v AS v, s2.w AS w FROM r, s2 WHERE r.k = s2.k "
+            "EVERY 12 SECONDS LIFETIME 36 SECONDS",
+            node=site, options={"join_strategy": "bloom"},
+        )
+        original = net.node(site).chord.broadcast
+
+        def spy(payload):
+            if isinstance(payload, dict) and payload.get("ctl") == "bloom":
+                seen.append(payload["epoch"])
+            original(payload)
+
+        net.node(site).chord.broadcast = spy
+        net.advance(36 + handle.plan.deadline + 5)
+        assert sorted(set(seen)) >= [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# Plan fetch on storage probes
+# ----------------------------------------------------------------------
+class TestPlanFetchOnProbe:
+    def _recovered_planless_node(self):
+        net = PierNetwork(nodes=8, seed=321)
+        net.create_stream_table("s", [("v", "FLOAT")], window=30.0)
+        handle = net.submit_sql(
+            "SELECT SUM(v) AS total FROM s EVERY 10 SECONDS "
+            "LIFETIME 200 SECONDS", node=net.addresses()[0],
+        )
+        net.advance(12)
+        victim = net.addresses()[5]
+        net.crash_node(victim)
+        net.advance(2)
+        net.recover_node(victim)
+        net.advance(2)
+        assert handle.qid not in net.node(victim).engine.queries
+        return net, handle, victim
+
+    def test_get_probe_triggers_plan_fetch(self):
+        net, handle, victim = self._recovered_planless_node()
+        chord = net.node(victim).chord
+
+        class Probe:
+            payload = {"op": "get", "ns": "q|{}|op4|0".format(handle.qid),
+                       "rid": (), "reply_to": net.addresses()[0], "req": 1}
+            origin = None
+            key = 0
+
+        chord._route_arrived(Probe())
+        net.advance(2)  # xplan round-trip
+        assert handle.qid in net.node(victim).engine.queries
+        handle.stop()
+
+    def test_lscan_probe_triggers_plan_fetch(self):
+        net, handle, victim = self._recovered_planless_node()
+        net.node(victim).chord.lscan("q|{}|op4|0".format(handle.qid))
+        net.advance(2)
+        assert handle.qid in net.node(victim).engine.queries
+        handle.stop()
+
+    def test_foreign_namespaces_do_not_probe(self):
+        net, handle, victim = self._recovered_planless_node()
+        net.node(victim).chord.lscan("some_table")
+        net.advance(2)
+        assert handle.qid not in net.node(victim).engine.queries
+        handle.stop()
+
+
+# ----------------------------------------------------------------------
+# Exactly-once exchange delivery
+# ----------------------------------------------------------------------
+class TestExactlyOnceDelivery:
+    def test_replayed_delivery_dropped_at_the_door(self):
+        net = PierNetwork(nodes=4, seed=11)
+        chord = net.node(net.addresses()[1]).chord
+        got = []
+        chord.register_delivery("q|x#1|op9|0", lambda p, m: got.append(p))
+
+        class Msg:
+            payload = {"op": "deliver", "ns": "q|x#1|op9|0", "rid": ("k",),
+                       "data": (1,), "mid": ("node0", 42)}
+            origin = None
+            key = 0
+            force_terminal = False
+
+        chord._route_arrived(Msg())
+        chord._route_arrived(Msg())  # re-forward after a lost hop ack
+        assert len(got) == 1
+
+    def test_mids_age_out(self):
+        net = PierNetwork(nodes=4, seed=11)
+        chord = net.node(net.addresses()[0]).chord
+        assert chord.accept_delivery_once(("a", 1))
+        assert not chord.accept_delivery_once(("a", 1))
+        net.advance(chord.config.delivery_dedup_ttl + chord.config.storage_sweep_period + 1)
+        assert ("a", 1) not in chord._seen_mids  # swept
+        assert chord.accept_delivery_once(("a", 1))
+
+    def test_exchange_payloads_carry_mids(self):
+        net = PierNetwork(nodes=4, seed=11)
+        net.create_local_table("t", [("v", "INT")])
+        net.insert(net.addresses()[0], "t", [(1,), (2,)])
+        sent = []
+        for address in net.addresses():
+            chord = net.node(address).chord
+            original = chord.route
+
+            def spy(key, payload, upcall=None, _orig=original):
+                if payload.get("op") in ("deliver", "deliver_batch"):
+                    sent.append(payload)
+                _orig(key, payload, upcall)
+
+            chord.route = spy
+        net.run_sql("SELECT v, COUNT(*) AS n FROM t GROUP BY v")
+        assert sent
+        assert all(p.get("mid") is not None for p in sent)
+        assert len({p["mid"] for p in sent}) == len(sent)

@@ -341,7 +341,7 @@ class TestOverlappingEpochs:
         net, handle, results, _folded = run_continuous(
             self.SQL, seed=31, advance=15.0
         )
-        assert handle.plan.standing and handle.plan.epoch_overlap
+        assert handle.plan.standing and handle.plan.epoch_overlap == 2
         engine = net.node(net.addresses()[3]).engine
         record = engine.queries[handle.qid]
         assert isinstance(record.execution, StandingExecution)
@@ -388,7 +388,7 @@ class TestOverlappingEpochs:
                 sql, seed=55, advance=70.0, options=options
             )
             if options is None:
-                assert handle.plan.epoch_overlap
+                assert handle.plan.epoch_overlap == 2
                 assert handle.plan.pane is not None
             per_path.append([
                 (r.epoch, r.rows[0][1], round(r.rows[0][0], 6))

@@ -45,25 +45,32 @@ class TestStandingLifecycle:
 
     def test_overlapping_flush_schedule_still_standing(self, net):
         # Flushes stretch past a 5s period but fit within two: the plan
-        # stays standing, marked overlapping (operators keep two live
-        # epoch states instead of falling back to rebuild-per-epoch).
+        # stays standing with an epoch ring of two live states.
         plan = net.compile_sql(
             "SELECT SUM(v) AS total FROM s EVERY 5 SECONDS "
             "WINDOW 4 SECONDS LIFETIME 40 SECONDS"
         )
         assert plan.standing
-        assert plan.epoch_overlap
-        # Within one period: standing without overlap.
-        assert not net.compile_sql(CONTINUOUS_SQL).epoch_overlap
+        assert plan.epoch_overlap == 2
+        # Within one period: one live epoch state.
+        assert net.compile_sql(CONTINUOUS_SQL).epoch_overlap == 1
 
-    def test_overlong_flush_schedule_falls_back_to_rebuild(self, net):
-        # Flushes stretch past even two 4s periods: more than two epoch
-        # states would have to coexist, so the plan must keep the
+    def test_overlong_flush_schedule_widens_the_ring(self, net):
+        # Flushes stretch past two 4s periods: the ring simply widens
+        # to three live epoch states instead of falling back to the
         # disposable per-epoch path.
         plan = net.compile_sql(
             "SELECT SUM(v) AS total FROM s EVERY 4 SECONDS "
             "WINDOW 4 SECONDS LIFETIME 40 SECONDS"
         )
+        assert plan.standing
+        assert plan.epoch_overlap == 3
+
+    def test_standing_option_forces_rebuild(self, net):
+        # The compatibility fallback: the ``standing`` query option is
+        # the only remaining road to rebuild-per-epoch (plus the
+        # cluster-wide EngineConfig.standing flag).
+        plan = net.compile_sql(CONTINUOUS_SQL, options={"standing": False})
         assert not plan.standing
 
     def test_one_execution_reused_across_epochs(self, net):
@@ -166,7 +173,7 @@ class TestStandingLifecycle:
 
 def final_groups(execution, op_id, epoch):
     """A groupby_final's held groups for one epoch (empty if none)."""
-    entry = execution.ops[op_id]._epochs.get(epoch)
+    entry = execution.ops[op_id]._epochs.peek(epoch)
     return dict(entry["groups"]) if entry else {}
 
 
@@ -363,7 +370,7 @@ class TestNack:
         )
         engine._exchange_mutes[(exchange._ns, ())] = net.now + 30.0
         exchange.push(((), (1.0, 1)))  # group row keyed ()
-        assert exchange._pending == {}  # dropped before buffering
+        assert len(exchange._pending) == 0  # dropped before buffering
 
 
 class TestPlanFetch:
