@@ -32,7 +32,6 @@ Run standalone with ``python benchmarks/bench_continuous_standing.py``
 
 import sys
 
-from repro.core.engine import EngineConfig
 from repro.core.network import PierConfig, PierNetwork
 
 NODES = 48
@@ -233,6 +232,18 @@ def main(argv=None):
     stats = run_sweep(nodes=nodes, lifetime=lifetime)
     ratios = check_sweep(stats)
     print(exhibit(nodes, lifetime, stats, ratios))
+    from benchmarks._harness import write_metrics
+
+    # The standing-vs-rebuild ablation on record: once these numbers
+    # are baselined, retiring the rebuild fallback no longer requires
+    # re-running the ablation live (see ROADMAP).
+    write_metrics("continuous_standing", {
+        "parity": True,
+        "tree_scan_ratio": round(ratios["tree_scan"], 4),
+        "rehash_scan_ratio": round(ratios["rehash_scan"], 4),
+        "tree_msgs_ratio": round(ratios["tree_msgs"], 4),
+        "rehash_msgs_ratio": round(ratios["rehash_msgs"], 4),
+    }, scale="smoke" if args.smoke else "full")
     print("ok: per-epoch parity holds; rows scanned {:.2f}x/{:.2f}x and "
           "messages {:.2f}x/{:.2f}x (tree/rehash)".format(
               ratios["tree_scan"], ratios["rehash_scan"],

@@ -312,6 +312,16 @@ def main(argv=None):
     )
     text = exhibit(nodes, stats, ratios_out, bloom_s, bloom_r, bloom_ratio)
     print(text)
+    from benchmarks._harness import write_metrics
+
+    metrics = {"parity": True,
+               "bloom_msgs_ratio": round(bloom_ratio, 4)}
+    for ratio, r in ratios_out.items():
+        metrics["scan_ratio_{}x".format(ratio)] = round(r["scan"], 4)
+        metrics["msgs_ratio_{}x".format(ratio)] = round(
+            r["msgs_per_epoch"], 4)
+    write_metrics("epoch_overlap", metrics,
+                  scale="smoke" if args.smoke else "full")
     if not args.smoke:
         from benchmarks._harness import report
 

@@ -380,6 +380,13 @@ def main(argv=None):
     agg_stats = run_agg_sweep(nodes=agg_nodes)
     total_ref = check_agg_sweep(agg_stats)
     print(agg_exhibit(agg_nodes, agg_stats, total_ref))
+    from benchmarks._harness import write_metrics
+
+    write_metrics("exchange_batching", {
+        "parity": True,
+        "agg_within_bounds": True,
+        "message_reduction": round(ratio, 4),
+    }, scale="smoke" if args.smoke else "full")
     print("ok: results identical, reduction {:.2f}x >= {}x; aggregation "
           "sweep (tree + lossy) within bounds".format(ratio, min_ratio))
     return 0

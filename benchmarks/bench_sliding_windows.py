@@ -283,6 +283,13 @@ def main(argv=None):
     text = exhibit(nodes, EVERY, ratios, lifetime, stats, fold_ratios,
                    overlap_epochs)
     print(text)
+    from benchmarks._harness import write_metrics
+
+    metrics = {"parity": True, "overlap_epochs": overlap_epochs}
+    for ratio in ratios:
+        metrics["fold_ratio_{}x".format(ratio)] = round(fold_ratios[ratio], 4)
+    write_metrics("sliding_windows", metrics,
+                  scale="smoke" if args.smoke else "full")
     if not args.smoke:
         from benchmarks._harness import report
 

@@ -20,6 +20,7 @@ is still O(panes) per epoch rather than O(rows).
 """
 
 from repro.util.errors import PlanError
+from repro.util.sketches import CountMinSketch, HyperLogLog
 
 
 class Aggregate:
@@ -202,6 +203,91 @@ class CountDistinct(Aggregate):
         return len(state)
 
 
+class ApproxCountDistinct(Aggregate):
+    """COUNT(DISTINCT expr) via HyperLogLog: constant-size partials.
+
+    The exact :class:`CountDistinct` ships the value set itself, so
+    partial states (and every in-network merge) grow with the data.
+    This one folds values into a ``2 ** p``-register HLL instead:
+    states are a few hundred bytes regardless of cardinality, merge is
+    register-wise max (associative, commutative, idempotent), and the
+    answer is within ``~1.04 / sqrt(2 ** p)`` relative standard error.
+    Registers are maxima, so there is no inverse -- paned windows
+    re-merge live pane partials, which stays O(panes) *constant-size*
+    merges where the exact fallback re-merges whole value sets.
+    """
+
+    name = "APPROX_COUNT_DISTINCT"
+
+    def __init__(self, precision=10):
+        self._empty = HyperLogLog(precision)
+
+    def init(self):
+        return self._empty
+
+    def add(self, state, value):
+        if value is None:
+            return state
+        return state.add(value)
+
+    def merge(self, left, right):
+        return left.merge(right)
+
+    def final(self, state):
+        return int(round(state.estimate()))
+
+
+class ApproxTopK(Aggregate):
+    """Heavy hitters via Count-Min: ``k`` most frequent values + counts.
+
+    State is ``(sketch, candidates)``: a Count-Min sketch of every
+    value's frequency plus a bounded candidate set (the classic
+    sketch-and-heap construction, kept at ``8 * k`` values by estimated
+    count so merges stay constant-size). ``final`` returns a tuple of
+    ``(value, estimated_count)`` pairs, best first. Estimates never
+    under-count and over-count by at most ``epsilon * N``
+    (``epsilon = e / width``) with high probability, so any value whose
+    true count clears the k-th count by ``2 * epsilon * N`` is
+    guaranteed to appear. The candidate set only grows under merge,
+    so the aggregate is not invertible; paned windows re-merge live
+    pane partials (O(panes) constant-size merges).
+    """
+
+    name = "APPROX_TOPK"
+
+    def __init__(self, k=10, depth=4, width=256):
+        self.k = k
+        self._cap = 8 * k
+        self._empty = CountMinSketch(depth=depth, width=width)
+
+    def init(self):
+        return (self._empty, frozenset())
+
+    def add(self, state, value):
+        if value is None:
+            return state
+        sketch, candidates = state
+        sketch = sketch.add(value)
+        return (sketch, self._trim(sketch, candidates | {value}))
+
+    def merge(self, left, right):
+        sketch = left[0].merge(right[0])
+        return (sketch, self._trim(sketch, left[1] | right[1]))
+
+    def _trim(self, sketch, candidates):
+        if len(candidates) <= self._cap:
+            return candidates
+        ranked = sorted(candidates,
+                        key=lambda v: (-sketch.estimate(v), str(v)))
+        return frozenset(ranked[: self._cap])
+
+    def final(self, state):
+        sketch, candidates = state
+        ranked = sorted(candidates,
+                        key=lambda v: (-sketch.estimate(v), str(v)))
+        return tuple((v, sketch.estimate(v)) for v in ranked[: self.k])
+
+
 class Avg(Aggregate):
     """AVG via a (sum, count) partial -- merge-safe, unlike a ratio."""
 
@@ -235,6 +321,8 @@ _REGISTRY = {
     "MIN": Min(),
     "MAX": Max(),
     "AVG": Avg(),
+    "APPROX_COUNT_DISTINCT": ApproxCountDistinct(),
+    "APPROX_TOPK": ApproxTopK(),
 }
 
 

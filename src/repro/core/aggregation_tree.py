@@ -15,6 +15,15 @@ it once under an epoch-free upcall name; payloads then carry an epoch
 tag, and the combiner merges only same-epoch partials (held states are
 keyed by tag) so a straggler from a finished epoch can never pollute
 the next epoch's aggregate mid-route.
+
+Paned edges (distributed sliding windows) add a *pane* tag beside the
+epoch: held states are keyed by (epoch, pane, group) and forwarded
+messages keep the pane, so the in-network tree merges pane partials --
+one combined increment per pane per group reaches the owner -- without
+ever conflating two panes' states. Paned routing also drops the
+per-epoch rendezvous salt (see ``Exchange._route``): a window's panes
+must accumulate at a stable owner across the epochs that share them,
+so the combiner forwards under the plain routing namespace too.
 """
 
 from repro.core.exchange import epoch_route_ns, payload_rows
@@ -24,14 +33,16 @@ from repro.dht.chord import storage_key
 class TreeCombiner:
     """Hold-and-merge relay for partial aggregate states."""
 
-    def __init__(self, dht, ns, route_ns, upcall, agg_specs, hold_delay):
+    def __init__(self, dht, ns, route_ns, upcall, agg_specs, hold_delay,
+                 paned=False):
         self.dht = dht
         self.ns = ns  # delivery namespace (dispatch tag on arrival)
         self.route_ns = route_ns  # routing namespace (must match the exchange's)
         self.upcall = upcall
         self.agg_specs = agg_specs
         self.hold_delay = hold_delay
-        self._held = {}  # (epoch_tag, group_values) -> merged states (list)
+        self.paned = paned  # pane-tagged edge: stable (unsalted) routing
+        self._held = {}  # (epoch, pane, group_values) -> merged states (list)
         self._timer = None
         self.merged_in = 0  # messages absorbed (for the ablation bench)
         self.forwarded = 0
@@ -54,17 +65,18 @@ class TreeCombiner:
         if not node.accept_delivery_once(route_msg.payload.get("mid")):
             return False  # replay already folded into a held partial
         epoch = route_msg.payload.get("epoch")
+        pane = route_msg.payload.get("pane")
         for gvals, states in payload_rows(route_msg.payload):
-            self._absorb(epoch, gvals, states)
+            self._absorb(epoch, pane, gvals, states)
         self.merged_in += 1
         if self._timer is None:
             self._timer = self.dht.set_timer(self.hold_delay, self._forward)
         return False
 
-    def _absorb(self, epoch, gvals, states):
-        held = self._held.get((epoch, gvals))
+    def _absorb(self, epoch, pane, gvals, states):
+        held = self._held.get((epoch, pane, gvals))
         if held is None:
-            self._held[(epoch, gvals)] = list(states)
+            self._held[(epoch, pane, gvals)] = list(states)
         else:
             for i, spec in enumerate(self.agg_specs):
                 held[i] = spec.agg.merge(held[i], states[i])
@@ -72,7 +84,7 @@ class TreeCombiner:
     def _forward(self):
         self._timer = None
         held, self._held = self._held, {}
-        for (epoch, gvals), states in held.items():
+        for (epoch, pane, gvals), states in held.items():
             self.forwarded += 1
             # A combined message is new traffic: it gets its own dedup
             # id (the absorbed originals' ids were consumed on absorb).
@@ -82,7 +94,12 @@ class TreeCombiner:
             route_ns = self.route_ns
             if epoch is not None:
                 payload["epoch"] = epoch
-                route_ns = epoch_route_ns(route_ns, epoch)
+                if self.paned:
+                    # Stable rendezvous: pane partials for a group must
+                    # keep converging on one owner across epochs.
+                    payload["pane"] = pane
+                else:
+                    route_ns = epoch_route_ns(route_ns, epoch)
             self.dht.route(
                 storage_key(route_ns, gvals), payload, upcall=self.upcall,
             )

@@ -52,6 +52,20 @@ from contextlib import contextmanager
 from repro.util.errors import PlanError
 
 
+def plan_live_epochs(plan):
+    """A plan's epoch ring width N, clamped the way executions use it.
+
+    The single definition of "how many epoch states stay live at
+    once": :class:`StandingExecution` bounds its open-epoch map with
+    it, and pane-holding operators (paned group-by finals, paned bloom
+    stages) size their pane retention from it -- an older still-open
+    epoch may re-read panes after the newest epoch advanced the
+    window, so ``(N - 1) * panes_per_every`` extra pane ranges must
+    survive pruning. Accepts a missing/stub plan (treated as N = 1).
+    """
+    return max(1, int(getattr(plan, "epoch_overlap", 1) or 1))
+
+
 class LocalQueryContext:
     """What operator instances see of their environment.
 
@@ -266,12 +280,27 @@ class Operator:
             consumer.push(row, port)
 
     def open_pane(self, pane):
-        """A paned scan announces the pane its next rows belong to.
+        """A paned producer announces the pane its next rows belong to.
 
         Stateless operators forward the marker down the local chain;
-        pane-aware stateful operators (group-by partials, top-k)
-        override this to switch their accumulation bucket and stop the
-        propagation.
+        pane-aware stateful operators (group-by partials and finals,
+        top-k, bloom stages, pane-tagged exchanges) override this to
+        switch their accumulation bucket and stop the propagation.
+        Markers also survive the network: a pane-tagged exchange stamps
+        each batch with the pane it was pushed under, and delivery
+        re-announces it on the receiving side before pushing the rows.
+        """
+        for consumer, _port in self.consumers:
+            consumer.open_pane(pane)
+
+    def announce_pane(self, pane):
+        """Tell consumers which pane the next emitted rows belong to.
+
+        Producers that *re-emit* pane-bucketed state (a delta-shipping
+        group-by partial, a fetch-matches join releasing async replies)
+        use this instead of ``open_pane`` -- calling their own
+        ``open_pane`` would hit their receiver override rather than
+        their consumers.
         """
         for consumer, _port in self.consumers:
             consumer.open_pane(pane)
@@ -404,11 +433,18 @@ class _ExecutionBase:
         if not self.closed:
             self.ops[op_id].push(row, port)
 
-    def deliver_batch(self, op_id, port, rows):
-        """A batched exchange message arrived: push each carried row."""
+    def deliver_batch(self, op_id, port, rows, pane=None):
+        """A batched exchange message arrived: push each carried row.
+
+        ``pane`` is the batch's pane tag (pane-tagged exchanges of
+        paned plans); it is re-announced to the receiving operator
+        before the rows so per-pane state lands in the right bucket.
+        """
         if self.closed:
             return
         op = self.ops[op_id]
+        if pane is not None:
+            op.open_pane(pane)
         for row in rows:
             op.push(row, port)
 
@@ -491,7 +527,7 @@ class StandingExecution(_ExecutionBase):
 
     def __init__(self, engine, plan, query_id, epoch, t0, origin):
         super().__init__(engine, plan, query_id, epoch, t0, origin)
-        self.live_epochs = max(1, int(getattr(plan, "epoch_overlap", 1) or 1))
+        self.live_epochs = plan_live_epochs(plan)
         self._early = {}  # epoch -> [(op_id, port, rows)]
         self._open_epochs = {epoch: t0}  # epoch -> t_k, ascending
         self._sealed_through = epoch - 1  # epochs <= this are closed here
@@ -531,8 +567,8 @@ class StandingExecution(_ExecutionBase):
         # that have already opened it.
         for op_id in sources:
             self.ops[op_id].open_epoch(k, t_k)
-        for op_id, port, rows in self._early.pop(k, ()):
-            self.deliver_batch(op_id, port, rows, k)
+        for op_id, port, rows, pane in self._early.pop(k, ()):
+            self.deliver_batch(op_id, port, rows, k, pane)
 
     def _move_context(self, k, t_k):
         self.ctx.epoch = k
@@ -561,27 +597,44 @@ class StandingExecution(_ExecutionBase):
                 self.ops[op_id].seal_epoch(e)
         self._sealed_through = max(self._sealed_through, e)
 
-    def deliver(self, op_id, port, row, epoch=None):
+    def deliver(self, op_id, port, row, epoch=None, pane=None):
         """Single-row exchange arrival (see :meth:`deliver_batch`)."""
-        self.deliver_batch(op_id, port, (row,), epoch)
+        self.deliver_batch(op_id, port, (row,), epoch, pane)
 
-    def deliver_batch(self, op_id, port, rows, epoch=None):
+    def deliver_batch(self, op_id, port, rows, epoch=None, pane=None):
         """Exchange arrival tagged ``epoch``: deliver into that epoch's
         state if it is open here, drop it as late if already sealed,
-        park it as early if this node has not opened it yet."""
+        park it as early if this node has not opened it yet. ``pane``
+        is the batch's pane tag (paned plans); it is re-announced to
+        the receiving operator before the rows land."""
         if self.closed:
             return
         if epoch is None:
             epoch = self.ctx.epoch
         if epoch not in self._open_epochs:
             if epoch <= self._sealed_through:
-                return  # late: that epoch already closed here
-            if epoch > self.ctx.epoch + 2:
+                # Late: that epoch already closed here. Untagged rows
+                # drop (their per-epoch state is gone), but a
+                # pane-tagged increment is *ship-once* delta state
+                # whose pane store deliberately outlives epochs --
+                # dropping it would under-count every remaining window
+                # covering the pane. Re-file it under the oldest open
+                # epoch instead; the pane tag, not the epoch, decides
+                # where it lands.
+                if pane is None or not self._open_epochs:
+                    return
+                epoch = min(self._open_epochs)
+            elif epoch > self.ctx.epoch + 2:
                 return  # implausibly far ahead: don't park unboundedly
-            self._early.setdefault(epoch, []).append((op_id, port, list(rows)))
-            return
+            else:
+                self._early.setdefault(epoch, []).append(
+                    (op_id, port, list(rows), pane)
+                )
+                return
         op = self.ops[op_id]
         with self.ctx.in_epoch(epoch):
+            if pane is not None:
+                op.open_pane(pane)
             for row in rows:
                 op.push(row, port)
 

@@ -147,6 +147,7 @@ class PierEngine:
         self._maintained = {}  # (table, instance_id) -> republish timer
         self.rows_scanned = 0  # scan effort counter (benchmarks)
         self.rows_aggregated = 0  # rows folded into stateful window ops
+        self.rows_merged = 0  # partial states folded at group owners
         self.coordinator = None  # set by Coordinator.attach
 
         dht.on_broadcast(self._on_broadcast)
@@ -228,6 +229,14 @@ class PierEngine:
         from-scratch path re-folds the whole window every epoch, so the
         ratio of these counters is the paned benchmark's headline."""
         self.rows_aggregated += n
+
+    def note_rows_merged(self, n):
+        """Owner-side accounting: partial state rows folded by final
+        group-bys. Distributed panes ship each pane's increment once,
+        so this drops by the window overlap versus re-shipping every
+        group's full window state each epoch -- the distributed-panes
+        benchmark's headline."""
+        self.rows_merged += n
 
     # ------------------------------------------------------------------
     # Plan adoption and epoch scheduling
@@ -453,7 +462,8 @@ class PierEngine:
         if standing:
             def deliver(payload, route_msg):
                 execution.deliver_batch(
-                    op_id, port, payload_rows(payload), payload.get("epoch")
+                    op_id, port, payload_rows(payload), payload.get("epoch"),
+                    payload.get("pane"),
                 )
         else:
             def deliver(payload, route_msg):
@@ -466,6 +476,7 @@ class PierEngine:
             combiner = TreeCombiner(
                 self.dht, ns, route_ns, upcall, combine["agg_specs"],
                 combine.get("hold", self.config.tree_hold_delay),
+                paned=combine.get("paned", False),
             )
             self.combiners[ns] = combiner
             self.dht.register_intercept(upcall, combiner.handler)
@@ -474,8 +485,9 @@ class PierEngine:
         self._undelivered_origins.pop(ns, None)
         self._undelivered_expiry.pop(ns, None)
         if standing:
-            for row, tag in zip(rows, tags):
-                execution.deliver_batch(op_id, port, (row,), tag)
+            for row, (epoch_tag, pane_tag) in zip(rows, tags):
+                execution.deliver_batch(op_id, port, (row,), epoch_tag,
+                                        pane_tag)
         else:
             execution.deliver_batch(op_id, port, rows)
 
@@ -536,7 +548,7 @@ class PierEngine:
             taken = list(incoming[:space])
             rows.extend(taken)
             self._undelivered_tags[ns].extend(
-                [payload.get("epoch")] * len(taken)
+                [(payload.get("epoch"), payload.get("pane"))] * len(taken)
             )
         if len(incoming) > max(space, 0):
             # Cap overflow: this node is drowning in rows nobody here

@@ -107,6 +107,12 @@ class Exchange(Operator):
             "max_batch_bytes", config.max_batch_bytes
         )
         self._standing = bool(getattr(ctx, "standing", False))
+        # Pane-tagged mode (paned plans whose pane-aware aggregate sits
+        # *above* this exchange): remember the pane announced by the
+        # upstream producer and stamp every batch with it, so delivery
+        # on the far side can re-announce the pane before the rows land.
+        self._paned = bool(spec.params.get("paned")) and self._standing
+        self._current_pane = None
         # Owner caching only pays off when the routing key is stable
         # across epochs (standing, epoch-free namespaces) and no
         # per-hop combining would be skipped (rehash mode only).
@@ -147,18 +153,23 @@ class Exchange(Operator):
         if self._muted_fn is not None and self._muted_fn(self._ns, rid):
             return  # receiver NACKed this key: it would only drop the row
         epoch = self._active_epoch() if self._standing else None
+        pane = self._current_pane if self._paned else None
         if self._flush_delay <= 0:
-            self._route(rid, [row], epoch)
+            self._route(rid, [row], epoch, pane)
             return
         pending = self._pending.state(epoch)
-        rows = pending["rows"].setdefault(rid, [])
+        # Batches are keyed by (pane, rid): a pane-tagged exchange must
+        # never mix two panes' rows in one message, because the tag is
+        # per batch.
+        bucket = (pane, rid)
+        rows = pending["rows"].setdefault(bucket, [])
         rows.append(row)
-        size = pending["bytes"].get(rid, 0) + wire_size(row)
-        pending["bytes"][rid] = size
+        size = pending["bytes"].get(bucket, 0) + wire_size(row)
+        pending["bytes"][bucket] = size
         if len(rows) >= self._max_batch_rows or size >= self._max_batch_bytes:
-            del pending["rows"][rid]
-            del pending["bytes"][rid]
-            self._route(rid, rows, epoch)
+            del pending["rows"][bucket]
+            del pending["bytes"][bucket]
+            self._route(rid, rows, epoch, pane)
             return
         if self._timer is None:
             self._timer = self.ctx.dht.set_timer(
@@ -175,10 +186,10 @@ class Exchange(Operator):
             state = self._pending.seal(epoch)
             shipping = [(epoch, state)] if state is not None else []
         for tag, state in shipping:
-            for rid, rows in state["rows"].items():
-                self._route(rid, rows, tag)
+            for (pane, rid), rows in state["rows"].items():
+                self._route(rid, rows, tag, pane)
 
-    def _route(self, rid, rows, epoch=None):
+    def _route(self, rid, rows, epoch=None, pane=None):
         if len(rows) == 1:
             payload = {"op": "deliver", "ns": self._ns, "rid": rid,
                        "data": rows[0]}
@@ -192,6 +203,8 @@ class Exchange(Operator):
             payload["mid"] = self._mid_fn()
         if self._standing:
             payload["epoch"] = epoch
+            if self._paned:
+                payload["pane"] = pane
             if self._cache_owners:
                 key = storage_key(self._route_ns, rid)
                 owner = self._owner_fn(self._ns, rid)
@@ -199,6 +212,15 @@ class Exchange(Operator):
                     self.ctx.dht.route_via(owner, key, payload)
                     return
                 payload["learn"] = True  # ask the terminal to identify itself
+                self.ctx.dht.route(key, payload, upcall=self._upcall)
+                return
+            if self._paned:
+                # Pane-tagged partials must accumulate at a *stable*
+                # owner: epoch k+1's window reuses panes shipped during
+                # epoch k, so rotating the rendezvous per epoch would
+                # strand them at last epoch's owner. The epoch tag
+                # still rides on the payload for late/early gating.
+                key = storage_key(self._route_ns, rid)
                 self.ctx.dht.route(key, payload, upcall=self._upcall)
                 return
             # No owner cache (tree mode): salt the routing key with the
@@ -216,10 +238,13 @@ class Exchange(Operator):
         self.ctx.dht.route(key, payload, upcall=self._upcall)
 
     def open_pane(self, pane):
-        """Pane markers are a node-local protocol; they never cross the
-        network, and the planner never places an exchange between a
-        paned scan and its pane-aware consumer. Swallow the marker so
-        it cannot leak through the locally wired consumer edge."""
+        """Pane markers stop at the exchange either way: a pane-tagged
+        exchange records the pane and stamps it on the batches it ships
+        (delivery re-announces it on the far side); an unpaned exchange
+        swallows the marker so it cannot leak through the locally wired
+        consumer edge."""
+        if self._paned:
+            self._current_pane = pane
 
     def flush(self):
         if self._timer is not None:

@@ -26,10 +26,22 @@ simply starts a fresh filter namespace, fed by the standing scan's
 delta buffers rather than a fresh scan, and ``seal_epoch`` drops
 whatever an epoch's release left behind (unreleased rows die with
 their epoch, exactly as they did inside a torn-down execution).
+
+*Paned* stages (``params["paned"]``: a standing stream leg with
+``WINDOW > EVERY``) stop rebuilding even the filter. The scan emits
+each row once into its pane; the stage keeps a Bloom filter partial and
+a row buffer *per pane*, and each epoch's flush OR-merges the window's
+pane filters -- identical bits to a filter folded from a full re-scan,
+since the same keys set the same positions -- instead of re-folding the
+overlap's rows. The release step replays the window's buffered rows
+(every epoch re-filters them against that epoch's opposite-side merged
+filter), so the join above sees exactly the rows a re-scanning stage
+would have shipped.
 """
 
-from repro.core.dataflow import EpochStateRing, Operator
+from repro.core.dataflow import EpochStateRing, Operator, plan_live_epochs
 from repro.core.operators import register_operator
+from repro.db.window import window_pane_range
 from repro.util.bloom import BloomFilter
 
 
@@ -37,7 +49,7 @@ from repro.util.bloom import BloomFilter
 class BloomStage(Operator):
     """Params: ``side`` ("left"/"right"), ``key_exprs``, ``schema``,
     ``capacity``, ``fp_rate``, ``group`` (filter-merge namespace shared
-    by both sides of the join)."""
+    by both sides of the join), optional ``paned`` geometry."""
 
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
@@ -45,24 +57,63 @@ class BloomStage(Operator):
         compiled = [e.compile(schema) for e in spec.params["key_exprs"]]
         if len(compiled) == 1:
             fn = compiled[0]
-            self._key_fn = lambda row: (fn(row),)
+
+            def key_fn(row):
+                return (fn(row),)
         else:
-            self._key_fn = lambda row: tuple(f(row) for f in compiled)
+            def key_fn(row):
+                return tuple(f(row) for f in compiled)
+        self._key_fn = key_fn
         self.side = spec.params["side"]
         # epoch -> {"filter", "buffered", "released"}
         self._epochs = EpochStateRing(self._fresh_state)
+        self._paned = (bool(spec.params.get("paned"))
+                       and bool(getattr(ctx, "standing", False)))
+        if self._paned:
+            geometry = spec.params["paned"]
+            self._panes_per_every = geometry["every"]
+            self._panes_per_window = geometry["window"]
+            self._current_pane = None
+            self._pane_filters = {}  # pane -> BloomFilter partial
+            self._pane_rows = {}  # pane -> [rows]
+            # Older still-open epochs of an overlapping ring release
+            # after the newest epoch's flush advanced the window: keep
+            # their panes until every epoch that can read them sealed.
+            overlap = plan_live_epochs(getattr(ctx, "plan", None))
+            self._retain = (overlap - 1) * self._panes_per_every
+
+    def _fresh_filter(self):
+        return BloomFilter.for_capacity(
+            self.spec.params.get("capacity", 1024),
+            self.spec.params.get("fp_rate", 0.03),
+        )
 
     def _fresh_state(self):
+        if getattr(self, "_paned", False):
+            return {"released": False}
         return {
-            "filter": BloomFilter.for_capacity(
-                self.spec.params.get("capacity", 1024),
-                self.spec.params.get("fp_rate", 0.03),
-            ),
+            "filter": self._fresh_filter(),
             "buffered": [],
             "released": False,
         }
 
+    def open_pane(self, pane):
+        self._current_pane = pane
+
+    def _window(self, epoch):
+        return window_pane_range(
+            epoch, self._panes_per_every, self._panes_per_window
+        )
+
     def push(self, row, port=0):
+        if self._paned:
+            pane = self._current_pane
+            self._pane_rows.setdefault(pane, []).append(row)
+            held = self._pane_filters.get(pane)
+            if held is None:
+                held = self._pane_filters[pane] = self._fresh_filter()
+            held.add(self._key_fn(row))
+            return
         state = self._epochs.state(self._active_epoch())
         state["buffered"].append(row)
         state["filter"].add(self._key_fn(row))
@@ -70,7 +121,26 @@ class BloomStage(Operator):
     def flush(self):
         """Ship the epoch's local filter to the query site for merging."""
         epoch = self._active_epoch()
-        state = self._epochs.state(epoch)
+        if self._paned:
+            lo, hi = self._window(epoch)
+            # Panes below every still-open epoch's window can never be
+            # read again.
+            cutoff = lo - self._retain
+            self._pane_filters = {
+                p: f for p, f in self._pane_filters.items() if p >= cutoff
+            }
+            self._pane_rows = {
+                p: r for p, r in self._pane_rows.items() if p >= cutoff
+            }
+            merged = self._fresh_filter()
+            for p in range(lo, hi):
+                partial = self._pane_filters.get(p)
+                if partial is not None:
+                    merged = merged.union(partial)
+            self._epochs.state(epoch)  # arm the epoch's release flag
+            outgoing = merged
+        else:
+            outgoing = self._epochs.state(epoch)["filter"]
         self.ctx.send_to_origin({
             "op": "qbloom",
             "qid": self.ctx.query_id,
@@ -78,7 +148,7 @@ class BloomStage(Operator):
             # Merged per filter *group*, shared by both sides of a join.
             "op_id": self.spec.params.get("group", self.spec.op_id),
             "side": self.side,
-            "filter": state["filter"],
+            "filter": outgoing,
         })
 
     def control(self, payload):
@@ -91,19 +161,33 @@ class BloomStage(Operator):
         like the closed execution they would have hit on the rebuild
         path.
         """
-        state = self._epochs.peek(self._active_epoch())
+        epoch = self._active_epoch()
+        state = self._epochs.peek(epoch)
         if state is None or state["released"]:
             return
         state["released"] = True
         opposite = "right" if self.side == "left" else "left"
         other_filter = payload["filters"].get(opposite)
-        rows, state["buffered"] = state["buffered"], []
+        if self._paned:
+            # Replay the window's pane buffers: each epoch re-filters
+            # the same retained rows against its own merged filters,
+            # exactly as a re-scanning stage would have re-buffered them.
+            lo, hi = self._window(epoch)
+            rows = []
+            for p in range(lo, hi):
+                rows.extend(self._pane_rows.get(p, ()))
+        else:
+            rows, state["buffered"] = state["buffered"], []
         for row in rows:
             if other_filter is None or self._key_fn(row) in other_filter:
                 self.emit(row)
 
     def seal_epoch(self, k):
+        # Paned buffers outlive epochs by design; window advance prunes.
         self._epochs.seal(k)
 
     def teardown(self):
         self._epochs.clear()
+        if self._paned:
+            self._pane_filters = {}
+            self._pane_rows = {}

@@ -17,24 +17,174 @@ Both operators key their held state by ``ctx.active_epoch`` (one
 standing execution can run every live epoch's aggregation concurrently
 through one instance.
 
-*Paned* partials (``params["paned"]``, standing plans with
-``WINDOW > EVERY``) go further: rows arrive bucketed by pane (the scan
+*Paned* plans (``params["paned"]``, standing plans with
+``WINDOW > EVERY``) go further. Rows arrive bucketed by pane (the scan
 sends ``open_pane`` markers), partials accumulate per pane, and each
-epoch's flush assembles the window from pane partials instead of
-re-folding the overlap's rows. When every aggregate is invertible the
-operator keeps one running window state per group and slides it --
-``merge`` the panes entering the window, ``unmerge`` the panes leaving
-it -- so per-epoch work is O(panes changed); otherwise it re-merges the
-window's live panes, still O(panes), never O(rows).
+epoch's answer is assembled from pane partials instead of re-folding
+the overlap's rows. Two disciplines share that machinery
+(:class:`PaneWindow`):
 
-Params (partial): ``group_exprs``, ``agg_specs``, ``schema``,
-optional ``paned`` geometry (``{"width", "every", "window"}``).
-Params (final): ``agg_specs``.
+* *node-local* (``paned_exchange = False`` ablation, and top-k plans):
+  the partial assembles each epoch's window itself and ships full
+  window states, exactly as before panes crossed the network;
+* *distributed* (``params["paned_ship"] == "delta"``, the default for
+  grouped aggregation): the partial ships each pane's **increment**
+  exactly once -- announced downstream with ``announce_pane`` so the
+  pane-tagged exchange stamps it onto the batch -- and the *final*
+  holds the window's pane partials at the group's owner, assembling
+  every epoch's window there. The overlap therefore never crosses the
+  wire again: per epoch only the panes that actually grew travel, and
+  the final folds O(changed panes) state rows instead of every group's
+  full window state from every node.
+
+Params (partial): ``group_exprs``, ``agg_specs``, ``schema``, optional
+``paned`` geometry (``{"width", "every", "window"}``) and
+``paned_ship``. Params (final): ``agg_specs``, optional ``paned``.
 """
 
-from repro.core.dataflow import EpochStateRing, Operator
+from repro.core.dataflow import EpochStateRing, Operator, plan_live_epochs
 from repro.core.operators import register_operator
 from repro.db.window import window_pane_range
+
+
+class PaneWindow:
+    """Per-pane partial states plus per-epoch window assembly.
+
+    The one pane store both paned group-by shapes share: a local paned
+    partial folds raw rows into pane states; a paned final merges pane
+    *increments* arriving over the exchange. Either way
+    :meth:`assemble` produces an epoch's window from its panes:
+
+    * when every aggregate is invertible, one running state per group
+      is slid -- ``merge`` the panes entering the window, ``unmerge``
+      the panes leaving -- so advancing costs O(panes changed);
+    * otherwise the window's live panes are re-merged, still O(panes)
+      per epoch, never O(rows).
+
+    Versions detect a pane that grew *after* it was merged into the
+    running state (a boundary-straggler row, or a late increment): the
+    running state is then stale and is rebuilt from the raw panes.
+
+    ``retain_panes`` keeps that many pane ranges behind the newest
+    window's low edge: under an overlapping-epoch ring an *older*
+    still-open epoch can reflush (streaming refinement) after the
+    newest epoch already advanced the window, and its re-assembly --
+    served statelessly by re-merging, leaving the running state pinned
+    to the newest window -- needs those panes to still exist.
+    """
+
+    def __init__(self, agg_specs, retain_panes=0):
+        self._specs = agg_specs
+        self._invertible = all(s.agg.invertible for s in agg_specs)
+        self._retain = retain_panes
+        self._panes = {}  # pane -> {gvals: [states]}
+        self._versions = {}  # pane -> fold count
+        self._window = {}  # gvals -> running [states] (invertible only)
+        self._window_panes = set()
+        self._window_refs = {}  # gvals -> live pane count
+        self._merged_versions = {}  # pane -> version when merged
+        self._hi = None  # newest assembled window's high edge
+
+    def entry(self, pane, gvals):
+        """The mutable state list for (pane, group), created on first
+        fold; every call bumps the pane's version."""
+        self._versions[pane] = self._versions.get(pane, 0) + 1
+        store = self._panes.setdefault(pane, {})
+        states = store.get(gvals)
+        if states is None:
+            states = store[gvals] = [s.agg.init() for s in self._specs]
+        return states
+
+    def assemble(self, lo, hi):
+        """``(gvals, states)`` pairs for the window ``[lo, hi)``."""
+        if self._hi is not None and hi < self._hi:
+            # An older still-open epoch re-assembling after the newest
+            # advanced: serve it statelessly, touch nothing.
+            return self._remerge(lo, hi)
+        self._hi = hi
+        if not self._invertible:
+            self._prune(lo)
+            return self._remerge(lo, hi)
+        if any(self._versions.get(p, 0) != v
+               for p, v in self._merged_versions.items()):
+            # A merged pane grew after the fact (boundary straggler,
+            # late increment): the running state no longer matches the
+            # raw panes, so rebuild it from them.
+            self._window = {}
+            self._window_panes = set()
+            self._window_refs = {}
+            self._merged_versions = {}
+        self._slide(lo, hi)
+        self._prune(lo)
+        return [(gvals, tuple(states))
+                for gvals, states in self._window.items()]
+
+    def _remerge(self, lo, hi):
+        merged = {}
+        for p in range(lo, hi):
+            for gvals, states in self._panes.get(p, {}).items():
+                held = merged.get(gvals)
+                if held is None:
+                    merged[gvals] = list(states)
+                else:
+                    for i, spec in enumerate(self._specs):
+                        held[i] = spec.agg.merge(held[i], states[i])
+        return [(gvals, tuple(states)) for gvals, states in merged.items()]
+
+    def _slide(self, lo, hi):
+        """Move the running window state to cover panes ``[lo, hi)``.
+
+        Original flushes advance monotonically (epoch k-1's deadline
+        precedes epoch k's even when the epochs overlap), so panes only
+        ever retire off the old edge and join on the new one.
+        """
+        for p in sorted(self._window_panes):
+            if lo <= p < hi:
+                continue
+            for gvals, states in self._panes.get(p, {}).items():
+                held = self._window[gvals]
+                for i, spec in enumerate(self._specs):
+                    held[i] = spec.agg.unmerge(held[i], states[i])
+                self._window_refs[gvals] -= 1
+                if self._window_refs[gvals] == 0:
+                    del self._window[gvals]
+                    del self._window_refs[gvals]
+            self._window_panes.discard(p)
+            self._merged_versions.pop(p, None)
+        for p in range(lo, hi):
+            if p in self._window_panes:
+                continue
+            self._window_panes.add(p)
+            self._merged_versions[p] = self._versions.get(p, 0)
+            for gvals, states in self._panes.get(p, {}).items():
+                held = self._window.get(gvals)
+                if held is None:
+                    self._window[gvals] = list(states)
+                    self._window_refs[gvals] = 1
+                else:
+                    for i, spec in enumerate(self._specs):
+                        held[i] = spec.agg.merge(held[i], states[i])
+                    self._window_refs[gvals] += 1
+
+    def _prune(self, lo):
+        """Drop panes no window still to come (or still open) can read."""
+        cutoff = lo - self._retain
+        self._panes = {
+            p: d for p, d in self._panes.items()
+            if p >= cutoff or p in self._window_panes
+        }
+        self._versions = {
+            p: v for p, v in self._versions.items() if p in self._panes
+        }
+
+    def clear(self):
+        self._panes = {}
+        self._versions = {}
+        self._window = {}
+        self._window_panes = set()
+        self._window_refs = {}
+        self._merged_versions = {}
+        self._hi = None
 
 
 @register_operator("groupby_partial")
@@ -49,43 +199,38 @@ class GroupByPartial(Operator):
         self._epochs = EpochStateRing(dict)  # epoch -> {gvals: [states]}
         self._paned = (bool(spec.params.get("paned"))
                        and bool(getattr(ctx, "standing", False)))
+        self._ship_delta = (self._paned
+                            and spec.params.get("paned_ship") == "delta")
         if self._paned:
             geometry = spec.params["paned"]
             self._panes_per_every = geometry["every"]
             self._panes_per_window = geometry["window"]
-            self._invertible = all(s.agg.invertible for s in self._agg_specs)
-            self._panes = {}  # pane -> {gvals: [states]} (raw partials)
             self._current_pane = None
-            # Invertible sliding window: one running merged state per
-            # group, plus which panes it currently covers and how many
-            # of them contribute to each group (so a group vanishes
-            # exactly when its last pane slides out). Versions detect a
-            # pane growing *after* it was merged (a boundary-straggler
-            # row): the running state is then stale and is rebuilt from
-            # the raw panes at the next flush.
-            self._window = {}  # gvals -> [states]
-            self._window_panes = set()
-            self._window_refs = {}  # gvals -> live pane count
-            self._pane_versions = {}  # pane -> push count
-            self._merged_versions = {}  # pane -> version when merged
+            if self._ship_delta:
+                # Unshipped per-pane increments: each pane's partial
+                # crosses the wire once, at the first flush after rows
+                # touched it; the final holds the window's panes.
+                self._pending_panes = {}  # pane -> {gvals: [states]}
+            else:
+                self._window = PaneWindow(self._agg_specs)
 
     def open_pane(self, pane):
         self._current_pane = pane
 
     def push(self, row, port=0):
         gvals = tuple(fn(row) for fn in self._group_fns)
-        if self._paned:
-            store = self._panes.setdefault(self._current_pane, {})
-            if self._invertible:
-                self._pane_versions[self._current_pane] = (
-                    self._pane_versions.get(self._current_pane, 0) + 1
-                )
+        if self._ship_delta:
+            store = self._pending_panes.setdefault(self._current_pane, {})
+            states = store.get(gvals)
+            if states is None:
+                states = store[gvals] = [a.agg.init() for a in self._agg_specs]
+        elif self._paned:
+            states = self._window.entry(self._current_pane, gvals)
         else:
             store = self._epochs.state(self._active_epoch())
-        states = store.get(gvals)
-        if states is None:
-            states = [a.agg.init() for a in self._agg_specs]
-            store[gvals] = states
+            states = store.get(gvals)
+            if states is None:
+                states = store[gvals] = [a.agg.init() for a in self._agg_specs]
         for i, spec in enumerate(self._agg_specs):
             states[i] = spec.agg.add(states[i], self._arg_fns[i](row))
         if self._note is not None:
@@ -103,79 +248,22 @@ class GroupByPartial(Operator):
             self._active_epoch(), self._panes_per_every,
             self._panes_per_window,
         )
-        if self._invertible:
-            if any(self._pane_versions.get(p, 0) != v
-                   for p, v in self._merged_versions.items()):
-                # A merged pane grew after the fact (boundary-straggler
-                # emission): the running state no longer matches the raw
-                # panes, so rebuild it from them.
-                self._window = {}
-                self._window_panes = set()
-                self._window_refs = {}
-                self._merged_versions = {}
-            self._slide_window(lo, hi)
-            for gvals, states in self._window.items():
-                self.emit((gvals, tuple(states)))
-        else:
-            # Pane-re-merge fallback: O(live panes) merges per group.
-            self._panes = {p: d for p, d in self._panes.items() if p >= lo}
-            merged = {}
-            for p in range(lo, hi):
-                for gvals, states in self._panes.get(p, {}).items():
-                    held = merged.get(gvals)
-                    if held is None:
-                        merged[gvals] = list(states)
-                    else:
-                        for i, spec in enumerate(self._agg_specs):
-                            held[i] = spec.agg.merge(held[i], states[i])
-            for gvals, states in merged.items():
-                self.emit((gvals, tuple(states)))
-
-    def _slide_window(self, lo, hi):
-        """Move the running window state to cover panes ``[lo, hi)``.
-
-        Flushes advance monotonically (epoch k-1's deadline precedes
-        epoch k's even when the epochs overlap), so panes only ever
-        retire off the old edge and join on the new one. Retiring
-        consumes the raw pane partial (handed to ``unmerge``); joining
-        keeps it until retirement.
-        """
-        for p in sorted(self._window_panes):
-            if lo <= p < hi:
-                continue
-            for gvals, states in self._panes.pop(p, {}).items():
-                held = self._window[gvals]
-                for i, spec in enumerate(self._agg_specs):
-                    held[i] = spec.agg.unmerge(held[i], states[i])
-                self._window_refs[gvals] -= 1
-                if self._window_refs[gvals] == 0:
-                    del self._window[gvals]
-                    del self._window_refs[gvals]
-            self._window_panes.discard(p)
-            self._merged_versions.pop(p, None)
-            self._pane_versions.pop(p, None)
-        for p in range(lo, hi):
-            if p in self._window_panes:
-                continue
-            self._window_panes.add(p)
-            self._merged_versions[p] = self._pane_versions.get(p, 0)
-            for gvals, states in self._panes.get(p, {}).items():
-                held = self._window.get(gvals)
-                if held is None:
-                    self._window[gvals] = list(states)
-                    self._window_refs[gvals] = 1
-                else:
-                    for i, spec in enumerate(self._agg_specs):
-                        held[i] = spec.agg.merge(held[i], states[i])
-                    self._window_refs[gvals] += 1
-        # Panes older than every window still to come are dead weight.
-        self._panes = {
-            p: d for p, d in self._panes.items()
-            if p >= lo or p in self._window_panes
-        }
-        self._pane_versions = {
-            p: v for p, v in self._pane_versions.items() if p in self._panes
-        }
+        if self._ship_delta:
+            # Ship each pending pane's increment under its pane tag;
+            # panes below the window can never be read again (their
+            # last covering epoch already flushed) and are dropped.
+            for pane in sorted(self._pending_panes):
+                if pane >= hi:
+                    continue  # still open: a later epoch closes it
+                store = self._pending_panes.pop(pane)
+                if pane < lo:
+                    continue
+                self.announce_pane(pane)
+                for gvals, states in store.items():
+                    self.emit((gvals, tuple(states)))
+            return
+        for gvals, states in self._window.assemble(lo, hi):
+            self.emit((gvals, states))
 
     def seal_epoch(self, k):
         # Unpaned: whatever survived the flush dies with its epoch.
@@ -185,13 +273,10 @@ class GroupByPartial(Operator):
 
     def teardown(self):
         self._epochs.clear()
-        if self._paned:
-            self._panes = {}
-            self._window = {}
-            self._window_panes = set()
-            self._window_refs = {}
-            self._pane_versions = {}
-            self._merged_versions = {}
+        if self._ship_delta:
+            self._pending_panes = {}
+        elif self._paned:
+            self._window.clear()
 
 
 @register_operator("groupby_final")
@@ -208,11 +293,21 @@ class GroupByFinal(Operator):
     a late partial tagged with the previous epoch merges into (and
     refines) that epoch's groups while the current epoch accumulates
     beside it.
+
+    *Paned* finals (distributed sliding windows) hold the window's pane
+    partials instead: arriving increments -- announced by the
+    pane-tagged exchange's delivery -- merge into their pane's store,
+    and each epoch's flush assembles the window from pane partials
+    (:class:`PaneWindow`), so per-epoch owner work is O(panes changed)
+    rather than O(groups x nodes). A late increment triggers a
+    refinement reflush of every flushed, still-open epoch whose window
+    covers its pane.
     """
 
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
         self._agg_specs = spec.params["agg_specs"]
+        self._note = getattr(ctx.engine, "note_rows_merged", None)
         # epoch -> {"groups", "flushed", "timer"}; sealing an epoch
         # cancels its pending refinement reflush so sealed groups can
         # never leak into a later epoch's result stream.
@@ -220,16 +315,60 @@ class GroupByFinal(Operator):
             lambda: {"groups": {}, "flushed": False, "timer": None},
             on_seal=self._cancel_reflush,
         )
+        self._paned = (bool(spec.params.get("paned"))
+                       and bool(getattr(ctx, "standing", False)))
+        if self._paned:
+            geometry = spec.params["paned"]
+            self._panes_per_every = geometry["every"]
+            self._panes_per_window = geometry["window"]
+            self._current_pane = None
+            # Older still-open epochs of the ring may reflush after the
+            # newest advanced the window: retain their panes.
+            overlap = plan_live_epochs(getattr(ctx, "plan", None))
+            self._window = PaneWindow(
+                self._agg_specs,
+                retain_panes=(overlap - 1) * self._panes_per_every,
+            )
 
     def _cancel_reflush(self, entry):
         if entry["timer"] is not None:
             self.ctx.dht.cancel_timer(entry["timer"])
             entry["timer"] = None
 
+    def open_pane(self, pane):
+        self._current_pane = pane
+
+    def _window_range(self, epoch):
+        return window_pane_range(
+            epoch, self._panes_per_every, self._panes_per_window
+        )
+
     def push(self, row, port=0):
         epoch = self._active_epoch()
-        entry = self._epochs.state(epoch)
         gvals, states = row
+        if self._note is not None:
+            self._note(1)
+        if self._paned:
+            pane = self._current_pane
+            if pane is None:
+                # Untagged arrival (defensive): file it under the
+                # epoch's newest pane so it is never silently dropped.
+                pane = self._window_range(epoch)[1] - 1
+            held = self._window.entry(pane, tuple(gvals))
+            for i, spec in enumerate(self._agg_specs):
+                held[i] = spec.agg.merge(held[i], states[i])
+            # Streaming refinement: every flushed, still-open epoch
+            # whose window covers this pane now has a stale answer.
+            for e, entry in self._epochs.items():
+                if not entry["flushed"] or entry["timer"] is not None:
+                    continue
+                lo, hi = self._window_range(e)
+                if lo <= pane < hi:
+                    entry["timer"] = self.ctx.dht.set_timer(
+                        0.4, self._reflush, e
+                    )
+            return
+        entry = self._epochs.state(epoch)
         held = entry["groups"].get(gvals)
         if held is None:
             entry["groups"][gvals] = list(states)
@@ -249,6 +388,11 @@ class GroupByFinal(Operator):
         self._cancel_reflush(entry)
         entry["flushed"] = True
         self.reset_batch()
+        if self._paned:
+            lo, hi = self._window_range(self._active_epoch())
+            for gvals, states in self._window.assemble(lo, hi):
+                self.emit((tuple(gvals), tuple(states)))
+            return
         for gvals, states in entry["groups"].items():
             # Ship mergeable *states*, not finalized values: during ring
             # healing two nodes can both act as a group's owner, and the
@@ -256,7 +400,11 @@ class GroupByFinal(Operator):
             self.emit((tuple(gvals), tuple(states)))
 
     def seal_epoch(self, k):
+        # The pane store outlives epochs by design (later windows reuse
+        # the panes); only the per-epoch flush bookkeeping is sealed.
         self._epochs.seal(k)
 
     def teardown(self):
         self._epochs.clear()
+        if self._paned:
+            self._window.clear()

@@ -20,6 +20,16 @@ under an overlapping-epoch standing plan, rows tagged with a previous
 epoch keep probing (and building) that epoch's tables while the
 current epoch's fill up beside them. Sealing an epoch drops its
 tables, exactly as tearing down a rebuilt execution did.
+
+Fetch-matches is additionally *pane-transparent* on paned plans
+(``params["paned"]``): a joined row belongs to the pane of the stream
+row that probed for it, so the operator records the pane each probe was
+pushed under, and re-announces it downstream when the asynchronous
+reply releases the joins -- which is what lets a paned aggregate sit
+above a stream-probed join. The inner DHT relation is treated as
+quasi-static over a window (its rows are TTL'd soft state): a probe
+joins against the table as of the epoch its pane first closed, exactly
+like the pane partials the aggregate caches.
 """
 
 from repro.core.dataflow import EpochStateRing, Operator
@@ -99,20 +109,35 @@ class FetchMatches(Operator):
         else:
             self._residual = None
         self._dedup = spec.params.get("dedup_keys", False)
+        self._paned = (bool(spec.params.get("paned"))
+                       and bool(getattr(ctx, "standing", False)))
+        self._current_pane = None
         # epoch -> {"cache": {...}, "waiting": {...}}
         self._epochs = EpochStateRing(lambda: {"cache": {}, "waiting": {}})
+
+    def open_pane(self, pane):
+        # Pane-transparent, not pane-forwarding: emissions are async,
+        # so the marker is replayed at join-release time instead of
+        # being propagated now.
+        if self._paned:
+            self._current_pane = pane
+        else:
+            super().open_pane(pane)
 
     def push(self, row, port=0):
         epoch = self._active_epoch()
         entry = self._epochs.state(epoch)
         key = self._probe_key(row)
         if self._dedup and key in entry["cache"]:
+            if self._paned and self._current_pane is not None:
+                self.announce_pane(self._current_pane)
             self._join(row, entry["cache"][key])
             return
+        pending = (row, self._current_pane if self._paned else None)
         if key in entry["waiting"]:
-            entry["waiting"][key].append(row)
+            entry["waiting"][key].append(pending)
             return
-        entry["waiting"][key] = [row]
+        entry["waiting"][key] = [pending]
         self.ctx.dht.get(
             self._table, key,
             lambda values: self._fetched(epoch, key, values),
@@ -133,7 +158,12 @@ class FetchMatches(Operator):
         waiting = entry["waiting"].pop(key, ())
 
         def deliver():
-            for probe_row in waiting:
+            announced = None
+            for probe_row, pane in waiting:
+                if self._paned and pane is not None and pane != announced:
+                    # Joined rows belong to their probe row's pane.
+                    self.announce_pane(pane)
+                    announced = pane
                 self._join(probe_row, rows)
 
         self._run_in_epoch(epoch, deliver)

@@ -277,58 +277,125 @@ def _mark_paned(b, lq, catalog):
     """Mark a standing plan for paned sliding-window aggregation.
 
     Paned evaluation applies when the window overlaps the period
-    (``WINDOW > EVERY``, commensurable on the millisecond grid) and the
-    plan's shape supports node-local pane markers: a single stream-table
-    scan whose rows reach one pane-aware stateful operator
-    (``groupby_partial`` or ``topk``) through stateless row operators
-    only. Both ends of that chain get the pane geometry in their params
-    (``{"width", "every", "window"}``, the latter two in panes); the
-    scan then emits each row once into its pane and the aggregate
-    assembles every epoch's window from pane partials. Returns the
-    geometry, or None when the plan keeps from-scratch evaluation (the
-    ``paned`` query option forces that, as the benchmarks' ablation
-    knob).
+    (``WINDOW > EVERY``, commensurable on the millisecond grid) and a
+    stream-table scan's rows reach a pane-aware stateful operator
+    through pane-transparent operators: stateless row operators
+    (``select``/``project``) and ``fetch_matches`` joins, which carry
+    their probe row's pane through the asynchronous DHT get. Both ends
+    of each chain get the pane geometry in their params (``{"width",
+    "every", "window"}``, the latter two in panes); the scan then emits
+    each row once into its pane and the pane-aware operator assembles
+    every epoch's window from pane partials. Three terminal shapes:
+
+    * ``groupby_partial`` / ``topk`` -- PR 3's node-local panes. When
+      the partial additionally feeds an exchange into a
+      ``groupby_final`` (grouped aggregation always does), the panes
+      go *distributed*: the partial ships per-pane delta increments
+      (``paned_ship = "delta"``), the exchange tags every batch with
+      its pane, tree combiners merge same-pane partials mid-route, and
+      the final assembles each epoch's window from pane partials at
+      the group's owner -- so the overlap never crosses the wire
+      again. The ``paned_exchange`` query option set False keeps the
+      node-local discipline (the benchmarks' ablation knob: full
+      window states ship every epoch).
+    * ``bloom_stage`` -- a standing bloom join leg keeps per-pane
+      filter partials and row buffers, OR-merging the window's pane
+      filters each epoch instead of rebuilding the filter from a
+      re-scan (the join above stays from-scratch).
+
+    Returns the first marked geometry, or None when the plan keeps
+    from-scratch evaluation (the ``paned`` query option forces that).
     """
     if lq.options.get("paned") is False:
         return None
-    if len(lq.tables) != 1:
-        return None
-    table_name, _alias = lq.tables[0]
-    table_def = catalog.lookup(table_name)
-    if table_def.source != "stream":
-        return None
-    window = lq.window if lq.window is not None else table_def.window
     every = lq.every
-    if window is None or every is None or window <= every:
-        return None
-    width = pane_width(window, every)
-    if width is None:
+    if every is None:
         return None
     consumers = {}
     for spec in b.specs:
         for input_id in spec.inputs:
             consumers.setdefault(input_id, []).append(spec)
-    scans = [s for s in b.specs if s.kind == "scan"]
-    if len(scans) != 1:
-        return None
-    spec = scans[0]
+    marked = None
+    for scan in (s for s in b.specs if s.kind == "scan"):
+        table_def = catalog.lookup(scan.params["table"])
+        if table_def.source != "stream":
+            continue
+        window = lq.window if lq.window is not None else table_def.window
+        if window is None or window <= every:
+            continue
+        width = pane_width(window, every)
+        if width is None:
+            continue
+        geometry = {
+            "width": width,
+            "every": round(every / width),
+            "window": round(window / width),
+        }
+        chain = _pane_chain(consumers, scan)
+        if chain is None:
+            continue
+        transparent, terminal = chain
+        scan.params["paned"] = geometry
+        for spec in transparent:
+            if spec.kind == "fetch_matches":
+                spec.params["paned"] = geometry
+        terminal.params["paned"] = geometry
+        if (terminal.kind == "groupby_partial"
+                and lq.options.get("paned_exchange") is not False):
+            _mark_paned_exchange(consumers, terminal, geometry)
+        if marked is None:
+            marked = geometry
+    return marked
+
+
+def _pane_chain(consumers, scan):
+    """Walk from a scan to its pane-aware consumer, or None.
+
+    Returns ``(transparent_ops, terminal)`` where ``transparent_ops``
+    are the pane-transparent operators crossed on the way.
+    """
+    transparent = []
+    spec = scan
     while True:
         downstream = consumers.get(spec.op_id, ())
         if len(downstream) != 1:
             return None
         spec = downstream[0]
-        if spec.kind in ("select", "project"):
+        if spec.kind in ("select", "project", "fetch_matches"):
+            transparent.append(spec)
             continue
-        if spec.kind in ("groupby_partial", "topk"):
-            geometry = {
-                "width": width,
-                "every": round(every / width),
-                "window": round(window / width),
-            }
-            scans[0].params["paned"] = geometry
-            spec.params["paned"] = geometry
-            return geometry
+        if spec.kind in ("groupby_partial", "topk", "bloom_stage"):
+            return transparent, spec
         return None
+
+
+def _mark_paned_exchange(consumers, partial, geometry):
+    """Extend panes across the partial's exchange to the final.
+
+    The partial switches to shipping per-pane *increments* (each pane's
+    partial crosses the wire once, when new rows touched it), the
+    exchange stamps batches with their pane so delivery can re-announce
+    it, and the final -- which now holds the window's pane partials at
+    the group's owner -- gets the geometry to assemble each epoch's
+    window. Tree-mode combining merges same-(epoch, pane) partials
+    mid-route; its routing keys drop the per-epoch rendezvous salt,
+    because a window's panes must accumulate at a *stable* owner across
+    the epochs that share them.
+    """
+    downstream = consumers.get(partial.op_id, ())
+    if len(downstream) != 1 or downstream[0].kind != "exchange":
+        return
+    exchange = downstream[0]
+    above = consumers.get(exchange.op_id, ())
+    if len(above) != 1 or above[0].kind != "groupby_final":
+        return
+    partial.params["paned_ship"] = "delta"
+    exchange.params["paned"] = geometry
+    if "combine" in exchange.params:
+        exchange.params["combine"] = dict(
+            exchange.params["combine"], paned=True
+        )
+    above[0].params["paned"] = geometry
 
 
 def _plan_from_where(b, lq, catalog, timing):
@@ -373,8 +440,8 @@ def _plan_join(b, lq, left_op, left_schema, right_op, right_schema,
                 left_schema.names, right_schema.names
             )
         )
-    left_keys = [ColumnRef(l) for l, _r in pairs]
-    right_keys = [ColumnRef(r) for _l, r in pairs]
+    left_keys = [ColumnRef(left) for left, _right in pairs]
+    right_keys = [ColumnRef(right) for _left, right in pairs]
     strategy = lq.options.get("join_strategy", "auto")
     if strategy == "auto":
         strategy = "fm" if _fm_applicable(right_def, pairs, right_schema) else "shj"
@@ -669,8 +736,8 @@ def _plan_recursive(lq, catalog, timing):
             "dedup_keys": True,
         }, [distinct_id])
     else:
-        left_keys = [ColumnRef(l) for l, _r in pairs]
-        right_keys = [ColumnRef(r) for _l, r in pairs]
+        left_keys = [ColumnRef(left) for left, _right in pairs]
+        right_keys = [ColumnRef(right) for _left, right in pairs]
         left_ex = b.add("exchange", {
             "mode": "rehash",
             "key": {"kind": "exprs", "exprs": left_keys, "schema": probe_schema},

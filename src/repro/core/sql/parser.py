@@ -15,7 +15,8 @@ from repro.db.expressions import (
 )
 from repro.util.errors import SqlError
 
-AGGREGATE_NAMES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+AGGREGATE_NAMES = {"COUNT", "SUM", "MIN", "MAX", "AVG",
+                   "APPROX_COUNT_DISTINCT", "APPROX_TOPK"}
 
 
 def parse_query(text, options=None):

@@ -196,12 +196,12 @@ def equi_join_pairs(expr, left_schema, right_schema):
             and isinstance(conj.left, ColumnRef)
             and isinstance(conj.right, ColumnRef)
         ):
-            l, r = conj.left.name, conj.right.name
-            if left_schema.has_column(l) and right_schema.has_column(r):
-                pairs.append((l, r))
+            lhs, rhs = conj.left.name, conj.right.name
+            if left_schema.has_column(lhs) and right_schema.has_column(rhs):
+                pairs.append((lhs, rhs))
                 matched = True
-            elif left_schema.has_column(r) and right_schema.has_column(l):
-                pairs.append((r, l))
+            elif left_schema.has_column(rhs) and right_schema.has_column(lhs):
+                pairs.append((rhs, lhs))
                 matched = True
         if not matched:
             residual.append(conj)

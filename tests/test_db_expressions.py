@@ -5,9 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.db.expressions import (
     BinaryOp,
-    ColumnRef,
     FuncCall,
-    Literal,
     UnaryOp,
     col,
     conjuncts,
@@ -15,7 +13,7 @@ from repro.db.expressions import (
     lit,
 )
 from repro.db.schema import Schema
-from repro.db.types import FLOAT, INT, STR
+from repro.db.types import INT, STR
 from repro.util.errors import CatalogError, PlanError
 
 SCHEMA = Schema.of(("a", INT), ("b", INT), ("s", STR))

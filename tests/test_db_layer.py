@@ -3,7 +3,7 @@
 import pytest
 
 from repro.db.catalog import Catalog, TableDef
-from repro.db.schema import Column, Schema
+from repro.db.schema import Schema
 from repro.db.table import LocalTable, make_fragment
 from repro.db.types import ANY, BOOL, FLOAT, INT, STR, type_by_name
 from repro.db.window import TimeWindow

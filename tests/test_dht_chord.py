@@ -1,7 +1,5 @@
 """Chord overlay: ring correctness, routing, storage, failure handling."""
 
-import pytest
-
 from repro.dht.bootstrap import (
     build_chord_ring,
     join_chord_ring,

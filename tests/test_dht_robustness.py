@@ -1,7 +1,5 @@
 """Routing robustness: suspects, heir delivery, no loops, split-brain."""
 
-import pytest
-
 from repro.core.network import PierNetwork
 from repro.dht.bootstrap import build_chord_ring, owner_of
 from repro.dht.chord import ChordNode, storage_key

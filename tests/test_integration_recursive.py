@@ -1,7 +1,5 @@
 """Recursive queries: transitive closure as cyclic dataflow."""
 
-import pytest
-
 from repro.core.network import PierNetwork
 
 REACH_SQL = (

@@ -8,7 +8,6 @@ milliseconds of wall time.
 
 from collections import defaultdict
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.network import PierNetwork

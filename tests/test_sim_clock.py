@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.clock import SimClock
 from repro.util.errors import SimulationError
 
 

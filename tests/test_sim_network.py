@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.clock import SimClock
 from repro.sim.latency import ConstantLatency, GeoLatency, UniformLatency
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.node import SimNode

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim.churn import ChurnConfig, ChurnProcess
-from repro.sim.clock import SimClock
 from repro.sim.latency import ConstantLatency
 from repro.sim.network import Network
 from repro.sim.node import SimNode

@@ -17,7 +17,7 @@ import random
 
 import pytest
 
-from repro.core.aggregates import AggSpec, aggregate_by_name
+from repro.core.aggregates import AggSpec
 from repro.core.dataflow import StandingExecution
 from repro.core.network import PierNetwork
 from repro.core.opgraph import OpSpec

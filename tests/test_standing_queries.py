@@ -3,8 +3,7 @@ epoch tags, stop tombstones, and NACKed early rows."""
 
 import pytest
 
-from repro.core.network import PierConfig, PierNetwork
-from repro.core.engine import EngineConfig
+from repro.core.network import PierNetwork
 from repro.dht.chord import NodeRef, node_id_for
 
 

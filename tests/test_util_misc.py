@@ -1,7 +1,5 @@
 """SeededRng determinism and wire-size accounting."""
 
-import pytest
-
 from repro.util.errors import (
     CatalogError,
     DhtError,
