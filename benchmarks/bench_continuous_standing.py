@@ -1,12 +1,13 @@
-"""Ext-G: standing continuous execution vs rebuild-per-epoch.
+"""Ext-G: standing continuous execution vs per-epoch re-submission.
 
 The fig1 continuous-sum workload (every host samples its outbound rate
 into a stream table; one continuous query aggregates the network-wide
 SUM and sample COUNT) run two ways on identical testbeds:
 
-* ``rebuild``  -- the original discipline: each epoch instantiates a
-  fresh ``EpochExecution`` that re-scans the whole retention window and
-  re-registers per-epoch exchange namespaces;
+* ``oneshot``  -- the polling discipline the retired rebuild path
+  emulated: at every epoch boundary a fresh one-shot windowed query is
+  submitted, re-broadcast, re-planned, and re-scans the whole
+  retention window under per-query exchange namespaces;
 * ``standing`` -- one long-lived ``StandingExecution`` per node: scans
   subscribe to stream appends once and push per-epoch deltas, exchange
   delivery is registered once per query under epoch-free namespaces,
@@ -19,12 +20,12 @@ recursive walk with a single hop per epoch.
 
 Acceptance properties asserted here:
 
-* per-epoch results are identical between rebuild and standing (same
-  seed, same workload, same answers epoch for epoch);
+* per-epoch results are identical between the polling and standing
+  runs (same seed, same workload, same answers epoch for epoch);
 * standing scans examine strictly fewer rows (delta subscription vs
   full-window re-scan);
-* standing moves strictly fewer messages on the rehash plan (owner
-  cache) and no more than rebuild on the tree plan.
+* standing moves strictly fewer messages in both exchange modes (no
+  per-epoch plan broadcast, owner caches, stable tree rendezvous).
 
 Run standalone with ``python benchmarks/bench_continuous_standing.py``
 (``--smoke`` for a quick pass usable next to tier-1).
@@ -49,11 +50,16 @@ SQL = (
     "LIFETIME {} SECONDS"
 )
 
+ONESHOT_SQL = (
+    "SELECT SUM(rate_kbps) AS total_rate, COUNT(*) AS samples "
+    "FROM node_stats WINDOW {} SECONDS"
+)
+
 
 def build_net(seed, nodes):
     net = PierNetwork(nodes=nodes, seed=seed, config=PierConfig())
     # Retention horizon of 2x the query window, like the monitoring app:
-    # the rebuild path re-examines the whole deque every epoch.
+    # every one-shot poll re-examines the whole deque.
     net.create_stream_table(
         "node_stats", [("rate_kbps", "FLOAT")], window=2 * WINDOW
     )
@@ -76,23 +82,13 @@ def build_net(seed, nodes):
     return net
 
 
-def run_config(seed, nodes, lifetime, standing, tree):
-    net = build_net(seed, nodes)
-    net.advance(WINDOW)  # fill the first window
+def _measured(net, fn):
+    """Run ``fn(site)`` and return its result plus message/scan deltas."""
     before = dict(net.message_counters())
     scans_before = sum(n.engine.rows_scanned for n in net.nodes.values())
-    options = {"aggregation_tree": tree}
-    if not standing:
-        options["standing"] = False
-    results = []
-    sql = SQL.format(int(EVERY), int(WINDOW), int(lifetime))
-    handle = net.submit_sql(sql, node=net.any_address(),
-                            on_epoch=results.append, options=options)
-    net.advance(lifetime + handle.plan.deadline + 5.0)
+    epochs = fn(net.any_address())
     after = net.message_counters()
     scans_after = sum(n.engine.rows_scanned for n in net.nodes.values())
-    assert handle.plan.standing == standing
-    epochs = {r.epoch: sorted(r.rows) for r in results}
     return {
         "epochs": epochs,
         "messages": after.get("messages_sent", 0) - before.get("messages_sent", 0),
@@ -100,17 +96,61 @@ def run_config(seed, nodes, lifetime, standing, tree):
         "exchange_messages": (after.get("exchange_messages", 0)
                               - before.get("exchange_messages", 0)),
         "rows_scanned": scans_after - scans_before,
-        "num_epochs": len(results),
+        "num_epochs": len(epochs),
     }
+
+
+def run_standing(seed, nodes, lifetime, tree):
+    net = build_net(seed, nodes)
+    net.advance(WINDOW)  # fill the first window
+
+    def drive(site):
+        results = []
+        sql = SQL.format(int(EVERY), int(WINDOW), int(lifetime))
+        handle = net.submit_sql(sql, node=site, on_epoch=results.append,
+                                options={"aggregation_tree": tree})
+        assert handle.plan.standing
+        net.advance(lifetime + handle.plan.deadline + 5.0)
+        return {r.epoch: sorted(r.rows) for r in results}
+
+    return _measured(net, drive)
+
+
+def run_oneshot(seed, nodes, lifetime, tree):
+    """Poll with a fresh one-shot windowed query at every boundary.
+
+    Each poll is submitted at the instant the standing run's epoch
+    closes its window, so both disciplines sample identical data.
+    """
+    net = build_net(seed, nodes)
+    net.advance(WINDOW)
+
+    def drive(site):
+        sql = ONESHOT_SQL.format(int(WINDOW))
+        pending = []
+        for k in range(1, int(lifetime / EVERY) + 1):
+            net.advance(EVERY)
+            results = []
+            handle = net.submit_sql(sql, node=site,
+                                    on_epoch=results.append,
+                                    options={"aggregation_tree": tree})
+            assert not handle.plan.standing
+            pending.append((k, handle, results))
+        net.advance(max(h.plan.deadline for _k, h, _r in pending) + 5.0)
+        return {
+            k: sorted(results[-1].rows) if results else []
+            for k, _h, results in pending
+        }
+
+    return _measured(net, drive)
 
 
 def run_sweep(seed=7, nodes=NODES, lifetime=LIFETIME):
     out = {}
     for tree in (True, False):
-        for standing in (False, True):
-            label = "{}/{}".format("tree" if tree else "rehash",
-                                   "standing" if standing else "rebuild")
-            out[label] = run_config(seed, nodes, lifetime, standing, tree)
+        mode = "tree" if tree else "rehash"
+        out["{}/oneshot".format(mode)] = run_oneshot(seed, nodes, lifetime, tree)
+        out["{}/standing".format(mode)] = run_standing(seed, nodes, lifetime, tree)
     return out
 
 
@@ -138,44 +178,43 @@ def check_sweep(stats):
     """Assert parity and the resource reductions; returns ratio dict."""
     ratios = {}
     for mode in ("tree", "rehash"):
-        rebuild = stats["{}/rebuild".format(mode)]
+        oneshot = stats["{}/oneshot".format(mode)]
         standing = stats["{}/standing".format(mode)]
-        assert rebuild["num_epochs"] >= 4, "workload produced too few epochs"
-        assert set(standing["epochs"]) == set(rebuild["epochs"]), (
+        assert oneshot["num_epochs"] >= 4, "workload produced too few epochs"
+        assert set(standing["epochs"]) == set(oneshot["epochs"]), (
             "{}: standing produced different epochs".format(mode)
         )
-        for k in rebuild["epochs"]:
-            assert _rows_match(standing["epochs"][k], rebuild["epochs"][k]), (
-                "{}: epoch {} results differ (rebuild {!r} vs standing "
-                "{!r})".format(mode, k, rebuild["epochs"][k],
+        for k in oneshot["epochs"]:
+            assert _rows_match(standing["epochs"][k], oneshot["epochs"][k]), (
+                "{}: epoch {} results differ (oneshot {!r} vs standing "
+                "{!r})".format(mode, k, oneshot["epochs"][k],
                                standing["epochs"][k])
             )
-        assert standing["rows_scanned"] < rebuild["rows_scanned"], (
+        assert standing["rows_scanned"] < oneshot["rows_scanned"], (
             "{}: standing scans did not reduce rows examined".format(mode)
         )
+        assert standing["messages"] < oneshot["messages"], (
+            "{}: standing did not reduce messages".format(mode)
+        )
         ratios["{}_scan".format(mode)] = (
-            rebuild["rows_scanned"] / max(1, standing["rows_scanned"])
+            oneshot["rows_scanned"] / max(1, standing["rows_scanned"])
         )
         ratios["{}_msgs".format(mode)] = (
-            rebuild["messages"] / max(1, standing["messages"])
+            oneshot["messages"] / max(1, standing["messages"])
         )
-    # Owner caching must pay off on the rehash plan; the tree plan keeps
-    # per-epoch rendezvous salting, so parity of message cost is enough.
-    assert stats["rehash/standing"]["messages"] < stats["rehash/rebuild"]["messages"]
-    assert stats["tree/standing"]["messages"] <= 1.05 * stats["tree/rebuild"]["messages"]
     return ratios
 
 
 def exhibit(nodes, lifetime, stats, ratios):
     from benchmarks._harness import fmt_table
 
-    text = "Ext-G: standing execution vs rebuild-per-epoch (fig1 continuous sum)\n"
+    text = "Ext-G: standing execution vs per-epoch polling (fig1 continuous sum)\n"
     text += "({} nodes, epoch {}s, window {}s, lifetime {}s, sample every {}s)\n\n".format(
         nodes, int(EVERY), int(WINDOW), int(lifetime), int(SAMPLE_PERIOD)
     )
     rows = []
-    for label in ("tree/rebuild", "tree/standing",
-                  "rehash/rebuild", "rehash/standing"):
+    for label in ("tree/oneshot", "tree/standing",
+                  "rehash/oneshot", "rehash/standing"):
         out = stats[label]
         rows.append((
             label, out["num_epochs"], out["messages"], out["bytes"],
@@ -187,10 +226,11 @@ def exhibit(nodes, lifetime, stats, ratios):
         rows,
     )
     text += (
-        "\n\nper-epoch results: standing identical to rebuild in both modes\n"
+        "\n\nper-epoch results: standing identical to one-shot polling in "
+        "both modes\n"
         "rows-scanned reduction: tree {:.2f}x, rehash {:.2f}x\n"
         "messages_sent reduction: tree {:.2f}x, rehash {:.2f}x "
-        "(owner cache replaces the recursive walk)\n".format(
+        "(one broadcast + subscriptions replace per-epoch re-submission)\n".format(
             ratios["tree_scan"], ratios["rehash_scan"],
             ratios["tree_msgs"], ratios["rehash_msgs"],
         )
@@ -234,9 +274,6 @@ def main(argv=None):
     print(exhibit(nodes, lifetime, stats, ratios))
     from benchmarks._harness import write_metrics
 
-    # The standing-vs-rebuild ablation on record: once these numbers
-    # are baselined, retiring the rebuild fallback no longer requires
-    # re-running the ablation live (see ROADMAP).
     write_metrics("continuous_standing", {
         "parity": True,
         "tree_scan_ratio": round(ratios["tree_scan"], 4),

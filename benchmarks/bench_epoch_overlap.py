@@ -1,25 +1,27 @@
-"""Ext-H: the N-live-epoch ring vs rebuild-per-epoch.
+"""Ext-H: the N-live-epoch ring vs per-epoch re-submission.
 
-PR 4 retires the rebuild path: a standing execution now keeps an
-*epoch ring* of N live epoch states (``QueryPlan.epoch_overlap``, the
-ceiling of the plan's flush horizon over its period), so continuous
-plans whose flushes span several periods -- and bloom-join plans,
-whose per-epoch filter round-trip used to force a rebuild -- run as
-one long-lived ``StandingExecution`` per node.
+PR 4 retired the rebuild path: a standing execution keeps an *epoch
+ring* of N live epoch states (``QueryPlan.epoch_overlap``, the ceiling
+of the plan's flush horizon over its period), so continuous plans
+whose flushes span several periods -- and bloom-join plans, whose
+per-epoch filter round-trip used to force a rebuild -- run as one
+long-lived ``StandingExecution`` per node.
 
-Two sweeps quantify that:
+Two sweeps quantify that against the polling discipline the rebuild
+path emulated (a fresh one-shot query submitted at every epoch
+boundary):
 
 * **overlap sweep** -- the fig1-style continuous SUM/COUNT with the
   flush horizon pinned (~9.1s) and the epoch period swept so the
   horizon/period ratio covers {1, 2, 4, 8}: the planner widens the
   ring accordingly (N = ratio), and at every ratio the standing run
-  must produce per-epoch answers identical to rebuild while scanning
-  fewer rows (subscription deltas vs full-deque re-scans) and moving
-  fewer messages per epoch (owner-cached one-hop exchanges vs fresh
-  O(log N) walks);
+  must produce per-epoch answers identical to the polls while
+  scanning fewer rows (subscription deltas vs full-deque re-scans)
+  and moving fewer messages per epoch (one broadcast and owner-cached
+  exchanges vs per-poll re-submission);
 * **bloom join** -- a continuous Bloom-filtered equi-join run standing
-  vs rebuild: identical rows every epoch, with the standing run no
-  more expensive in messages.
+  vs one-shot polls: identical rows every epoch, with the standing
+  run strictly cheaper in messages.
 
 Run standalone with ``python benchmarks/bench_epoch_overlap.py``
 (``--smoke`` for a quick pass usable next to tier-1).
@@ -46,9 +48,18 @@ SQL = (
     "LIFETIME {} SECONDS"
 )
 
+ONESHOT_SQL = (
+    "SELECT SUM(rate_kbps) AS total_rate, COUNT(*) AS samples "
+    "FROM node_stats WINDOW {} SECONDS"
+)
+
 BLOOM_SQL = (
     "SELECT r.k AS k, r.v AS v, s2.w AS w FROM r, s2 WHERE r.k = s2.k "
     "EVERY 12 SECONDS LIFETIME 36 SECONDS"
+)
+
+BLOOM_ONESHOT_SQL = (
+    "SELECT r.k AS k, r.v AS v, s2.w AS w FROM r, s2 WHERE r.k = s2.k"
 )
 
 
@@ -84,26 +95,23 @@ def build_net(seed, nodes):
     return net
 
 
-def run_overlap_config(seed, nodes, ratio, standing):
+def run_overlap_standing(seed, nodes, ratio):
     every = BASE_EVERY / ratio
     lifetime = max(6.0 * every, 12.0)
     net = build_net(seed, nodes)
     net.advance(RETENTION)  # fill the retention deque for both paths
     before = dict(net.message_counters())
     scans_before = sum(n.engine.rows_scanned for n in net.nodes.values())
-    options = {"aggregation_tree": False}
-    if not standing:
-        options["standing"] = False
     results = []
     sql = SQL.format(every, every, lifetime)
     handle = net.submit_sql(sql, node=net.any_address(),
-                            on_epoch=results.append, options=options)
-    assert handle.plan.standing == standing
-    if standing:
-        assert handle.plan.epoch_overlap == ratio, (
-            "ratio {} planned a ring of {}".format(
-                ratio, handle.plan.epoch_overlap)
-        )
+                            on_epoch=results.append,
+                            options={"aggregation_tree": False})
+    assert handle.plan.standing
+    assert handle.plan.epoch_overlap == ratio, (
+        "ratio {} planned a ring of {}".format(
+            ratio, handle.plan.epoch_overlap)
+    )
     net.advance(lifetime + handle.plan.deadline + 5.0)
     after = net.message_counters()
     scans_after = sum(n.engine.rows_scanned for n in net.nodes.values())
@@ -111,7 +119,41 @@ def run_overlap_config(seed, nodes, ratio, standing):
     return {
         "epochs": epochs,
         "num_epochs": len(epochs),
-        "ring": handle.plan.epoch_overlap if standing else 0,
+        "ring": handle.plan.epoch_overlap,
+        "messages": after.get("messages_sent", 0) - before.get("messages_sent", 0),
+        "rows_scanned": scans_after - scans_before,
+    }
+
+
+def run_overlap_oneshot(seed, nodes, ratio):
+    """Poll with a one-shot windowed query at every epoch boundary."""
+    every = BASE_EVERY / ratio
+    lifetime = max(6.0 * every, 12.0)
+    net = build_net(seed, nodes)
+    net.advance(RETENTION)
+    before = dict(net.message_counters())
+    scans_before = sum(n.engine.rows_scanned for n in net.nodes.values())
+    site = net.any_address()
+    sql = ONESHOT_SQL.format(every)
+    pending = []
+    for k in range(1, int(round(lifetime / every)) + 1):
+        net.advance(every)
+        results = []
+        handle = net.submit_sql(sql, node=site, on_epoch=results.append,
+                                options={"aggregation_tree": False})
+        assert not handle.plan.standing
+        pending.append((k, handle, results))
+    net.advance(max(h.plan.deadline for _k, h, _r in pending) + 5.0)
+    after = net.message_counters()
+    scans_after = sum(n.engine.rows_scanned for n in net.nodes.values())
+    epochs = {
+        k: sorted(results[-1].rows) if results else []
+        for k, _h, results in pending
+    }
+    return {
+        "epochs": epochs,
+        "num_epochs": len(epochs),
+        "ring": 0,
         "messages": after.get("messages_sent", 0) - before.get("messages_sent", 0),
         "rows_scanned": scans_after - scans_before,
     }
@@ -137,8 +179,8 @@ def run_overlap_sweep(seed, nodes, ratios):
     stats = {}
     for ratio in ratios:
         stats[ratio] = {
-            "standing": run_overlap_config(seed, nodes, ratio, True),
-            "rebuild": run_overlap_config(seed, nodes, ratio, False),
+            "standing": run_overlap_standing(seed, nodes, ratio),
+            "oneshot": run_overlap_oneshot(seed, nodes, ratio),
         }
     return stats
 
@@ -147,41 +189,41 @@ def check_overlap_sweep(stats):
     """Parity everywhere; resource wins, asserted at 4x overlap."""
     ratios_out = {}
     for ratio, pair in stats.items():
-        standing, rebuild = pair["standing"], pair["rebuild"]
-        assert rebuild["num_epochs"] >= 4, (
-            "ratio {}: only {} epochs".format(ratio, rebuild["num_epochs"])
+        standing, oneshot = pair["standing"], pair["oneshot"]
+        assert oneshot["num_epochs"] >= 4, (
+            "ratio {}: only {} epochs".format(ratio, oneshot["num_epochs"])
         )
-        shared = set(standing["epochs"]) & set(rebuild["epochs"])
+        shared = set(standing["epochs"]) & set(oneshot["epochs"])
         assert len(shared) >= 4, (
             "ratio {}: paths shared only {} epochs".format(ratio, len(shared))
         )
         for k in shared:
-            assert _rows_match(standing["epochs"][k], rebuild["epochs"][k]), (
-                "ratio {}: epoch {} diverged (rebuild {!r} vs standing "
-                "{!r})".format(ratio, k, rebuild["epochs"][k],
+            assert _rows_match(standing["epochs"][k], oneshot["epochs"][k]), (
+                "ratio {}: epoch {} diverged (oneshot {!r} vs standing "
+                "{!r})".format(ratio, k, oneshot["epochs"][k],
                                standing["epochs"][k])
             )
         ratios_out[ratio] = {
-            "scan": rebuild["rows_scanned"] / max(1, standing["rows_scanned"]),
+            "scan": oneshot["rows_scanned"] / max(1, standing["rows_scanned"]),
             "msgs_per_epoch": (
-                (rebuild["messages"] / max(1, rebuild["num_epochs"]))
+                (oneshot["messages"] / max(1, oneshot["num_epochs"]))
                 / max(1.0, standing["messages"] / max(1, standing["num_epochs"]))
             ),
         }
     for ratio, pair in stats.items():
         if ratio < 4:
             continue
-        standing, rebuild = pair["standing"], pair["rebuild"]
+        standing, oneshot = pair["standing"], pair["oneshot"]
         # The acceptance bar: at >=4x overlap the ring must beat
-        # rebuild on both axes, not just match it.
-        assert standing["rows_scanned"] < rebuild["rows_scanned"], (
+        # per-epoch polling on both axes, not just match it.
+        assert standing["rows_scanned"] < oneshot["rows_scanned"], (
             "ratio {}: standing did not scan fewer rows".format(ratio)
         )
         per_epoch_standing = standing["messages"] / max(1, standing["num_epochs"])
-        per_epoch_rebuild = rebuild["messages"] / max(1, rebuild["num_epochs"])
-        assert per_epoch_standing < per_epoch_rebuild, (
-            "ratio {}: standing moved {} msgs/epoch vs rebuild {}".format(
-                ratio, per_epoch_standing, per_epoch_rebuild)
+        per_epoch_oneshot = oneshot["messages"] / max(1, oneshot["num_epochs"])
+        assert per_epoch_standing < per_epoch_oneshot, (
+            "ratio {}: standing moved {} msgs/epoch vs oneshot {}".format(
+                ratio, per_epoch_standing, per_epoch_oneshot)
         )
     return ratios_out
 
@@ -189,21 +231,24 @@ def check_overlap_sweep(stats):
 # ----------------------------------------------------------------------
 # Bloom-join leg
 # ----------------------------------------------------------------------
-def run_bloom_config(seed, nodes, standing):
+def _bloom_net(seed, nodes):
     net = PierNetwork(nodes=nodes, seed=seed)
     net.create_local_table("r", [("k", "INT"), ("v", "INT")])
     net.create_local_table("s2", [("k", "INT"), ("w", "INT")])
     for i, address in enumerate(net.addresses()):
         net.insert(address, "r", [((i + j) % 8, 10 + j) for j in range(3)])
         net.insert(address, "s2", [((2 * i + j) % 16, 100 + j) for j in range(2)])
-    options = {"join_strategy": "bloom"}
-    if not standing:
-        options["standing"] = False
+    return net
+
+
+def run_bloom_standing(seed, nodes):
+    net = _bloom_net(seed, nodes)
     before = dict(net.message_counters())
     results = []
     handle = net.submit_sql(BLOOM_SQL, node=net.any_address(),
-                            on_epoch=results.append, options=options)
-    assert handle.plan.standing == standing
+                            on_epoch=results.append,
+                            options={"join_strategy": "bloom"})
+    assert handle.plan.standing
     assert handle.plan.ops_of_kind("bloom_stage")
     net.advance(36.0 + handle.plan.deadline + 5.0)
     after = net.message_counters()
@@ -214,33 +259,59 @@ def run_bloom_config(seed, nodes, standing):
     }
 
 
-def check_bloom(standing, rebuild):
+def run_bloom_oneshot(seed, nodes):
+    net = _bloom_net(seed, nodes)
+    before = dict(net.message_counters())
+    site = net.any_address()
+    pending = []
+    for k in range(1, 4):  # the standing leg's 3 epochs, polled
+        net.advance(12.0)
+        results = []
+        handle = net.submit_sql(BLOOM_ONESHOT_SQL, node=site,
+                                on_epoch=results.append,
+                                options={"join_strategy": "bloom"})
+        assert not handle.plan.standing
+        assert handle.plan.ops_of_kind("bloom_stage")
+        pending.append((k, handle, results))
+    net.advance(max(h.plan.deadline for _k, h, _r in pending) + 5.0)
+    after = net.message_counters()
+    return {
+        "epochs": {
+            k: sorted(results[-1].rows) if results else []
+            for k, _h, results in pending
+        },
+        "num_epochs": len(pending),
+        "messages": after.get("messages_sent", 0) - before.get("messages_sent", 0),
+    }
+
+
+def check_bloom(standing, oneshot):
     assert standing["num_epochs"] >= 3
-    assert set(standing["epochs"]) == set(rebuild["epochs"])
+    assert set(standing["epochs"]) == set(oneshot["epochs"])
     for k in standing["epochs"]:
-        assert standing["epochs"][k] == rebuild["epochs"][k], (
-            "bloom epoch {}: standing != rebuild".format(k)
+        assert standing["epochs"][k] == oneshot["epochs"][k], (
+            "bloom epoch {}: standing != oneshot".format(k)
         )
         assert standing["epochs"][k], "bloom join produced no rows"
-    assert standing["messages"] < rebuild["messages"], (
+    assert standing["messages"] < oneshot["messages"], (
         "standing bloom moved more messages ({} vs {})".format(
-            standing["messages"], rebuild["messages"])
+            standing["messages"], oneshot["messages"])
     )
-    return rebuild["messages"] / max(1, standing["messages"])
+    return oneshot["messages"] / max(1, standing["messages"])
 
 
-def exhibit(nodes, stats, ratios_out, bloom_standing, bloom_rebuild,
+def exhibit(nodes, stats, ratios_out, bloom_standing, bloom_oneshot,
             bloom_ratio):
     from benchmarks._harness import fmt_table
 
-    text = "Ext-H: N-live-epoch ring vs rebuild-per-epoch\n"
+    text = "Ext-H: N-live-epoch ring vs per-epoch polling\n"
     text += ("({} nodes, flush horizon ~9.1s, period swept so "
              "horizon/period = ring width N;\n sample every {}s, "
              "retention {}s)\n\n".format(nodes, SAMPLE_PERIOD,
                                          int(RETENTION)))
     rows = []
     for ratio in sorted(stats):
-        for label in ("rebuild", "standing"):
+        for label in ("oneshot", "standing"):
             out = stats[ratio][label]
             rows.append((
                 "{}x/{}".format(ratio, label),
@@ -255,17 +326,18 @@ def exhibit(nodes, stats, ratios_out, bloom_standing, bloom_rebuild,
          "rows scanned"],
         rows,
     )
-    text += "\n\nper-epoch results: standing identical to rebuild at every ratio\n"
+    text += ("\n\nper-epoch results: standing identical to one-shot polls "
+             "at every ratio\n")
     for ratio in sorted(ratios_out):
         r = ratios_out[ratio]
         text += ("ratio {}x: rows-scanned reduction {:.2f}x, "
                  "msgs/epoch reduction {:.2f}x\n".format(
                      ratio, r["scan"], r["msgs_per_epoch"]))
     text += (
-        "\nbloom join (standing vs rebuild): identical rows every epoch, "
-        "{:.2f}x fewer messages\n  rebuild {} msgs / standing {} msgs over "
+        "\nbloom join (standing vs polling): identical rows every epoch, "
+        "{:.2f}x fewer messages\n  oneshot {} msgs / standing {} msgs over "
         "{} epochs\n".format(
-            bloom_ratio, bloom_rebuild["messages"],
+            bloom_ratio, bloom_oneshot["messages"],
             bloom_standing["messages"], bloom_standing["num_epochs"])
     )
     return text
@@ -274,10 +346,10 @@ def exhibit(nodes, stats, ratios_out, bloom_standing, bloom_rebuild,
 def run_all(seed, nodes, ratios):
     stats = run_overlap_sweep(seed, nodes, ratios)
     ratios_out = check_overlap_sweep(stats)
-    bloom_standing = run_bloom_config(seed, nodes, True)
-    bloom_rebuild = run_bloom_config(seed, nodes, False)
-    bloom_ratio = check_bloom(bloom_standing, bloom_rebuild)
-    return stats, ratios_out, bloom_standing, bloom_rebuild, bloom_ratio
+    bloom_standing = run_bloom_standing(seed, nodes)
+    bloom_oneshot = run_bloom_oneshot(seed, nodes)
+    bloom_ratio = check_bloom(bloom_standing, bloom_oneshot)
+    return stats, ratios_out, bloom_standing, bloom_oneshot, bloom_ratio
 
 
 def test_epoch_overlap(benchmark):
@@ -286,9 +358,9 @@ def test_epoch_overlap(benchmark):
     def run():
         return run_all(seed=7, nodes=NODES, ratios=RATIOS)
 
-    stats, ratios_out, bloom_s, bloom_r, bloom_ratio = run_once(benchmark, run)
+    stats, ratios_out, bloom_s, bloom_o, bloom_ratio = run_once(benchmark, run)
     report("epoch_overlap",
-           exhibit(NODES, stats, ratios_out, bloom_s, bloom_r, bloom_ratio))
+           exhibit(NODES, stats, ratios_out, bloom_s, bloom_o, bloom_ratio))
     for ratio, out in ratios_out.items():
         benchmark.extra_info["ratio_{}".format(ratio)] = out
     benchmark.extra_info["bloom_msg_ratio"] = bloom_ratio
@@ -307,10 +379,10 @@ def main(argv=None):
         nodes, ratios = SMOKE_NODES, SMOKE_RATIOS
     else:
         nodes, ratios = NODES, RATIOS
-    stats, ratios_out, bloom_s, bloom_r, bloom_ratio = run_all(
+    stats, ratios_out, bloom_s, bloom_o, bloom_ratio = run_all(
         seed=7, nodes=nodes, ratios=ratios
     )
-    text = exhibit(nodes, stats, ratios_out, bloom_s, bloom_r, bloom_ratio)
+    text = exhibit(nodes, stats, ratios_out, bloom_s, bloom_o, bloom_ratio)
     print(text)
     from benchmarks._harness import write_metrics
 
@@ -318,20 +390,11 @@ def main(argv=None):
                "bloom_msgs_ratio": round(bloom_ratio, 4)}
     for ratio, r in ratios_out.items():
         metrics["scan_ratio_{}x".format(ratio)] = round(r["scan"], 4)
-        metrics["msgs_ratio_{}x".format(ratio)] = round(
-            r["msgs_per_epoch"], 4)
+        metrics["msgs_ratio_{}x".format(ratio)] = round(r["msgs_per_epoch"], 4)
     write_metrics("epoch_overlap", metrics,
                   scale="smoke" if args.smoke else "full")
-    if not args.smoke:
-        from benchmarks._harness import report
-
-        report("epoch_overlap", text)
-    worst = max(ratios_out)
-    print("ok: parity at every ratio; at {}x overlap rows scanned "
-          "{:.2f}x lower and msgs/epoch {:.2f}x lower than rebuild; "
-          "bloom standing {:.2f}x fewer messages".format(
-              worst, ratios_out[worst]["scan"],
-              ratios_out[worst]["msgs_per_epoch"], bloom_ratio))
+    print("ok: ring parity holds at every ratio; bloom join standing is "
+          "{:.2f}x cheaper in messages".format(bloom_ratio))
     return 0
 
 

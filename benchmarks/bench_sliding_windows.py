@@ -19,12 +19,12 @@ A second exhibit covers the *overlapping-epoch* half of the feature: a
 tree-aggregation plan whose final flush lands ~8.7s after each 6s
 boundary used to force rebuild-per-epoch; it must now run as one
 long-lived StandingExecution per node (two live epoch states) with
-answers identical to the rebuild ablation.
+answers identical to polling the same window with one-shot queries.
 
 Acceptance properties asserted here:
 
 * per-epoch results are identical between paned and from-scratch for
-  every swept ratio (and between standing-overlap and rebuild);
+  every swept ratio (and between standing-overlap and one-shot polls);
 * at ``WINDOW/EVERY = 4`` the paned path folds >= 2x fewer rows into
   aggregation state per epoch;
 * the overlapping-flush plan is planned standing+overlapping and every
@@ -168,42 +168,62 @@ def check_sweep(stats, ratios):
 
 def run_overlap_check(seed=31, nodes=OVERLAP_NODES, every=OVERLAP_EVERY,
                       lifetime=OVERLAP_LIFETIME):
-    """The overlapping-flush plan must run standing, with rebuild parity."""
+    """The overlapping-flush plan must run standing, with polling parity."""
     outcomes = {}
-    for label, options in (("standing", {}), ("rebuild", {"standing": False})):
-        net = build_net(seed, nodes, retention=3 * every)
+
+    # Standing leg: one long-lived execution, ring width > 1.
+    net = build_net(seed, nodes, retention=3 * every)
+    net.advance(every)
+    results = []
+    sql = SQL.format(int(every), int(every), int(lifetime))
+    handle = net.submit_sql(sql, node=net.any_address(),
+                            on_epoch=results.append)
+    assert handle.plan.standing and handle.plan.epoch_overlap > 1, (
+        "overlapping-flush plan fell back to one-shot (or lost "
+        "its overlap: ring width {})".format(handle.plan.epoch_overlap)
+    )
+    net.advance(1.5 * every)
+    live = [
+        n.engine.queries[handle.qid].execution
+        for n in net.nodes.values()
+        if handle.qid in n.engine.queries
+    ]
+    assert live, "no engine adopted the standing query"
+    assert all(isinstance(e, StandingExecution) for e in live), (
+        "engines ran the overlapping plan outside StandingExecution"
+    )
+    assert all(e is not None and e.overlap for e in live)
+    net.advance(lifetime + handle.plan.deadline + 5.0 - 1.5 * every)
+    outcomes["standing"] = {r.epoch: sorted(r.rows) for r in results}
+
+    # Polling leg: a fresh one-shot windowed query at every boundary
+    # (the discipline the retired rebuild path emulated).
+    net = build_net(seed, nodes, retention=3 * every)
+    net.advance(every)
+    site = net.any_address()
+    oneshot_sql = ("SELECT SUM(rate_kbps) AS total_rate, "
+                   "COUNT(*) AS samples FROM node_stats "
+                   "WINDOW {} SECONDS".format(int(every)))
+    pending = []
+    for k in range(1, int(lifetime / every) + 1):
         net.advance(every)
-        results = []
-        sql = SQL.format(int(every), int(every), int(lifetime))
-        handle = net.submit_sql(sql, node=net.any_address(),
-                                on_epoch=results.append, options=options)
-        if label == "standing":
-            assert handle.plan.standing and handle.plan.epoch_overlap > 1, (
-                "overlapping-flush plan fell back to rebuild (or lost "
-                "its overlap: ring width {})".format(handle.plan.epoch_overlap)
-            )
-            net.advance(1.5 * every)
-            live = [
-                n.engine.queries[handle.qid].execution
-                for n in net.nodes.values()
-                if handle.qid in n.engine.queries
-            ]
-            assert live, "no engine adopted the standing query"
-            assert all(isinstance(e, StandingExecution) for e in live), (
-                "engines ran the overlapping plan outside StandingExecution"
-            )
-            assert all(e is not None and e.overlap for e in live)
-            net.advance(lifetime + handle.plan.deadline + 5.0 - 1.5 * every)
-        else:
-            assert not handle.plan.standing
-            net.advance(lifetime + handle.plan.deadline + 5.0)
-        outcomes[label] = {r.epoch: sorted(r.rows) for r in results}
-    shared = set(outcomes["standing"]) & set(outcomes["rebuild"])
+        poll_results = []
+        poll = net.submit_sql(oneshot_sql, node=site,
+                              on_epoch=poll_results.append)
+        assert not poll.plan.standing
+        pending.append((k, poll, poll_results))
+    net.advance(max(p.plan.deadline for _k, p, _r in pending) + 5.0)
+    outcomes["oneshot"] = {
+        k: sorted(poll_results[-1].rows) if poll_results else []
+        for k, _p, poll_results in pending
+    }
+
+    shared = set(outcomes["standing"]) & set(outcomes["oneshot"])
     assert len(shared) >= 4
     for k in shared:
-        assert _rows_match(outcomes["standing"][k], outcomes["rebuild"][k]), (
-            "overlap epoch {}: standing {!r} != rebuild {!r}".format(
-                k, outcomes["standing"][k], outcomes["rebuild"][k])
+        assert _rows_match(outcomes["standing"][k], outcomes["oneshot"][k]), (
+            "overlap epoch {}: standing {!r} != oneshot {!r}".format(
+                k, outcomes["standing"][k], outcomes["oneshot"][k])
         )
     return len(shared)
 
@@ -238,7 +258,7 @@ def exhibit(nodes, every, ratios, lifetime, stats, fold_ratios,
              + "\noverlapping-flush plan (tree aggregation, flush ~8.7s "
                "into a {}s period):\n  planned standing+overlapping, ran "
                "as one StandingExecution per node,\n  {} epochs identical "
-               "to the rebuild-per-epoch ablation\n".format(
+               "to per-boundary one-shot polls\n".format(
                    int(OVERLAP_EVERY), overlap_epochs))
     return text
 

@@ -334,18 +334,70 @@ def aggregate_by_name(name):
     return agg
 
 
+#: Aggregates that accept trailing integer SQL arguments, with their
+#: constructor and maximum parameter count. ``APPROX_TOPK(x, k, depth,
+#: width)`` and ``APPROX_COUNT_DISTINCT(x, precision)``; omitted
+#: parameters keep the constructor defaults.
+_PARAMETRIC = {
+    "APPROX_COUNT_DISTINCT": (ApproxCountDistinct, 1),
+    "APPROX_TOPK": (ApproxTopK, 3),
+}
+
+
+def make_aggregate(name, params=()):
+    """Instantiate an aggregate, applying SQL-level parameters.
+
+    Without parameters this returns the shared registry singleton;
+    with them it constructs a dedicated instance (parameterized
+    aggregates are stateless objects holding only their geometry, so
+    per-spec instances are cheap). Raises :class:`PlanError` for
+    parameters on a non-parametric aggregate, too many parameters, or
+    values that are not positive integers.
+    """
+    name = name.upper()
+    if not params:
+        return aggregate_by_name(name)
+    entry = _PARAMETRIC.get(name)
+    if entry is None:
+        aggregate_by_name(name)  # surface unknown-aggregate first
+        raise PlanError("{} takes no parameters".format(name))
+    cls, max_params = entry
+    if len(params) > max_params:
+        raise PlanError(
+            "{} takes at most {} parameter(s), got {}".format(
+                name, max_params, len(params)
+            )
+        )
+    for value in params:
+        if isinstance(value, bool) or not isinstance(value, int) or value <= 0:
+            raise PlanError(
+                "{} parameters must be positive integers, got {!r}".format(
+                    name, value
+                )
+            )
+    try:
+        return cls(*params)
+    except ValueError as exc:
+        raise PlanError("{}: {}".format(name, exc))
+
+
 class AggSpec:
     """One aggregate column in a GROUP BY: function + input + output name.
 
     ``arg`` is an expression over the input schema, or None for
-    COUNT(*). These specs live inside plan params and are shared by the
-    partial and final operators of the same aggregate.
+    COUNT(*). ``params`` are SQL-level integer arguments for sketch
+    geometry (see :func:`make_aggregate`). These specs live inside plan
+    params and are shared by the partial and final operators of the
+    same aggregate.
     """
 
-    def __init__(self, func_name, arg, output_name):
+    def __init__(self, func_name, arg, output_name, params=()):
         self.func_name = func_name.upper()
-        self.agg = aggregate_by_name(
-            "COUNT(*)" if self.func_name == "COUNT" and arg is None else self.func_name
+        self.params = tuple(params)
+        self.agg = make_aggregate(
+            "COUNT(*)" if self.func_name == "COUNT" and arg is None
+            else self.func_name,
+            self.params,
         )
         self.arg = arg
         self.output_name = output_name

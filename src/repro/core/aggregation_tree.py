@@ -24,6 +24,19 @@ ever conflating two panes' states. Paned routing also drops the
 per-epoch rendezvous salt (see ``Exchange._route``): a window's panes
 must accumulate at a stable owner across the epochs that share them,
 so the combiner forwards under the plain routing namespace too.
+
+Unpaned standing edges follow the exchange's stable-rendezvous
+discipline when the engine's owner cache is live (``suspect_fn`` set):
+forwards stay unsalted unless the sender marked the partial salted
+(``payload["salted"]``) or this node's cached owner for the group is
+currently suspect, in which case the forward re-salts to rendezvous
+away from the dying node. Salting is *promotion-only* and sticky: a
+partial that ever travelled under the epoch-salted key keeps the mark
+through every re-forward. Each hop re-deciding from its own cache
+would let two nodes that disagree about the owner's health bounce a
+combined partial between the stable and salted keys forever -- a
+routing livelock that silently holes the epoch. Without a cache the
+per-epoch salt applies to every forward, matching the senders.
 """
 
 from repro.core.exchange import epoch_route_ns, payload_rows
@@ -34,7 +47,7 @@ class TreeCombiner:
     """Hold-and-merge relay for partial aggregate states."""
 
     def __init__(self, dht, ns, route_ns, upcall, agg_specs, hold_delay,
-                 paned=False):
+                 paned=False, suspect_fn=None, qsrc_fn=None):
         self.dht = dht
         self.ns = ns  # delivery namespace (dispatch tag on arrival)
         self.route_ns = route_ns  # routing namespace (must match the exchange's)
@@ -42,7 +55,10 @@ class TreeCombiner:
         self.agg_specs = agg_specs
         self.hold_delay = hold_delay
         self.paned = paned  # pane-tagged edge: stable (unsalted) routing
-        self._held = {}  # (epoch, pane, group_values) -> merged states (list)
+        self.suspect_fn = suspect_fn  # owner-cache suspicion (stable edges)
+        self.qsrc_fn = qsrc_fn  # representative qid for shared executions
+        # (epoch, pane, group_values) -> [merged states (list), salted]
+        self._held = {}
         self._timer = None
         self.merged_in = 0  # messages absorbed (for the ablation bench)
         self.forwarded = 0
@@ -66,25 +82,28 @@ class TreeCombiner:
             return False  # replay already folded into a held partial
         epoch = route_msg.payload.get("epoch")
         pane = route_msg.payload.get("pane")
+        salted = bool(route_msg.payload.get("salted"))
         for gvals, states in payload_rows(route_msg.payload):
-            self._absorb(epoch, pane, gvals, states)
+            self._absorb(epoch, pane, gvals, states, salted)
         self.merged_in += 1
         if self._timer is None:
             self._timer = self.dht.set_timer(self.hold_delay, self._forward)
         return False
 
-    def _absorb(self, epoch, pane, gvals, states):
+    def _absorb(self, epoch, pane, gvals, states, salted=False):
         held = self._held.get((epoch, pane, gvals))
         if held is None:
-            self._held[(epoch, pane, gvals)] = list(states)
+            self._held[(epoch, pane, gvals)] = [list(states), salted]
         else:
+            merged = held[0]
             for i, spec in enumerate(self.agg_specs):
-                held[i] = spec.agg.merge(held[i], states[i])
+                merged[i] = spec.agg.merge(merged[i], states[i])
+            held[1] = held[1] or salted
 
     def _forward(self):
         self._timer = None
         held, self._held = self._held, {}
-        for (epoch, pane, gvals), states in held.items():
+        for (epoch, pane, gvals), (states, salted) in held.items():
             self.forwarded += 1
             # A combined message is new traffic: it gets its own dedup
             # id (the absorbed originals' ids were consumed on absorb).
@@ -98,8 +117,22 @@ class TreeCombiner:
                     # Stable rendezvous: pane partials for a group must
                     # keep converging on one owner across epochs.
                     payload["pane"] = pane
+                elif self.suspect_fn is not None:
+                    # Stable unless any absorbed partial was already
+                    # salted or the learned owner is suspect here, then
+                    # the forward re-salts -- sticky, promotion-only,
+                    # so every re-forward of the partial converges on
+                    # the one salted rendezvous instead of bouncing
+                    # between keys as hops disagree about the owner.
+                    if salted or self.suspect_fn(self.ns, gvals):
+                        route_ns = epoch_route_ns(route_ns, epoch)
+                        payload["salted"] = True
                 else:
                     route_ns = epoch_route_ns(route_ns, epoch)
+            if self.qsrc_fn is not None:
+                qsrc = self.qsrc_fn()
+                if qsrc is not None:
+                    payload["qsrc"] = qsrc
             self.dht.route(
                 storage_key(route_ns, gvals), payload, upcall=self.upcall,
             )

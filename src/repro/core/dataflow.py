@@ -8,19 +8,21 @@ rows between nodes through the DHT.
 
 Two execution disciplines share the machinery:
 
-* :class:`EpochExecution` -- one node's instantiation of one plan for
-  one epoch. One-shot and recursive queries use it; continuous plans
-  reach it only through the compatibility fallback
-  (``EngineConfig.standing = False``, or the ``standing`` query
-  option, or a flush horizon past the planner's overlap cap).
+* :class:`EpochExecution` -- one node's disposable instantiation of one
+  plan for one epoch. One-shot and recursive queries use it.
 * :class:`StandingExecution` -- one node's *only* instantiation of a
-  standing continuous plan. Operators are built and wired once; at
-  every epoch boundary the engine calls :meth:`advance_epoch`, which
-  rolls each operator over instead of tearing the graph down and
-  rebuilding it. Exchange namespaces are epoch-free and registered
-  once per query, batches carry an epoch tag, and arrivals tagged with
-  an already-finished epoch are dropped at the door -- the soft-state
-  answer to stragglers.
+  standing continuous plan (every continuous plan is standing).
+  Operators are built and wired once; at every epoch boundary the
+  engine calls :meth:`advance_epoch`, which rolls each operator over
+  instead of tearing the graph down and rebuilding it. Exchange
+  namespaces are epoch-free and registered once per query, batches
+  carry an epoch tag, and arrivals tagged with an already-finished
+  epoch are dropped at the door -- the soft-state answer to
+  stragglers. A standing execution may also run as a shared *spine*
+  serving many canonically identical queries at once: it is then built
+  with ``spine`` set and sees a :class:`SharedQueryContext`, whose
+  ``s|``-prefixed namespaces and ``result_targets`` fan each epoch's
+  answer out to every subscriber (see :mod:`repro.core.sharing`).
 
 Epoch rollover is a *two-phase open/seal lifecycle*. Opening epoch
 ``k`` (``Operator.open_epoch``) starts fresh per-epoch state and lets
@@ -77,6 +79,11 @@ class LocalQueryContext:
     delivers rows (or fires deadlines) for a still-live previous epoch.
     """
 
+    #: True on :class:`SharedQueryContext` only -- operators that care
+    #: whether they run under a spine (result fan-out, plan-pull
+    #: provenance stamps) test this rather than the class.
+    shared = False
+
     def __init__(self, engine, plan, query_id, epoch, t0, origin,
                  standing=False):
         self.engine = engine
@@ -128,6 +135,68 @@ class LocalQueryContext:
     def send_to_origin(self, payload):
         """Ship a payload directly to the query site (result return)."""
         self.dht.direct(self.origin, payload)
+
+    def rep_qid(self):
+        """A representative query id for plan-pull provenance.
+
+        A private execution is its own representative; a spine answers
+        with any live subscriber's qid (they all carry identical
+        plans).
+        """
+        return self.query_id
+
+    def result_targets(self, epoch):
+        """Who gets this epoch's rows: ``(qid, origin, their_epoch)``
+        triples. One target (ourselves) here; a spine fans out."""
+        return ((self.query_id, self.origin, epoch),)
+
+
+class SharedQueryContext(LocalQueryContext):
+    """Context for a spine execution serving N subscriber queries.
+
+    The query id IS the spine key, namespaces move to the ``s|`` / ``ts|``
+    prefixes (so private ``q|`` plumbing and shared plumbing can never
+    collide even if a qid equalled a spine key), and result fan-out
+    translates each spine epoch to every subscriber's own epoch number
+    via its grid offset. ``origin`` is this node itself -- a spine has
+    no single query site; results go to each subscriber's origin.
+    """
+
+    shared = True
+
+    def __init__(self, engine, plan, spine, epoch, t0):
+        super().__init__(
+            engine, plan, spine.key, epoch, t0, engine.address,
+            standing=True,
+        )
+        self.spine = spine
+
+    def namespace(self, op_id, port):
+        return "s|{}|{}|{}".format(self.query_id, op_id, port)
+
+    def upcall_name(self, op_id, port):
+        return "ts|{}|{}|{}".format(self.query_id, op_id, port)
+
+    def rep_qid(self):
+        return self.spine.rep_qid()
+
+    def result_targets(self, epoch):
+        """Fan spine epoch ``epoch`` to every subscriber it answers.
+
+        Subscriber epoch ``j = epoch - offset``: ``j < 1`` predates the
+        subscriber's first window (its epoch 0 is the submission
+        instant, never reported), ``j > last_epoch`` is past its
+        LIFETIME.
+        """
+        targets = []
+        for sub in self.spine.subscribers.values():
+            j = epoch - sub.offset
+            if j < 1:
+                continue
+            if sub.last_epoch is not None and j > sub.last_epoch:
+                continue
+            targets.append((sub.qid, sub.origin, j))
+        return targets
 
 
 class EpochStateRing:
@@ -215,8 +284,8 @@ class Operator:
     operators lazily start a fresh per-epoch state on first push.
     ``seal_epoch(k)`` finishes epoch ``k`` at this operator: ship
     whatever is still held under that epoch's tag (exchanges, result
-    sinks) or discard it (post-flush straggler state), exactly where
-    the rebuild path's teardown would have. The execution keeps up to
+    sinks) or discard it (post-flush straggler state), exactly where a
+    disposable per-epoch execution's teardown would have. The execution keeps up to
     ``plan.epoch_overlap`` epochs open at once and drives the two
     phases directly -- sealing ``k - N`` before opening ``k`` -- so an
     operator never needs to know the ring width. Stateful operators
@@ -341,7 +410,8 @@ class _ExecutionBase:
 
     standing = False
 
-    def __init__(self, engine, plan, query_id, epoch, t0, origin):
+    def __init__(self, engine, plan, query_id, epoch, t0, origin,
+                 spine=None):
         from repro.core.operators import create_operator
 
         self.engine = engine
@@ -350,9 +420,13 @@ class _ExecutionBase:
         self.epoch = epoch
         self.t0 = t0
         self.origin = origin
-        self.ctx = LocalQueryContext(
-            engine, plan, query_id, epoch, t0, origin, standing=self.standing
-        )
+        if spine is not None:
+            self.ctx = SharedQueryContext(engine, plan, spine, epoch, t0)
+        else:
+            self.ctx = LocalQueryContext(
+                engine, plan, query_id, epoch, t0, origin,
+                standing=self.standing,
+            )
         self.ops = {}
         self._flush_timers = []
         self.closed = False
@@ -427,6 +501,17 @@ class _ExecutionBase:
         epoch = epoch if epoch is not None else self.ctx.epoch
         with self.ctx.in_epoch(epoch):
             self.ops[op_id].flush()
+
+    def flush_input(self, op_id, epoch):
+        """Flush one operator's held state for ``epoch`` out of band.
+
+        The engine uses this after replaying early-buffered exchange
+        rows into a freshly adopted execution: the epoch's scheduled
+        flush wave may already be past (or dangerously far off on a
+        node that might churn again), and replayed rows should reach
+        the query site as soon as they land.
+        """
+        self._flush_op(op_id, epoch)
 
     def deliver(self, op_id, port, row):
         """A row arrived over an exchange for one of our operators."""
@@ -525,8 +610,10 @@ class StandingExecution(_ExecutionBase):
 
     standing = True
 
-    def __init__(self, engine, plan, query_id, epoch, t0, origin):
-        super().__init__(engine, plan, query_id, epoch, t0, origin)
+    def __init__(self, engine, plan, query_id, epoch, t0, origin,
+                 spine=None):
+        super().__init__(engine, plan, query_id, epoch, t0, origin,
+                         spine=spine)
         self.live_epochs = plan_live_epochs(plan)
         self._early = {}  # epoch -> [(op_id, port, rows)]
         self._open_epochs = {epoch: t0}  # epoch -> t_k, ascending

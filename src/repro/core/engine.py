@@ -6,17 +6,25 @@ One engine runs on every node, glued to that node's DHT API. It:
   publishes rows into DHT tables,
 * adopts query plans that arrive by broadcast and schedules their
   epochs: one-shot/recursive plans get a single disposable
-  :class:`~repro.core.dataflow.EpochExecution`; continuous plans get
-  one long-lived :class:`~repro.core.dataflow.StandingExecution` whose
-  operators are rolled over through the open/seal epoch lifecycle at
-  every boundary instead of being torn down and rebuilt. The plan's
-  epoch ring width (``QueryPlan.epoch_overlap``) says how many epoch
-  states stay live per operator, so flush schedules spanning several
-  periods -- and bloom-stage plans, whose filter round-trip is driven
-  per epoch by the query site -- run standing too. The per-epoch
-  rebuild path survives only as a compatibility fallback, behind
-  ``EngineConfig.standing = False`` (or the per-plan ``standing``
-  query option),
+  :class:`~repro.core.dataflow.EpochExecution`; every continuous plan
+  gets a long-lived :class:`~repro.core.dataflow.StandingExecution`
+  whose operators are rolled over through the open/seal epoch
+  lifecycle at every boundary instead of being torn down and rebuilt.
+  The plan's epoch ring width (``QueryPlan.epoch_overlap``) says how
+  many epoch states stay live per operator, so flush schedules
+  spanning several periods -- and bloom-stage plans, whose filter
+  round-trip is driven per epoch by the query site -- run standing
+  too,
+* multiplexes canonically identical standing queries onto shared
+  *spines*: a continuous plan stamped with a logical share signature
+  (``plan.metadata["spine"]``) joins the engine-wide
+  :class:`~repro.core.sharing.SpineRecord` for that signature and
+  epoch phase instead of building its own dataflow. One execution
+  scans, exchanges, and aggregates; the result operator fans each
+  epoch's answer to every subscriber's query site under its own qid
+  and epoch number. Stream scans additionally share one append hook
+  per table through the :class:`~repro.core.sharing.SharedScanRegistry`
+  whatever plan they belong to,
 * registers exchange namespaces with the DHT so rehashed rows reach
   the right operator instance -- once per epoch for disposable
   executions, once per *query* for standing ones -- and buffers early
@@ -35,6 +43,7 @@ the coordinator's periodic plan re-broadcasts.
 from repro.core.aggregation_tree import TreeCombiner
 from repro.core.dataflow import EpochExecution, StandingExecution
 from repro.core.exchange import payload_rows
+from repro.core.sharing import SharedScanRegistry, SpineRecord, SpineSubscriber
 from repro.db.table import make_fragment
 
 
@@ -57,18 +66,12 @@ class EngineConfig:
     query's keys would hole the answer. Receiving a NACK mutes the
     affected routing keys for ``nack_mute_ttl`` seconds.
 
-    ``standing`` gates the long-lived execution path for standing
-    continuous plans; setting it False is the compatibility fallback
-    that turns every continuous plan back into rebuild-per-epoch. It
-    must be uniform across a deployment: the two disciplines use
-    incompatible exchange namespaces, so a mixed cluster would
-    partition a query's dataflow (per-plan ablation goes through the
-    ``standing`` *query option* instead, which turns the whole plan
-    rebuild-per-epoch everywhere). ``route_cache_ttl``
-    bounds how long a standing rehash exchange may trust a learned
-    terminal owner before re-walking the ring; 0 disables owner
-    caching. ``stop_tombstone_ttl`` is how long a stopped qid is
-    remembered to fend off stale refresh broadcasts.
+    ``route_cache_ttl`` bounds how long a standing exchange may trust
+    a learned terminal owner before re-walking the ring; 0 disables
+    owner caching (and with it the stable-rendezvous discipline on
+    standing tree edges, which needs the cache to detect suspects).
+    ``stop_tombstone_ttl`` is how long a stopped qid is remembered to
+    fend off stale refresh broadcasts.
     """
 
     def __init__(
@@ -83,7 +86,6 @@ class EngineConfig:
         max_batch_bytes=8192,
         undelivered_ttl=15.0,
         undelivered_cap=512,
-        standing=True,
         route_cache_ttl=120.0,
         nack_mute_ttl=30.0,
         stop_tombstone_ttl=120.0,
@@ -98,7 +100,6 @@ class EngineConfig:
         self.max_batch_bytes = max_batch_bytes
         self.undelivered_ttl = undelivered_ttl
         self.undelivered_cap = undelivered_cap
-        self.standing = standing
         self.route_cache_ttl = route_cache_ttl
         self.nack_mute_ttl = nack_mute_ttl
         self.stop_tombstone_ttl = stop_tombstone_ttl
@@ -108,7 +109,7 @@ class _QueryRecord:
     """An engine's view of one adopted query."""
 
     __slots__ = ("qid", "plan", "t0", "origin", "stopped",
-                 "next_epoch_timer", "execution")
+                 "next_epoch_timer", "execution", "spine")
 
     def __init__(self, qid, plan, t0, origin):
         self.qid = qid
@@ -118,6 +119,7 @@ class _QueryRecord:
         self.stopped = False
         self.next_epoch_timer = None
         self.execution = None  # the StandingExecution, once started
+        self.spine = None  # spine key when riding a shared execution
 
 
 class PierEngine:
@@ -132,6 +134,8 @@ class PierEngine:
         self.fragments = {}
         self.executions = {}  # (qid, epoch) -> execution serving that epoch
         self.queries = {}  # qid -> _QueryRecord
+        self._spines = {}  # spine key -> SpineRecord (shared executions)
+        self.shared_scans = SharedScanRegistry(self)
         self.combiners = {}  # ns -> TreeCombiner
         self._undelivered = {}  # ns -> [rows arriving before registration]
         self._undelivered_tags = {}  # ns -> [epoch tag per buffered row]
@@ -252,7 +256,8 @@ class PierEngine:
         elif ctl == "bloom":
             # A standing execution is indexed under its *newest* epoch,
             # but merged filters for any still-open epoch of its ring
-            # must reach it; the rebuild path keeps per-epoch lookups.
+            # must reach it (bloom plans never ride a spine, so the
+            # query record always owns its execution).
             epoch = payload["epoch"]
             record = self.queries.get(payload["qid"])
             if record is not None and record.execution is not None:
@@ -280,18 +285,20 @@ class PierEngine:
         if plan.mode == "continuous":
             elapsed = max(0.0, self.clock.now - record.t0)
             k_now = int(elapsed // plan.every)
-            if k_now >= 1 and self._plan_is_standing(plan):
-                if plan.lifetime is not None and k_now * plan.every > plan.lifetime:
-                    self.queries.pop(qid, None)  # adopted after expiry
-                    return
+            if plan.lifetime is not None and k_now * plan.every > plan.lifetime:
+                self.queries.pop(qid, None)  # adopted after expiry
+                return
+            key = self._spine_key(plan, record.t0)
+            if key is not None:
+                self._join_spine(record, key)
+            elif k_now >= 1:
                 # Standing queries join the epoch *in progress*: the
                 # rendezvous for their epoch-free exchange keys may hash
                 # to this very node, so waiting for the next boundary
-                # would drop every current-epoch row routed here (the
-                # rebuild path never waits -- its per-epoch keys simply
-                # hash elsewhere). Registration replays any early rows
-                # buffered under this epoch's tag, and already-due
-                # flush timers fire immediately.
+                # would drop every current-epoch row routed here.
+                # Registration replays any early rows buffered under
+                # this epoch's tag, and already-due flush timers fire
+                # immediately.
                 self._start_epoch(record, k_now, record.t0 + k_now * plan.every)
             else:
                 # First epoch strictly after adoption; a late joiner
@@ -300,13 +307,6 @@ class PierEngine:
                 self._schedule_epoch(record, k_now + 1)
         else:
             self._start_epoch(record, 0, record.t0)
-
-    def _plan_is_standing(self, plan):
-        return (
-            plan.mode == "continuous"
-            and getattr(plan, "standing", False)
-            and self.config.standing
-        )
 
     def _schedule_epoch(self, record, k):
         plan = record.plan
@@ -336,7 +336,7 @@ class PierEngine:
     def _start_epoch(self, record, k, t_k):
         if record.stopped:
             return
-        if self._plan_is_standing(record.plan):
+        if record.plan.mode == "continuous":
             self._advance_standing(record, k, t_k)
         else:
             execution = EpochExecution(
@@ -394,6 +394,136 @@ class PierEngine:
             record.stopped = True
             self.queries.pop(qid, None)
 
+    # ------------------------------------------------------------------
+    # Shared spines (multi-query standing dataflows)
+    # ------------------------------------------------------------------
+    def _spine_key(self, plan, t0):
+        """Spine identity for a plan at submission time ``t0``.
+
+        The logical share signature alone is not enough: two identical
+        queries submitted half a period apart tick on different grids.
+        The key therefore pairs the signature with the epoch *phase*
+        ``t0 % every`` (in integer milliseconds, so float noise cannot
+        split a spine). Plans the planner left unstamped (one-shot,
+        bloom-staged, ``shared=False``) return None and run privately.
+        """
+        sig = plan.metadata.get("spine") if plan.metadata else None
+        if sig is None:
+            return None
+        phase_ms = int(round((t0 % plan.every) * 1000))
+        return "{}@{}".format(sig, phase_ms)
+
+    def _join_spine(self, record, key):
+        """Enroll an adopted query as a subscriber of spine ``key``.
+
+        First subscriber creates the spine record; the grid origin is
+        the phase instant, so spine epoch ``k`` is always ``phase +
+        k * every`` on every node regardless of adoption order. The
+        subscriber's own epochs map onto the grid through its offset.
+        """
+        plan = record.plan
+        srec = self._spines.get(key)
+        if srec is None:
+            srec = SpineRecord(key, plan, record.t0 % plan.every)
+            self._spines[key] = srec
+        offset = int(round((record.t0 - srec.t0) / plan.every))
+        last_epoch = None
+        if plan.lifetime is not None:
+            last_epoch = int(plan.lifetime / plan.every + 1e-9)
+        srec.subscribers[record.qid] = SpineSubscriber(
+            record.qid, record.origin, offset, last_epoch
+        )
+        record.spine = key
+        record.execution = srec.execution
+        if last_epoch is not None:
+            # The subscriber retires on its own clock; the spine stalls
+            # (or closes) only when no subscriber needs the next epoch.
+            retire_at = (record.t0 + plan.lifetime + plan.deadline
+                         + self.config.teardown_slack)
+            record.next_epoch_timer = self.set_timer(
+                max(0.0, retire_at - self.clock.now),
+                self._retire_spine_subscriber, record.qid, key,
+            )
+        if srec.next_timer is None:
+            # New spine, or one stalled past every member's lifetime:
+            # (re)enter the grid at the current epoch. For the common
+            # first-subscriber-at-submission case this runs spine epoch
+            # ``offset`` immediately -- the subscriber's epoch 0, which
+            # fan-out filters, but whose scan seeds the window history
+            # exactly like a private adoption would.
+            srec.stalled = False
+            elapsed = max(0.0, self.clock.now - srec.t0)
+            k_now = int(elapsed // plan.every)
+            self._advance_spine(key, k_now, srec.t0 + k_now * plan.every)
+
+    def _advance_spine(self, key, k, t_k):
+        """Spine epoch boundary: build once, then roll; stall when no
+        subscriber's lifetime reaches ``k``."""
+        srec = self._spines.get(key)
+        if srec is None:
+            return
+        srec.next_timer = None
+        if not srec.subscribers:
+            self._close_spine(key)
+            return
+        last = srec.last_spine_epoch()
+        if last is not None and k > last:
+            # Nobody needs this epoch; hold the grid until a new
+            # subscriber joins (which re-enters at its current epoch).
+            srec.stalled = True
+            return
+        if srec.execution is None:
+            execution = StandingExecution(
+                self, srec.plan, key, k, t_k, self.address, spine=srec
+            )
+            srec.execution = execution
+            execution.start()
+            for qid in srec.subscribers:
+                rec = self.queries.get(qid)
+                if rec is not None and rec.spine == key:
+                    rec.execution = execution
+        else:
+            srec.execution.advance_epoch(k, t_k)
+        srec.next_timer = self.set_timer(
+            max(0.0, t_k + srec.plan.every - self.clock.now),
+            self._advance_spine, key, k + 1, t_k + srec.plan.every,
+        )
+
+    def _retire_spine_subscriber(self, qid, key):
+        """A subscriber's lifetime (plus straggler grace) is up."""
+        record = self.queries.get(qid)
+        if record is not None and record.spine == key:
+            self.queries.pop(qid, None)  # soft-state expiry
+            record.execution = None
+        self._drop_spine_subscriber(qid, key)
+
+    def _drop_spine_subscriber(self, qid, key):
+        srec = self._spines.get(key)
+        if srec is None:
+            return
+        srec.subscribers.pop(qid, None)
+        if not srec.subscribers:
+            self._close_spine(key)
+
+    def _close_spine(self, key):
+        srec = self._spines.pop(key, None)
+        if srec is None:
+            return
+        if srec.next_timer is not None:
+            srec.next_timer.cancel()
+            srec.next_timer = None
+        execution, srec.execution = srec.execution, None
+        if execution is not None:
+            execution.close()
+        # The spine is gone for good: reclaim its per-key soft state.
+        prefix = "s|{}|".format(key)
+        for entry in [k for k in self._route_owners
+                      if k[0].startswith(prefix)]:
+            del self._route_owners[entry]
+        for entry in [k for k in self._exchange_mutes
+                      if k[0].startswith(prefix)]:
+            del self._exchange_mutes[entry]
+
     def _sweep_soft_maps(self):
         """Reclaim expired tombstones / mutes / owner-cache entries.
 
@@ -438,6 +568,10 @@ class PierEngine:
         if record.next_epoch_timer is not None:
             record.next_epoch_timer.cancel()
         record.execution = None
+        if record.spine is not None:
+            # Leave the shared execution to its co-tenants; it closes
+            # only when the last subscriber leaves.
+            self._drop_spine_subscriber(qid, record.spine)
         for (open_qid, epoch) in list(self.executions):
             if open_qid == qid:
                 self.executions.pop((open_qid, epoch)).close()
@@ -473,10 +607,24 @@ class PierEngine:
         if combine is not None:
             upcall = execution.ctx.upcall_name(op_id, port)
             route_ns = execution.ctx.namespace(op_id, "x")
+            # Standing tree edges with a live owner cache get the
+            # stable-rendezvous discipline: the combiner (like the
+            # exchange) re-salts a group's route only while its cached
+            # owner is suspect. Shared executions also stamp a
+            # representative qid on forwards for plan-pull provenance.
+            suspect_fn = (
+                self.route_owner_suspect
+                if standing and self.config.route_cache_ttl > 0 else None
+            )
+            qsrc_fn = (
+                execution.ctx.rep_qid
+                if getattr(execution.ctx, "shared", False) else None
+            )
             combiner = TreeCombiner(
                 self.dht, ns, route_ns, upcall, combine["agg_specs"],
                 combine.get("hold", self.config.tree_hold_delay),
                 paned=combine.get("paned", False),
+                suspect_fn=suspect_fn, qsrc_fn=qsrc_fn,
             )
             self.combiners[ns] = combiner
             self.dht.register_intercept(upcall, combiner.handler)
@@ -485,9 +633,20 @@ class PierEngine:
         self._undelivered_origins.pop(ns, None)
         self._undelivered_expiry.pop(ns, None)
         if standing:
+            replayed_epochs = set()
             for row, (epoch_tag, pane_tag) in zip(rows, tags):
                 execution.deliver_batch(op_id, port, (row,), epoch_tag,
                                         pane_tag)
+                if epoch_tag is not None:
+                    replayed_epochs.add(epoch_tag)
+            # Replayed rows arrived before this node could subscribe
+            # (typically a rejoined node that just pulled the plan),
+            # so those epochs' flush waves are largely behind them.
+            # Waiting for the next planned deadline risks the rows
+            # dying held if this node churns again; nudge the consumer
+            # to ship them as soon as the registration settles.
+            for epoch_tag in replayed_epochs:
+                self.set_timer(0.0, execution.flush_input, op_id, epoch_tag)
         else:
             execution.deliver_batch(op_id, port, rows)
 
@@ -531,12 +690,13 @@ class PierEngine:
                 # A standing query is live somewhere and its epoch-free
                 # rendezvous hashes *here* -- every epoch's rows will
                 # keep arriving at this node. Waiting out the refresh
-                # period would hole the answer for several epochs (the
-                # rebuild path never had this problem: its per-epoch
-                # keys re-hashed away from a planless node). Pull the
-                # missing soft state instead: ask the query site for
-                # the plan directly, once per buffer generation.
-                self._request_plan(ns)
+                # period would hole the answer for several epochs
+                # (per-epoch keys would have re-hashed away from a
+                # planless node; epoch-free keys keep coming back).
+                # Pull the missing soft state instead: ask the query
+                # site for the plan directly, once per buffer
+                # generation.
+                self._request_plan(ns, payload.get("qsrc"))
         origin = getattr(route_msg, "origin", None)
         rid = payload.get("rid")
         if origin is not None and rid is not None:
@@ -565,14 +725,27 @@ class PierEngine:
         of waiting out a refresh period."""
         self._request_plan(ns)
 
-    def _request_plan(self, ns):
+    def _request_plan(self, ns, qsrc=None):
         """Ask the query site for a plan we evidently missed.
 
         ``qid`` embeds the submitting node's address (``addr#seq``, a
         coordinator invariant), so the request needs no lookup. A stale
         or stopped query simply gets no reply and the buffered rows age
         out as before.
+
+        Spine namespaces (``s|``) embed a content-derived key, not a
+        qid, so senders stamp a live subscriber qid (``qsrc``) on every
+        shared batch; adopting that query re-forms the spine here.
+        Probes without provenance drop silently.
         """
+        if ns.startswith("s|"):
+            if qsrc is None or qsrc in self.queries \
+                    or qsrc in self._stop_tombstones:
+                return
+            origin = qsrc.rsplit("#", 1)[0]
+            if origin and origin != self.address:
+                self.dht.direct(origin, {"op": "xplan", "qid": qsrc})
+            return
         if not ns.startswith("q|"):
             return
         qid = ns.split("|")[1]
@@ -641,6 +814,26 @@ class PierEngine:
             del self._route_owners[(ns, rid)]
             return None
         return ref
+
+    def route_owner_suspect(self, ns, rid):
+        """Is the learned owner for a standing key currently suspect?
+
+        Drives the stable-rendezvous fallback on standing tree edges:
+        a suspect owner makes the sender re-salt that key's route for
+        the epoch (fresh rendezvous away from the dying node) without
+        forgetting the cache entry -- the suspicion may clear, and the
+        stable owner holds the group's accumulated state. Expired
+        entries are reclaimed; no cache entry means nothing to
+        distrust.
+        """
+        entry = self._route_owners.get((ns, rid))
+        if entry is None:
+            return False
+        ref, expiry = entry
+        if expiry <= self.clock.now:
+            del self._route_owners[(ns, rid)]
+            return False
+        return self.dht.is_suspect(ref.address)
 
     # ------------------------------------------------------------------
     # Recursion progress (quiescence detection support)
@@ -715,6 +908,8 @@ class PierEngine:
         self.fragments = {}
         self.executions = {}
         self.queries = {}
+        self._spines = {}  # spine timers die with the crash
+        self.shared_scans.reset()
         self.combiners = {}
         self._undelivered = {}
         self._undelivered_tags = {}

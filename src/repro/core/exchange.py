@@ -55,12 +55,15 @@ from repro.util.serde import wire_size
 
 
 def epoch_route_ns(route_ns, epoch):
-    """Routing namespace for one epoch of a standing exchange.
+    """Per-epoch salted routing namespace for a standing exchange.
 
-    Standing delivery namespaces are epoch-free, but tree-mode routing
-    keys are salted per epoch so the rendezvous owner rotates like the
-    rebuild path's did (see ``Exchange._route``). The combiner forwards
-    under the same salt so combined partials converge with the originals.
+    Standing delivery namespaces are epoch-free; the salt rotates a
+    key's rendezvous owner between epochs. It is the *fallback*
+    discipline: tree edges with a live owner cache pin a stable
+    rendezvous per key and re-salt only while the cached owner is
+    suspect (see ``Exchange._route``); cacheless configurations salt
+    every epoch. The combiner forwards under the same namespace choice
+    so combined partials converge with the originals.
     """
     return "{}|e{}".format(route_ns, epoch)
 
@@ -124,9 +127,26 @@ class Exchange(Operator):
         # surface (unit tests) still drive the batching logic.
         self._muted_fn = getattr(ctx.engine, "exchange_muted", None)
         self._owner_fn = getattr(ctx.engine, "cached_owner", None)
+        self._suspect_fn = getattr(ctx.engine, "route_owner_suspect", None)
         self._mid_fn = getattr(ctx.dht, "fresh_mid", None)
         if self._owner_fn is None:
             self._cache_owners = False
+        # Unpaned standing tree edges pin a stable per-query rendezvous
+        # (matching the paned discipline) when the owner cache can
+        # vouch for the owner's health; without a cache there is no
+        # suspect signal, so those configurations keep the per-epoch
+        # salt.
+        self._stable_tree = (
+            self._standing and self.mode == "tree"
+            and getattr(config, "route_cache_ttl", 0) > 0
+            and self._suspect_fn is not None and self._owner_fn is not None
+        )
+        # Spine executions stamp a live subscriber qid on every batch:
+        # the s| namespace embeds no address, so this is the receiving
+        # side's only lead for pulling a plan it missed.
+        self._rep_qid_fn = (
+            ctx.rep_qid if getattr(ctx, "shared", False) else None
+        )
         # Pending batches are keyed by epoch tag, then routing id: a
         # standing overlapping-epoch plan can push rows for several
         # live epochs through the same exchange instance, and each
@@ -205,6 +225,10 @@ class Exchange(Operator):
             payload["epoch"] = epoch
             if self._paned:
                 payload["pane"] = pane
+            if self._rep_qid_fn is not None:
+                qsrc = self._rep_qid_fn()
+                if qsrc is not None:
+                    payload["qsrc"] = qsrc
             if self._cache_owners:
                 key = storage_key(self._route_ns, rid)
                 owner = self._owner_fn(self._ns, rid)
@@ -223,14 +247,40 @@ class Exchange(Operator):
                 key = storage_key(self._route_ns, rid)
                 self.ctx.dht.route(key, payload, upcall=self._upcall)
                 return
+            if self._stable_tree:
+                # Stable per-query rendezvous for tree edges, like the
+                # paned discipline: the combining tree re-converges on
+                # the same owner every epoch, so hop caches and learned
+                # owners keep paying off. Fallback: while the learned
+                # owner is suspect, re-salt this key's route for the
+                # epoch -- a fresh rendezvous away from the dying node
+                # -- without forgetting the stable owner, whose
+                # suspicion may clear. The salt decision rides on the
+                # payload, and combiners only ever *promote* partials
+                # to the salted key (never demote): if each hop
+                # re-decided from its own cache, two nodes disagreeing
+                # about the owner's health would bounce a combined
+                # partial between the two rendezvous keys forever.
+                if self._suspect_fn(self._ns, rid):
+                    key = storage_key(
+                        epoch_route_ns(self._route_ns, epoch), rid
+                    )
+                    payload["salted"] = True
+                else:
+                    key = storage_key(self._route_ns, rid)
+                    if self._owner_fn(self._ns, rid) is None:
+                        payload["learn"] = True
+                self.ctx.dht.route(key, payload, upcall=self._upcall)
+                return
             # No owner cache (tree mode): salt the routing key with the
             # epoch so successive epochs rendezvous at *different*
-            # nodes, as the rebuild path's per-epoch namespaces did. A
-            # fixed rendezvous would correlate every epoch's owner risk
-            # onto one node -- one flaky host could hole a standing
-            # query's answer epoch after epoch. Delivery stays keyed by
-            # the epoch-free namespace, so whoever terminates the
-            # salted key dispatches to the same standing registration.
+            # nodes. Without a cache there is no suspect signal to
+            # trigger a fallback, so a fixed rendezvous would correlate
+            # every epoch's owner risk onto one node -- one flaky host
+            # could hole a standing query's answer epoch after epoch.
+            # Delivery stays keyed by the epoch-free namespace, so
+            # whoever terminates the salted key dispatches to the same
+            # standing registration.
             key = storage_key(epoch_route_ns(self._route_ns, epoch), rid)
             self.ctx.dht.route(key, payload, upcall=self._upcall)
             return

@@ -127,18 +127,30 @@ class ResultReturn(Operator):
         rows = self._batches.peek(epoch)
         if not rows:
             return
-        if self._replace:
-            rows = list(rows)  # keep: later sends resend the cycle
-        else:
+        if not self._replace:
             self._batches.seal(epoch)
-        self.ctx.send_to_origin({
-            "op": "qres",
-            "qid": self.ctx.query_id,
-            "epoch": epoch,
-            "node": self.ctx.engine.address,
-            "rows": rows,
-            "replace": self._replace,
-        })
+        # One target (the query's own site) for private executions; a
+        # spine fans the same rows to every subscriber whose window
+        # this epoch answers, each under its own qid and epoch number.
+        # Each message gets its own list: replace-mode keeps the batch
+        # for refinement re-sends, and receivers must never alias it.
+        targets_fn = getattr(self.ctx, "result_targets", None)
+        if targets_fn is None:
+            self.ctx.send_to_origin({
+                "op": "qres", "qid": self.ctx.query_id, "epoch": epoch,
+                "node": self.ctx.engine.address, "rows": list(rows),
+                "replace": self._replace,
+            })
+            return
+        for qid, origin, their_epoch in targets_fn(epoch):
+            self.ctx.dht.direct(origin, {
+                "op": "qres",
+                "qid": qid,
+                "epoch": their_epoch,
+                "node": self.ctx.engine.address,
+                "rows": list(rows),
+                "replace": self._replace,
+            })
 
     def flush(self):
         if self._timer is not None:

@@ -58,6 +58,7 @@ class Scan(Operator):
         self._tracked = {}  # dht mode: item key -> StoredItem (by ref)
         self._sub_token = None
         self._append_token = None
+        self._share_token = None  # SharedScanRegistry subscription
         if self._paned:
             geometry = spec.params["paned"]  # set by the planner
             self._pane = geometry["width"]
@@ -112,8 +113,20 @@ class Scan(Operator):
             # Seed with history already retained, then hear about each
             # future append exactly once.
             self._pending = fragment.items()
-            self._count(len(self._pending))
-            self._append_token = fragment.on_append(self._on_append)
+            registry = getattr(self.ctx.engine, "shared_scans", None)
+            share_key = self.spec.params.get("share_scan")
+            if share_key and registry is not None:
+                # Shared host: ONE append hook per table per node fans
+                # rows to every subscribed standing scan, and the host
+                # charges the seed/append examinations once however
+                # many queries listen. Per-epoch window examinations
+                # below still count per scan.
+                self._share_token = registry.acquire(
+                    share_key, fragment, self._on_shared_append
+                )
+            else:
+                self._count(len(self._pending))
+                self._append_token = fragment.on_append(self._on_append)
             if self._paned:
                 self._emit_paned_epoch(self.ctx.epoch)
             else:
@@ -139,6 +152,10 @@ class Scan(Operator):
     def _on_append(self, timestamp, row):
         self._pending.append((timestamp, row))
         self._count(1)
+
+    def _on_shared_append(self, timestamp, row):
+        # The shared host already charged the examination.
+        self._pending.append((timestamp, row))
 
     def _on_new_item(self, item):
         self._tracked[item.key()] = item
@@ -237,6 +254,9 @@ class Scan(Operator):
             del self._tracked[key]
 
     def teardown(self):
+        if self._share_token is not None:
+            self.ctx.engine.shared_scans.release(self._share_token)
+            self._share_token = None
         if self._append_token is not None:
             fragment = self.ctx.fragment(self.spec.params["table"])
             fragment.remove_append_hook(self._append_token)

@@ -1,21 +1,30 @@
-"""The planner: logical queries -> physical (timed) operator graphs.
+"""The physical planner: logical plans -> physical (timed) operator graphs.
 
-The logical layer (:class:`LogicalQuery`) is what the SQL frontend
-produces and what the algebraic API can build directly. Planning:
+Planning runs in two explicit phases:
 
-1. access paths: one scan per FROM table, with single-table predicates
-   pushed down just above their scan;
-2. joins: left-deep over the FROM order, keyed on equi-join conjuncts;
-   strategy per join is symmetric-hash (default), fetch-matches (when
-   the inner table is DHT-partitioned on the join column), or Bloom
-   (bloom_stage pre-filters before the rehash);
-3. aggregation: partial group-by where rows live, a tree-mode exchange
-   keyed on the group, and a final group-by at each group's owner;
-4. top-k: a partial ORDER BY/LIMIT cut before result return, with the
-   authoritative sort/cut re-applied at the query site ("finishing");
-5. timing: every stateful operator gets a flush deadline derived from a
-   dataflow-timing walk (when can its inputs have arrived?), because a
-   soft-state system flushes on clocks, not on end-of-stream tokens.
+1. **logical** (``core/logical.py``): the parsed
+   :class:`~repro.core.logical.LogicalQuery` is resolved against the
+   catalog into a normalized operator DAG with canonical expression
+   forms -- name resolution, predicate pushdown, left-deep join
+   ordering and equi-join key extraction, aggregate/project shape
+   checks. No physical decision happens there, and near-duplicate
+   queries (alias renames, flipped comparisons, reordered conjuncts,
+   different output names) normalize to the *same* DAG.
+2. **physical** (this module): the DAG is lowered node by node into a
+   :class:`~repro.core.opgraph.QueryPlan` -- join strategies
+   (symmetric-hash / fetch-matches / Bloom), exchange modes
+   (rehash / aggregation tree), partial top-k, and flush deadlines from
+   a dataflow-timing walk (when can an operator's inputs have
+   arrived?), because a soft-state system flushes on clocks, not on
+   end-of-stream tokens.
+
+The logical phase's canonical signatures also drive **dataflow
+sharing**: an eligible standing plan is stamped with its
+``share_signature`` (``metadata["spine"]``) so the engine can run all
+concurrent queries with the same signature and epoch phase on one
+shared spine (see ``core/sharing.py``), and stream scans are stamped
+``share_scan`` so co-located queries subscribe through one
+per-(node, table) append hook.
 
 Recursive queries (transitive-closure shape) become cyclic graphs:
 base rows enter a DHT-partitioned ``distinct``; novel rows feed both
@@ -26,6 +35,14 @@ back into the same ``distinct`` -- semi-naive evaluation as dataflow.
 import math
 
 from repro.core.aggregates import AggSpec
+from repro.core.logical import (
+    AggCall,
+    LogicalQuery,
+    RecursiveSpec,
+    and_all as _and_all,
+    build_logical_plan,
+    split_where as _split_where,
+)
 from repro.core.opgraph import OpSpec, QueryPlan
 from repro.db.expressions import ColumnRef, equi_join_pairs
 from repro.db.schema import Column, Schema
@@ -33,49 +50,10 @@ from repro.db.types import ANY
 from repro.db.window import pane_width
 from repro.util.errors import CatalogError, PlanError
 
-
-class AggCall:
-    """An aggregate in a SELECT list: ``SUM(expr)`` / ``COUNT(*)``."""
-
-    def __init__(self, func_name, arg):
-        self.func_name = func_name.upper()
-        self.arg = arg  # Expr or None for COUNT(*)
-
-    def display(self):
-        arg = "*" if self.arg is None else self.arg.display()
-        return "{}({})".format(self.func_name, arg)
-
-    def __repr__(self):
-        return "AggCall({})".format(self.display())
-
-
-class LogicalQuery:
-    """A resolved query, independent of surface syntax."""
-
-    def __init__(self, tables, select_items, where=None, group_by=None,
-                 having=None, order_by=None, limit=None, every=None,
-                 window=None, lifetime=None, options=None, recursive=None):
-        self.tables = tables  # [(table_name, alias)]
-        self.select_items = select_items  # [(Expr | AggCall, output_name)]
-        self.where = where
-        self.group_by = group_by if group_by is not None else []
-        self.having = having
-        self.order_by = order_by if order_by is not None else []  # [(Expr, desc)]
-        self.limit = limit
-        self.every = every
-        self.window = window
-        self.lifetime = lifetime
-        self.options = options if options is not None else {}
-        self.recursive = recursive  # RecursiveSpec or None
-
-
-class RecursiveSpec:
-    """``WITH RECURSIVE name AS (base UNION step)`` components."""
-
-    def __init__(self, name, base, step):
-        self.name = name
-        self.base = base  # LogicalQuery (single table, no aggregates)
-        self.step = step  # LogicalQuery (join of `name` with one table)
+__all__ = [
+    "AggCall", "LogicalQuery", "RecursiveSpec", "PlannerTiming",
+    "plan_query",
+]
 
 
 class PlannerTiming:
@@ -103,7 +81,7 @@ class PlannerTiming:
 
 
 class _Builder:
-    """Accumulates op specs and the timing walk while planning."""
+    """Accumulates op specs and the timing walk while lowering."""
 
     def __init__(self, timing):
         self.timing = timing
@@ -120,6 +98,12 @@ class _Builder:
     def flush_at(self, op_id, t):
         self.flush_offsets[op_id] = t
 
+    def spec(self, op_id):
+        for spec in self.specs:
+            if spec.op_id == op_id:
+                return spec
+        raise KeyError(op_id)
+
 
 def plan_query(lq, catalog, timing=None):
     """Compile a LogicalQuery against a catalog into a QueryPlan."""
@@ -130,60 +114,109 @@ def plan_query(lq, catalog, timing=None):
 
 
 # ----------------------------------------------------------------------
-# Flat (non-recursive) planning
+# Flat (non-recursive) lowering
 # ----------------------------------------------------------------------
 def _plan_flat(lq, catalog, timing):
+    logical = build_logical_plan(lq, catalog)
     b = _Builder(timing)
-    op_id, schema, ready = _plan_from_where(b, lq, catalog, timing)
 
-    has_aggs = any(isinstance(item, AggCall) for item, _name in lq.select_items)
+    # Lower the DAG in its deterministic topological order. ``lowered``
+    # maps each logical node (by identity) to its physical info: at
+    # least {"op": root_op_id}; joins add "strategy" (+ bloom "stages"),
+    # aggregates add "partial"/"exchange"/"final" so the pane walk can
+    # find the whole lowered cluster.
+    lowered = {}
+    ready = timing.scan_ready
+    schema = None
+    sort_keys = []
     agg_finishing = None
-    if has_aggs or lq.group_by:
-        op_id, schema, ready, agg_finishing = _plan_aggregation(
-            b, lq, op_id, schema, ready, timing
-        )
-    else:
-        exprs = []
-        for item, _name in lq.select_items:
-            if isinstance(item, AggCall):
-                raise PlanError("aggregate outside aggregation context")
-            exprs.append(item)
-        op_id = b.add("project", {"exprs": exprs, "schema": schema}, [op_id])
-        schema = _output_schema(lq)
-
-    # Partial top-k before the wire when there is a LIMIT to exploit.
-    # Aggregate plans skip it: their group rows are mergeable states
-    # that only the query site can rank after reconciling owners.
-    sort_keys = _compile_order_by(lq, schema)
-    if sort_keys and lq.limit is not None and agg_finishing is None:
-        op_id = b.add("topk", {
-            "sort_keys": sort_keys, "limit": lq.limit, "schema": schema,
-        }, [op_id])
-        ready += 0.2
-        b.flush_at(op_id, ready)
-
-    # Aggregate answers refine as stragglers arrive, so the query site
-    # keeps each node's latest batch instead of appending.
-    result_id = b.add("result", {"replace": agg_finishing is not None}, [op_id])
-    ready += timing.result_send
-    b.flush_at(result_id, ready)
+    result_id = None
+    for node in logical.nodes:
+        if node.kind == "scan":
+            op_id = b.add("scan", {"table": node.attrs["table"],
+                                   "alias": node.attrs["alias"]})
+            lowered[id(node)] = {"op": op_id}
+        elif node.kind == "filter":
+            child = lowered[id(node.inputs[0])]["op"]
+            op_id = b.add("select", {
+                "predicate": node.attrs["predicate"],
+                "schema": node.inputs[0].schema,
+            }, [child])
+            lowered[id(node)] = {"op": op_id}
+        elif node.kind == "join":
+            ready, info = _lower_join(b, lq, node, lowered, ready, timing)
+            lowered[id(node)] = info
+        elif node.kind == "aggregate":
+            ready, agg_finishing, info = _lower_aggregation(
+                b, lq, node, lowered, ready, timing
+            )
+            lowered[id(node)] = info
+            schema = _output_schema(lq)
+            sort_keys = _compile_order_by(lq, schema)
+        elif node.kind == "project":
+            child = lowered[id(node.inputs[0])]["op"]
+            op_id = b.add("project", {
+                "exprs": node.attrs["exprs"],
+                "schema": node.inputs[0].schema,
+            }, [child])
+            lowered[id(node)] = {"op": op_id}
+            schema = _output_schema(lq)
+            sort_keys = _compile_order_by(lq, schema)
+        elif node.kind == "topk":
+            # Partial top-k before the wire when there is a LIMIT to
+            # exploit. Aggregate plans skip it (no logical topk node):
+            # their group rows are mergeable states that only the query
+            # site can rank after reconciling owners.
+            child = lowered[id(node.inputs[0])]["op"]
+            op_id = b.add("topk", {
+                "sort_keys": sort_keys, "limit": lq.limit, "schema": schema,
+            }, [child])
+            ready += 0.2
+            b.flush_at(op_id, ready)
+            lowered[id(node)] = {"op": op_id}
+        elif node.kind == "output":
+            # Aggregate answers refine as stragglers arrive, so the
+            # query site keeps each node's latest batch, not appends.
+            child = lowered[id(node.inputs[0])]["op"]
+            result_id = b.add("result",
+                              {"replace": agg_finishing is not None}, [child])
+            ready += timing.result_send
+            b.flush_at(result_id, ready)
+            lowered[id(node)] = {"op": result_id}
+        else:  # pragma: no cover - build_logical_plan emits no other kind
+            raise PlanError("unknown logical node kind {!r}".format(node.kind))
     deadline = ready + timing.collect
 
     mode = "continuous" if lq.every else "oneshot"
-    standing, epoch_overlap = _standing_eligible(b, lq, mode)
+    standing = mode == "continuous"
+    epoch_overlap = _epoch_overlap(b, lq) if standing else 1
     pane = None
+    metadata = {"columns": [name for _item, name in lq.select_items]}
     if standing:
         # Mark the networked boundary ops (EXPLAIN metadata: standing
         # scans subscribe to their sources once and push per-epoch
         # deltas; standing exchanges use epoch-free namespaces with
-        # epoch-tagged batches). At runtime operators key off the
-        # execution's ctx.standing; the discipline itself must be
-        # cluster-uniform (see EngineConfig.standing) because the two
-        # paths register incompatible exchange namespaces.
+        # epoch-tagged batches).
         for spec in b.specs:
             if spec.kind in ("scan", "exchange"):
                 spec.params["standing"] = True
-        pane = _mark_paned(b, lq, catalog)
+        pane = _mark_paned(b, logical, lowered, lq)
+        if lq.options.get("shared") is not False:
+            # Stream scans share one per-(node, table) append hook via
+            # the engine's SharedScanRegistry even when the plans
+            # themselves differ.
+            for node in logical.nodes:
+                if (node.kind == "scan"
+                        and node.attrs["table_def"].source == "stream"):
+                    spec = b.spec(lowered[id(node)]["op"])
+                    spec.params["share_scan"] = node.attrs["table"]
+            # Whole-dataflow sharing: queries whose canonical DAGs and
+            # epoch geometry match run on one spine, demultiplexed only
+            # at result return. Bloom plans stay private -- their
+            # per-epoch coordinator round-trip is keyed to one qid.
+            if not any(spec.kind == "bloom_stage" for spec in b.specs):
+                metadata["spine"] = logical.share_signature()
+
     finishing = {}
     if agg_finishing is not None:
         finishing["aggregate"] = agg_finishing
@@ -194,7 +227,6 @@ def _plan_flat(lq, catalog, timing):
     if lq.limit is not None:
         finishing["limit"] = lq.limit
         finishing.setdefault("schema", schema)
-    metadata = {"columns": [name for _item, name in lq.select_items]}
     if "bloom_broadcast_offset" in b.__dict__:
         metadata["bloom_broadcast_offset"] = b.bloom_broadcast_offset
     return QueryPlan(
@@ -208,44 +240,35 @@ def _plan_flat(lq, catalog, timing):
 _STANDING_XFER_MARGIN = 1.0  # flush window + worst simulated RTT
 
 # Ring-width ceiling: a runaway horizon/period ratio would make every
-# operator hold that many live epoch states, so past this the plan
-# keeps the rebuild path (in practice the planner's timing walk bounds
-# horizons to ~10s, so only sub-second periods ever get near it).
+# operator hold that many live epoch states, so the ring width clamps
+# here. A clamped ring seals an epoch before its last flush would have
+# fired, degrading to partial answers for that epoch -- the standard
+# soft-state trade -- rather than falling back to a second execution
+# discipline (the rebuild path was deleted once its ablation numbers
+# were snapshotted in benchmarks/baselines/). In practice the timing
+# walk bounds horizons to ~10s, so only sub-second periods get near it.
 _STANDING_MAX_OVERLAP = 16
 
 
-def _standing_eligible(b, lq, mode):
-    """Can this continuous plan run as one long-lived execution?
+def _epoch_overlap(b, lq):
+    """Epoch ring width N for a continuous plan.
 
-    Returns ``(standing, epoch_overlap)`` where ``epoch_overlap`` is
-    the *epoch ring width* N: how many epoch states a standing
-    execution keeps live at once. The standing path rolls every
-    operator over at each boundary, and an epoch is sealed when its
-    N-th successor opens, so N must cover the plan's flush horizon:
+    ``N`` is how many epoch states a standing execution keeps live at
+    once. The standing path rolls every operator over at each boundary,
+    and an epoch is sealed when its N-th successor opens, so N must
+    cover the plan's flush horizon:
 
         N = ceil(worst (flush offset + margin) / period)
 
     A flush whose output still has to *cross an exchange* pads its
     offset with a transfer margin: its rows travel tagged with the
-    producing epoch and must land before a receiver seals that epoch
-    (the rebuild path kept the old epoch's registration open past the
-    boundary, so it was forgiving here). Result-bound flushes need no
-    margin -- their rows go direct to the query site, which collects by
-    epoch tag until its own deadline. Bloom-stage plans ride the same
-    math: their filter flush feeds the query site and the release
-    control message lands well before the downstream exchange flushes
-    the N already accounts for.
-
-    Only two things force the rebuild path now: the ``standing`` query
-    option set False (the continuous benchmarks' ablation knob, and the
-    per-plan face of the ``EngineConfig.standing`` compatibility flag)
-    and a horizon so far past the period that the ring would exceed
-    ``_STANDING_MAX_OVERLAP`` live epochs.
+    producing epoch and must land before a receiver seals that epoch.
+    Result-bound flushes need no margin -- their rows go direct to the
+    query site, which collects by epoch tag until its own deadline.
+    Bloom-stage plans ride the same math: their filter flush feeds the
+    query site and the release control message lands well before the
+    downstream exchange flushes the N already accounts for.
     """
-    if mode != "continuous":
-        return False, 1
-    if lq.options.get("standing") is False:
-        return False, 1
     consumers = {}
     for spec in b.specs:
         for input_id in spec.inputs:
@@ -268,40 +291,39 @@ def _standing_eligible(b, lq, mode):
         margin = _STANDING_XFER_MARGIN if feeds_exchange(op_id) else 0.0
         horizon = max(horizon, offset + margin)
     overlap = max(1, math.ceil(horizon / lq.every - 1e-9))
-    if overlap > _STANDING_MAX_OVERLAP:
-        return False, 1
-    return True, overlap
+    return min(overlap, _STANDING_MAX_OVERLAP)
 
 
-def _mark_paned(b, lq, catalog):
+def _mark_paned(b, logical, lowered, lq):
     """Mark a standing plan for paned sliding-window aggregation.
 
     Paned evaluation applies when the window overlaps the period
     (``WINDOW > EVERY``, commensurable on the millisecond grid) and a
     stream-table scan's rows reach a pane-aware stateful operator
-    through pane-transparent operators: stateless row operators
-    (``select``/``project``) and ``fetch_matches`` joins, which carry
-    their probe row's pane through the asynchronous DHT get. Both ends
-    of each chain get the pane geometry in their params (``{"width",
-    "every", "window"}``, the latter two in panes); the scan then emits
-    each row once into its pane and the pane-aware operator assembles
-    every epoch's window from pane partials. Three terminal shapes:
+    through pane-transparent operators. The walk runs over the
+    *logical* DAG (one consumer per node by construction) and maps each
+    step onto its lowered physical specs: ``filter``/``project`` nodes
+    are stateless row operators, a ``join`` is transparent when it
+    lowered to fetch-matches and was entered from the probe side (the
+    probe row's pane rides the asynchronous DHT get). Three terminal
+    shapes:
 
-    * ``groupby_partial`` / ``topk`` -- PR 3's node-local panes. When
-      the partial additionally feeds an exchange into a
-      ``groupby_final`` (grouped aggregation always does), the panes
-      go *distributed*: the partial ships per-pane delta increments
-      (``paned_ship = "delta"``), the exchange tags every batch with
-      its pane, tree combiners merge same-pane partials mid-route, and
-      the final assembles each epoch's window from pane partials at
-      the group's owner -- so the overlap never crosses the wire
-      again. The ``paned_exchange`` query option set False keeps the
-      node-local discipline (the benchmarks' ablation knob: full
-      window states ship every epoch).
-    * ``bloom_stage`` -- a standing bloom join leg keeps per-pane
-      filter partials and row buffers, OR-merging the window's pane
-      filters each epoch instead of rebuilding the filter from a
-      re-scan (the join above stays from-scratch).
+    * ``aggregate`` -- the lowered ``groupby_partial`` gets the
+      geometry; since grouped aggregation always feeds an exchange into
+      a ``groupby_final``, the panes go *distributed*: the partial
+      ships per-pane delta increments (``paned_ship = "delta"``), the
+      exchange tags every batch with its pane, tree combiners merge
+      same-pane partials mid-route, and the final assembles each
+      epoch's window from pane partials at the group's owner -- so the
+      overlap never crosses the wire again. The ``paned_exchange``
+      query option set False keeps the node-local discipline (the
+      benchmarks' ablation knob: full window states ship every epoch).
+    * ``topk`` -- PR 3's node-local panes.
+    * a ``join`` lowered with Bloom stages -- the entered side's
+      ``bloom_stage`` keeps per-pane filter partials and row buffers,
+      OR-merging the window's pane filters each epoch instead of
+      rebuilding the filter from a re-scan (the join above stays
+      from-scratch).
 
     Returns the first marked geometry, or None when the plan keeps
     from-scratch evaluation (the ``paned`` query option forces that).
@@ -311,13 +333,12 @@ def _mark_paned(b, lq, catalog):
     every = lq.every
     if every is None:
         return None
-    consumers = {}
-    for spec in b.specs:
-        for input_id in spec.inputs:
-            consumers.setdefault(input_id, []).append(spec)
+    consumers = logical.consumers()
     marked = None
-    for scan in (s for s in b.specs if s.kind == "scan"):
-        table_def = catalog.lookup(scan.params["table"])
+    for node in logical.nodes:
+        if node.kind != "scan":
+            continue
+        table_def = node.attrs["table_def"]
         if table_def.source != "stream":
             continue
         window = lq.window if lq.window is not None else table_def.window
@@ -331,46 +352,61 @@ def _mark_paned(b, lq, catalog):
             "every": round(every / width),
             "window": round(window / width),
         }
-        chain = _pane_chain(consumers, scan)
+        chain = _pane_chain(b, consumers, lowered, node)
         if chain is None:
             continue
-        transparent, terminal = chain
-        scan.params["paned"] = geometry
+        transparent, terminal_node, terminal_spec = chain
+        b.spec(lowered[id(node)]["op"]).params["paned"] = geometry
         for spec in transparent:
             if spec.kind == "fetch_matches":
                 spec.params["paned"] = geometry
-        terminal.params["paned"] = geometry
-        if (terminal.kind == "groupby_partial"
+        terminal_spec.params["paned"] = geometry
+        if (terminal_spec.kind == "groupby_partial"
                 and lq.options.get("paned_exchange") is not False):
-            _mark_paned_exchange(consumers, terminal, geometry)
+            _mark_paned_exchange(b, lowered[id(terminal_node)], geometry)
         if marked is None:
             marked = geometry
     return marked
 
 
-def _pane_chain(consumers, scan):
-    """Walk from a scan to its pane-aware consumer, or None.
+def _pane_chain(b, consumers, lowered, scan_node):
+    """Walk from a scan's logical node to its pane-aware consumer.
 
-    Returns ``(transparent_ops, terminal)`` where ``transparent_ops``
-    are the pane-transparent operators crossed on the way.
+    Returns ``(transparent_specs, terminal_node, terminal_spec)`` or
+    None when the rows do not reach a pane-aware operator (e.g. they
+    cross a symmetric-hash exchange, whose rehash scatters a pane's
+    rows across owners mid-epoch).
     """
     transparent = []
-    spec = scan
+    node = scan_node
     while True:
-        downstream = consumers.get(spec.op_id, ())
+        downstream = consumers.get(node, ())
         if len(downstream) != 1:
             return None
-        spec = downstream[0]
-        if spec.kind in ("select", "project", "fetch_matches"):
-            transparent.append(spec)
+        parent = downstream[0]
+        info = lowered[id(parent)]
+        if parent.kind in ("filter", "project"):
+            transparent.append(b.spec(info["op"]))
+            node = parent
             continue
-        if spec.kind in ("groupby_partial", "topk", "bloom_stage"):
-            return transparent, spec
+        if parent.kind == "join":
+            if info["strategy"] == "fm" and parent.inputs[0] is node:
+                transparent.append(b.spec(info["op"]))
+                node = parent
+                continue
+            if info["strategy"] == "bloom":
+                side = 0 if parent.inputs[0] is node else 1
+                return transparent, parent, b.spec(info["stages"][side])
+            return None
+        if parent.kind == "aggregate":
+            return transparent, parent, b.spec(info["partial"])
+        if parent.kind == "topk":
+            return transparent, parent, b.spec(info["op"])
         return None
 
 
-def _mark_paned_exchange(consumers, partial, geometry):
-    """Extend panes across the partial's exchange to the final.
+def _mark_paned_exchange(b, agg_info, geometry):
+    """Extend panes across the aggregate's exchange to the final.
 
     The partial switches to shipping per-pane *increments* (each pane's
     partial crosses the wire once, when new rows touched it), the
@@ -382,64 +418,27 @@ def _mark_paned_exchange(consumers, partial, geometry):
     because a window's panes must accumulate at a *stable* owner across
     the epochs that share them.
     """
-    downstream = consumers.get(partial.op_id, ())
-    if len(downstream) != 1 or downstream[0].kind != "exchange":
-        return
-    exchange = downstream[0]
-    above = consumers.get(exchange.op_id, ())
-    if len(above) != 1 or above[0].kind != "groupby_final":
-        return
+    partial = b.spec(agg_info["partial"])
+    exchange = b.spec(agg_info["exchange"])
+    final = b.spec(agg_info["final"])
     partial.params["paned_ship"] = "delta"
     exchange.params["paned"] = geometry
     if "combine" in exchange.params:
         exchange.params["combine"] = dict(
             exchange.params["combine"], paned=True
         )
-    above[0].params["paned"] = geometry
+    final.params["paned"] = geometry
 
 
-def _plan_from_where(b, lq, catalog, timing):
-    """Scans, pushdowns and joins; returns (op_id, schema, ready_time)."""
-    if not lq.tables:
-        raise PlanError("query needs at least one table")
-    conjuncts = _split_where(lq.where)
-
-    # Access path per table, with pushed-down single-table predicates.
-    legs = []
-    for table_name, alias in lq.tables:
-        table_def = catalog.lookup(table_name)
-        schema = table_def.schema.qualify(alias or table_name)
-        op_id = b.add("scan", {"table": table_name, "alias": alias})
-        mine, conjuncts = _partition_conjuncts(conjuncts, schema)
-        if mine is not None:
-            op_id = b.add("select", {"predicate": mine, "schema": schema}, [op_id])
-        legs.append((op_id, schema, table_def))
-    ready = timing.scan_ready
-
-    op_id, schema, _table_def = legs[0]
-    for right_op, right_schema, right_def in legs[1:]:
-        op_id, schema, ready, conjuncts = _plan_join(
-            b, lq, op_id, schema, right_op, right_schema, right_def,
-            conjuncts, ready, timing,
-        )
-
-    # Anything left in the WHERE applies after all joins.
-    residual = _and_all(conjuncts)
-    if residual is not None:
-        op_id = b.add("select", {"predicate": residual, "schema": schema}, [op_id])
-    return op_id, schema, ready
-
-
-def _plan_join(b, lq, left_op, left_schema, right_op, right_schema,
-               right_def, conjuncts, ready, timing):
-    pairs, leftover = _extract_join_pairs(conjuncts, left_schema, right_schema)
-    if not pairs:
-        raise PlanError(
-            "no equi-join predicate between {} and {} (cartesian products "
-            "are not supported at Internet scale)".format(
-                left_schema.names, right_schema.names
-            )
-        )
+def _lower_join(b, lq, node, lowered, ready, timing):
+    """Lower one logical join; returns (ready, lowered-info)."""
+    left_op = lowered[id(node.inputs[0])]["op"]
+    right_op = lowered[id(node.inputs[1])]["op"]
+    pairs = node.attrs["pairs"]
+    residual = node.attrs["residual"]
+    left_schema = node.attrs["left_schema"]
+    right_schema = node.attrs["right_schema"]
+    right_def = node.attrs["right_def"]
     left_keys = [ColumnRef(left) for left, _right in pairs]
     right_keys = [ColumnRef(right) for _left, right in pairs]
     strategy = lq.options.get("join_strategy", "auto")
@@ -453,25 +452,23 @@ def _plan_join(b, lq, left_op, left_schema, right_op, right_schema,
                     right_def.name
                 )
             )
-        out_schema = left_schema.concat(right_schema)
         join_id = b.add("fetch_matches", {
             "probe_schema": left_schema,
             "table": right_def.name,
             "table_schema": right_schema,
             "probe_key": left_keys[0],
-            "residual": _and_all(
-                _join_residuals(leftover, out_schema)[0]
-            ),
+            "residual": residual,
         }, [left_op])
-        leftover = _join_residuals(leftover, out_schema)[1]
         ready = ready + timing.rehash_xfer  # one get round-trip
-        return join_id, out_schema, ready, leftover
+        return ready, {"op": join_id, "strategy": "fm"}
 
+    stages = None
     if strategy == "bloom":
         left_op, right_op, ready = _plan_bloom_stages(
             b, left_op, left_schema, left_keys,
             right_op, right_schema, right_keys, ready, timing,
         )
+        stages = [left_op, right_op]
 
     left_ex = b.add("exchange", {
         "mode": "rehash",
@@ -481,17 +478,18 @@ def _plan_join(b, lq, left_op, left_schema, right_op, right_schema,
         "mode": "rehash",
         "key": {"kind": "exprs", "exprs": right_keys, "schema": right_schema},
     }, [right_op])
-    out_schema = left_schema.concat(right_schema)
-    applicable, leftover = _join_residuals(leftover, out_schema)
     join_id = b.add("shj", {
         "left_schema": left_schema,
         "right_schema": right_schema,
         "left_keys": left_keys,
         "right_keys": right_keys,
-        "residual": _and_all(applicable),
+        "residual": residual,
     }, [left_ex, right_ex])
     ready = ready + timing.rehash_xfer
-    return join_id, out_schema, ready, leftover
+    info = {"op": join_id, "strategy": strategy}
+    if stages is not None:
+        info["stages"] = stages
+    return ready, info
 
 
 def _plan_bloom_stages(b, left_op, left_schema, left_keys,
@@ -526,18 +524,19 @@ def _fm_applicable(right_def, pairs, right_schema):
     return partition_index == join_index
 
 
-def _plan_aggregation(b, lq, op_id, schema, ready, timing):
-    group_exprs = list(lq.group_by)
+def _lower_aggregation(b, lq, node, lowered, ready, timing):
+    group_exprs = list(node.attrs["group_by"])
     agg_specs = []
     for item, name in lq.select_items:
         if isinstance(item, AggCall):
-            agg_specs.append(AggSpec(item.func_name, item.arg, name))
-    if not agg_specs:
-        raise PlanError("GROUP BY without aggregates is just DISTINCT; use it")
+            agg_specs.append(AggSpec(item.func_name, item.arg, name,
+                                     item.params))
 
+    child = lowered[id(node.inputs[0])]["op"]
+    schema = node.inputs[0].schema
     partial_id = b.add("groupby_partial", {
         "group_exprs": group_exprs, "agg_specs": agg_specs, "schema": schema,
-    }, [op_id])
+    }, [child])
     ready += timing.hold
     b.flush_at(partial_id, ready)
 
@@ -581,7 +580,9 @@ def _plan_aggregation(b, lq, op_id, schema, ready, timing):
         "select_exprs": select_exprs,
         "having": lq.having,
     }
-    return final_id, _output_schema(lq), ready, agg_finishing
+    info = {"op": final_id, "partial": partial_id,
+            "exchange": exchange_id, "final": final_id}
+    return ready, agg_finishing, info
 
 
 def _aggregation_internal_schema(lq, group_exprs, agg_specs):
@@ -620,56 +621,6 @@ def _compile_order_by(lq, schema):
     for expr, _desc in sort_keys:
         expr.compile(schema)
     return sort_keys
-
-
-# ----------------------------------------------------------------------
-# WHERE-clause plumbing
-# ----------------------------------------------------------------------
-def _split_where(where):
-    if where is None:
-        return []
-    from repro.db.expressions import conjuncts as split
-
-    return split(where)
-
-
-def _partition_conjuncts(conjuncts, schema):
-    """(AND of conjuncts fully resolvable in schema, the remainder)."""
-    mine, rest = [], []
-    for conj in conjuncts:
-        if all(schema.has_column(ref) for ref in conj.column_refs()):
-            mine.append(conj)
-        else:
-            rest.append(conj)
-    return _and_all(mine), rest
-
-
-def _extract_join_pairs(conjuncts, left_schema, right_schema):
-    pred = _and_all(conjuncts)
-    if pred is None:
-        return [], []
-    pairs, residual = equi_join_pairs(pred, left_schema, right_schema)
-    return pairs, _split_where(residual)
-
-
-def _join_residuals(conjuncts, out_schema):
-    """Split leftovers into (applicable at this join, still deferred)."""
-    applicable, deferred = [], []
-    for conj in conjuncts:
-        if all(out_schema.has_column(ref) for ref in conj.column_refs()):
-            applicable.append(conj)
-        else:
-            deferred.append(conj)
-    return applicable, deferred
-
-
-def _and_all(conjuncts):
-    from repro.db.expressions import BinaryOp
-
-    result = None
-    for conj in conjuncts:
-        result = conj if result is None else BinaryOp("AND", result, conj)
-    return result
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,162 @@
+"""Shared standing dataflows: scan hosts and subscription spines.
+
+Two sharing mechanisms live here, both engine-owned and both keyed by
+what the *logical* plan proved equal (see :mod:`repro.core.logical`):
+
+* :class:`SharedScanRegistry` -- per-node, per-stream-table fan-out of
+  the append firehose. N standing scans over the same table used to
+  mean N ``fragment.on_append`` hooks and N copies of the "row arrived"
+  charge; now one :class:`_ScanHost` owns the hook, charges
+  ``rows_scanned`` once, and fans each ``(ts, row)`` to every
+  subscriber's pending buffer. Refcounted: the host appears with the
+  first subscriber and its hook is removed with the last.
+
+* Spines -- whole-dataflow sharing for standing queries whose logical
+  plans canonicalize identically (same ``share_signature``) and whose
+  epochs are in phase (same ``t0 % every``). The engine runs ONE
+  :class:`~repro.core.dataflow.StandingExecution` under the spine key;
+  each member query is a :class:`SpineSubscriber` carrying only its
+  identity (qid, origin) and its epoch *offset* on the spine's absolute
+  epoch grid. The result operator fans each spine epoch's rows to every
+  subscriber whose window it answers, translated to that subscriber's
+  own epoch number -- the coordinator cannot tell shared from private
+  answers.
+
+Spine epochs are ABSOLUTE: the grid origin is ``phase = t0 % every``,
+so epoch ``k`` always means instant ``phase + k * every`` on every node
+regardless of when the plan broadcast arrived. A query submitted at
+``t0`` sits at ``offset = (t0 - phase) / every`` (an exact integer by
+construction) and its own epoch ``j`` is spine epoch ``offset + j``.
+
+Soft-state discipline matches the rest of the engine: a crash wipes
+hosts and spines alike (:meth:`SharedScanRegistry.reset`); standing
+queries that still matter are re-adopted from their coordinator's
+re-broadcast and re-form the spine from scratch.
+"""
+
+
+class _ScanHost:
+    """One append hook on one stream fragment, fanned to N scans."""
+
+    def __init__(self, registry, table, fragment):
+        self.registry = registry
+        self.table = table
+        self.fragment = fragment
+        self.subscribers = {}  # token -> callback(ts, row)
+        self._next_token = 0
+        # The host is the accounting boundary: seeding and appends are
+        # charged once here, however many scans listen.
+        registry.engine.note_rows_scanned(len(fragment))
+        self._hook = fragment.on_append(self._on_append)
+
+    def _on_append(self, timestamp, row):
+        self.registry.engine.note_rows_scanned(1)
+        for callback in list(self.subscribers.values()):
+            callback(timestamp, row)
+
+    def subscribe(self, callback):
+        token = self._next_token
+        self._next_token += 1
+        self.subscribers[token] = callback
+        return token
+
+    def unsubscribe(self, token):
+        self.subscribers.pop(token, None)
+        return not self.subscribers
+
+    def close(self):
+        if self._hook is not None:
+            self.fragment.remove_append_hook(self._hook)
+            self._hook = None
+        self.subscribers = {}
+
+
+class SharedScanRegistry:
+    """Per-engine registry of shared stream-scan hosts.
+
+    ``acquire`` returns an opaque token the scan hands back to
+    ``release`` at teardown; the host (and its fragment hook) lives
+    exactly as long as it has subscribers.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._hosts = {}  # table -> _ScanHost
+
+    def acquire(self, table, fragment, callback):
+        host = self._hosts.get(table)
+        if host is not None and host.fragment is not fragment:
+            # The table was dropped and re-created (tests do this
+            # between scenarios): the old hook points at a dead deque.
+            host.close()
+            host = None
+        if host is None:
+            host = _ScanHost(self, table, fragment)
+            self._hosts[table] = host
+        return (table, host.subscribe(callback))
+
+    def release(self, token):
+        table, sub = token
+        host = self._hosts.get(table)
+        if host is None:
+            return
+        if host.unsubscribe(sub):
+            host.close()
+            del self._hosts[table]
+
+    def host_count(self, table=None):
+        """Subscriber count for ``table`` (introspection / tests)."""
+        if table is None:
+            return len(self._hosts)
+        host = self._hosts.get(table)
+        return len(host.subscribers) if host is not None else 0
+
+    def reset(self):
+        for host in self._hosts.values():
+            host.close()
+        self._hosts = {}
+
+
+class SpineSubscriber:
+    """One query riding a spine: identity + epoch-grid placement."""
+
+    __slots__ = ("qid", "origin", "offset", "last_epoch")
+
+    def __init__(self, qid, origin, offset, last_epoch):
+        self.qid = qid
+        self.origin = origin
+        self.offset = offset  # spine epoch k answers my epoch k - offset
+        self.last_epoch = last_epoch  # my last epoch (None = unbounded)
+
+
+class SpineRecord:
+    """Engine-side state for one shared standing execution."""
+
+    __slots__ = ("key", "plan", "t0", "subscribers", "execution",
+                 "next_timer", "stalled")
+
+    def __init__(self, key, plan, t0):
+        self.key = key
+        self.plan = plan
+        self.t0 = t0  # = phase: absolute instant of spine epoch 0
+        self.subscribers = {}  # qid -> SpineSubscriber
+        self.execution = None
+        self.next_timer = None
+        self.stalled = False
+
+    def rep_qid(self):
+        """A live member qid for plan-pull provenance (any will do --
+        all members carry byte-identical plans)."""
+        for qid in self.subscribers:
+            return qid
+        return None
+
+    def last_spine_epoch(self):
+        """Last spine epoch any member still needs, or None if some
+        member is unbounded (no LIFETIME)."""
+        last = 0
+        for sub in self.subscribers.values():
+            if sub.last_epoch is None:
+                return None
+            last = max(last, sub.offset + sub.last_epoch)
+        return last

@@ -4,7 +4,7 @@ Expression precedence, loosest first:
 OR < AND < NOT < comparison < additive < multiplicative < unary minus.
 """
 
-from repro.core.planner import AggCall, LogicalQuery, RecursiveSpec
+from repro.core.logical import AggCall, LogicalQuery, RecursiveSpec
 from repro.core.sql.lexer import tokenize
 from repro.db.expressions import (
     BinaryOp,
@@ -223,8 +223,22 @@ class _Parser:
                     self.expect_symbol(")")
                     return AggCall("COUNT_DISTINCT", arg)
                 arg = self.parse_expr()
+                # Trailing integer literals parameterize sketch
+                # geometry: APPROX_TOPK(x, k[, depth[, width]]),
+                # APPROX_COUNT_DISTINCT(x, precision). The planner
+                # rejects parameters on non-parametric aggregates.
+                params = []
+                while self.accept_symbol(","):
+                    token = self.peek()
+                    value = self.expect_number()
+                    if not isinstance(value, int):
+                        raise SqlError(
+                            "aggregate parameters must be integer literals",
+                            position=token.pos,
+                        )
+                    params.append(value)
                 self.expect_symbol(")")
-                return AggCall(func, arg)
+                return AggCall(func, arg, tuple(params))
         return self.parse_expr()
 
     def _parse_table_refs(self):

@@ -10,7 +10,7 @@ from repro.core.dataflow import EpochStateRing, Operator, StandingExecution
 from repro.core.network import PierNetwork
 from repro.core.operators import register_operator
 from repro.core.opgraph import OpSpec, QueryPlan
-from repro.core.planner import _STANDING_XFER_MARGIN
+from repro.core.planner import _STANDING_MAX_OVERLAP, _STANDING_XFER_MARGIN
 
 
 # ----------------------------------------------------------------------
@@ -104,12 +104,14 @@ class TestPlannerRingWidth:
         assert plan.ops_of_kind("bloom_stage")
         assert plan.standing
 
-    def test_absurd_ratio_keeps_rebuild_fallback(self, net):
-        # Sub-~0.6s periods against a ~9.1s horizon exceed the ring
-        # cap; the plan keeps the compatibility path instead of holding
-        # dozens of live epoch states.
+    def test_absurd_ratio_clamps_the_ring(self, net):
+        # Sub-~0.6s periods against a ~9.1s horizon would want dozens
+        # of live epoch states; with the rebuild path retired the plan
+        # still runs standing, just with the ring clamped at the cap
+        # (stragglers past the clamped horizon are dropped as late).
         plan = net.compile_sql(GROUPED_SQL.format(0.5))
-        assert not plan.standing
+        assert plan.standing
+        assert plan.epoch_overlap == _STANDING_MAX_OVERLAP
 
 
 # ----------------------------------------------------------------------
@@ -235,45 +237,47 @@ class TestStandingRingLifecycle:
 
 
 # ----------------------------------------------------------------------
-# Standing bloom joins: rebuild parity (regression for the retired path)
+# Standing bloom joins: ground-truth parity every epoch
 # ----------------------------------------------------------------------
-def run_bloom_continuous(standing):
+def run_bloom_continuous():
     net = PierNetwork(nodes=10, seed=5)
     net.create_local_table("r", [("k", "INT"), ("v", "INT")])
     net.create_local_table("s2", [("k", "INT"), ("w", "INT")])
+    r_rows, s2_rows = [], []
     for i, address in enumerate(net.addresses()):
-        net.insert(address, "r", [((i + j) % 8, 10 + j) for j in range(3)])
-        net.insert(address, "s2", [((2 * i + j) % 16, 100 + j) for j in range(2)])
-    options = {"join_strategy": "bloom"}
-    if not standing:
-        options["standing"] = False
+        r_frag = [((i + j) % 8, 10 + j) for j in range(3)]
+        s2_frag = [((2 * i + j) % 16, 100 + j) for j in range(2)]
+        net.insert(address, "r", r_frag)
+        net.insert(address, "s2", s2_frag)
+        r_rows.extend(r_frag)
+        s2_rows.extend(s2_frag)
     results = []
     handle = net.submit_sql(
         "SELECT r.k AS k, r.v AS v, s2.w AS w FROM r, s2 WHERE r.k = s2.k "
         "EVERY 12 SECONDS LIFETIME 36 SECONDS",
-        on_epoch=results.append, options=options,
+        on_epoch=results.append, options={"join_strategy": "bloom"},
     )
-    assert handle.plan.standing == standing
-    if standing:
-        net.advance(14)
-        engine = net.node(net.addresses()[4]).engine
-        execution = engine.queries[handle.qid].execution
-        assert isinstance(execution, StandingExecution)
-        net.advance(36 + handle.plan.deadline + 5 - 14)
-    else:
-        net.advance(36 + handle.plan.deadline + 5)
-    return {r.epoch: sorted(r.rows) for r in results}
+    assert handle.plan.standing
+    net.advance(14)
+    engine = net.node(net.addresses()[4]).engine
+    execution = engine.queries[handle.qid].execution
+    assert isinstance(execution, StandingExecution)
+    net.advance(36 + handle.plan.deadline + 5 - 14)
+    expected = sorted(
+        (rk, rv, w) for rk, rv in r_rows for sk, w in s2_rows if rk == sk
+    )
+    return {r.epoch: sorted(r.rows) for r in results}, expected
 
 
 class TestStandingBloom:
-    def test_bloom_plan_runs_standing_with_rebuild_parity(self):
-        standing = run_bloom_continuous(True)
-        rebuild = run_bloom_continuous(False)
-        assert set(standing) == set(rebuild)
-        assert len(standing) >= 3
-        for epoch in standing:
-            assert standing[epoch] == rebuild[epoch]
-            assert standing[epoch]  # the join actually produced rows
+    def test_bloom_plan_standing_epochs_match_ground_truth(self):
+        # Local tables never age, so every epoch must reproduce the
+        # full join computed here from the inserted fragments.
+        per_epoch, expected = run_bloom_continuous()
+        assert len(per_epoch) >= 3
+        assert expected  # the join actually produces rows
+        for epoch, rows in per_epoch.items():
+            assert rows == expected, epoch
 
     def test_per_epoch_filter_round_trip(self):
         # Every epoch gets its own merged-filter broadcast (the old

@@ -1,0 +1,238 @@
+"""Multi-query sharing: logical canonicalization, subscription spines,
+shared-scan refcounts, and parity with private executions."""
+
+import math
+
+import pytest
+
+from repro.core.dataflow import StandingExecution
+from repro.core.network import PierNetwork
+
+
+def install_ticker(net, address, value, period=2.0, table="s"):
+    """Append ``value`` every ``period`` seconds at ``address``."""
+
+    def tick():
+        engine = net.node(address).engine
+        engine.stream_append(table, (value,))
+        engine.set_timer(period, tick)
+
+    net.node(address).engine.set_timer(0.1, tick)
+
+
+@pytest.fixture
+def net():
+    n = PierNetwork(nodes=8, seed=321)
+    n.create_stream_table("s", [("v", "FLOAT")], window=30.0)
+    for i, address in enumerate(n.addresses()):
+        install_ticker(n, address, float(i + 1))
+    return n
+
+
+TAIL = "EVERY 10 SECONDS WINDOW 10 SECONDS LIFETIME 40 SECONDS"
+
+# One query, four surface forms: alias renames, flipped comparisons,
+# reordered conjuncts, different output names.
+VARIANTS = (
+    "SELECT SUM(v) AS total, COUNT(*) AS n FROM s "
+    "WHERE v > 2 AND v < 100 " + TAIL,
+    "SELECT SUM(t.v) AS sum_v, COUNT(*) AS cnt FROM s t "
+    "WHERE t.v < 100 AND t.v > 2 " + TAIL,
+    "SELECT SUM(x.v) AS a, COUNT(*) AS b FROM s x "
+    "WHERE 2 < x.v AND 100 > x.v " + TAIL,
+    "SELECT SUM(v) AS grand_total, COUNT(*) AS how_many FROM s "
+    "WHERE 100 > v AND 2 < v " + TAIL,
+)
+
+
+def _rows_match(a, b):
+    if len(a) != len(b):
+        return False
+    for row_a, row_b in zip(a, b):
+        for va, vb in zip(row_a, row_b):
+            if isinstance(va, float) or isinstance(vb, float):
+                if not math.isclose(va, vb, rel_tol=1e-9, abs_tol=1e-9):
+                    return False
+            elif va != vb:
+                return False
+    return True
+
+
+class TestCanonicalization:
+    def test_surface_forms_share_one_signature(self, net):
+        sigs = {net.compile_sql(v).metadata["spine"] for v in VARIANTS}
+        assert len(sigs) == 1
+        assert None not in sigs
+
+    def test_epoch_geometry_splits_the_signature(self, net):
+        base = net.compile_sql(VARIANTS[0]).metadata["spine"]
+        other_window = net.compile_sql(
+            VARIANTS[0].replace("WINDOW 10", "WINDOW 20")
+        ).metadata["spine"]
+        other_every = net.compile_sql(
+            VARIANTS[0].replace("EVERY 10", "EVERY 5")
+        ).metadata["spine"]
+        assert other_window != base
+        assert other_every != base
+
+    def test_lifetime_does_not_split_the_signature(self, net):
+        # LIFETIME is per-subscriber (spine fan-out handles it); the
+        # in-network body is identical.
+        base = net.compile_sql(VARIANTS[0]).metadata["spine"]
+        longer = net.compile_sql(
+            VARIANTS[0].replace("LIFETIME 40", "LIFETIME 80")
+        ).metadata["spine"]
+        assert longer == base
+
+    def test_semantic_options_split_the_signature(self, net):
+        base = net.compile_sql(VARIANTS[0]).metadata["spine"]
+        rehash = net.compile_sql(
+            VARIANTS[0], options={"aggregation_tree": False}
+        ).metadata["spine"]
+        assert rehash != base
+        # ``shared: False`` is the opt-out, not a semantic knob: the
+        # plan is left unstamped entirely.
+        private = net.compile_sql(VARIANTS[0], options={"shared": False})
+        assert private.standing
+        assert private.metadata.get("spine") is None
+
+    def test_predicate_differences_split_the_signature(self, net):
+        base = net.compile_sql(VARIANTS[0]).metadata["spine"]
+        tighter = net.compile_sql(
+            VARIANTS[0].replace("v > 2", "v > 3")
+        ).metadata["spine"]
+        assert tighter != base
+
+    def test_sketch_params_are_semantic(self, net):
+        sketch = ("SELECT APPROX_COUNT_DISTINCT(v, {}) AS d FROM s "
+                  "GROUP BY v " + TAIL)
+        p12 = net.compile_sql(sketch.format(12)).metadata["spine"]
+        p12_again = net.compile_sql(sketch.format(12)).metadata["spine"]
+        p14 = net.compile_sql(sketch.format(14)).metadata["spine"]
+        assert p12 == p12_again
+        # Different sketch geometry means different in-network state:
+        # never share it.
+        assert p14 != p12
+
+
+class TestSpineRuntime:
+    def test_fleet_rides_one_spine(self, net):
+        site = net.any_address()
+        fleet = [
+            net.submit_sql(VARIANTS[i % len(VARIANTS)], node=site)
+            for i in range(5)
+        ]
+        assert len({h.plan.metadata["spine"] for h in fleet}) == 1
+        net.advance(12.0)  # inside epoch 1
+        for address in net.addresses():
+            engine = net.node(address).engine
+            assert len(engine._spines) == 1
+            (srec,) = engine._spines.values()
+            assert isinstance(srec.execution, StandingExecution)
+            assert set(srec.subscribers) == {h.qid for h in fleet}
+            # One append hook on the stream table, however many queries.
+            assert engine.shared_scans.host_count("s") == 1
+            for handle in fleet:
+                assert engine.queries[handle.qid].execution is srec.execution
+
+    def test_fleet_results_match_private_twin(self, net):
+        site = net.any_address()
+        outs = []
+        fleet = []
+        for i in range(3):
+            results = []
+            fleet.append(net.submit_sql(VARIANTS[i], node=site,
+                                        on_epoch=results.append))
+            outs.append(results)
+        private_results = []
+        private = net.submit_sql(VARIANTS[0], node=site,
+                                 on_epoch=private_results.append,
+                                 options={"shared": False})
+        assert private.plan.metadata.get("spine") is None
+        net.advance(40.0 + private.plan.deadline + 5.0)
+        reference = {r.epoch: sorted(r.rows) for r in private_results}
+        assert len(reference) >= 3
+        for results in outs:
+            epochs = {r.epoch: sorted(r.rows) for r in results}
+            assert set(epochs) == set(reference)
+            for k in reference:
+                assert _rows_match(epochs[k], reference[k])
+
+    def test_different_geometry_control_gets_its_own_spine(self, net):
+        site = net.any_address()
+        fleet_results = []
+        fleet = net.submit_sql(VARIANTS[0], node=site,
+                               on_epoch=fleet_results.append)
+        control_results = []
+        control = net.submit_sql(
+            VARIANTS[0].replace("WINDOW 10", "WINDOW 20"), node=site,
+            on_epoch=control_results.append,
+        )
+        assert (control.plan.metadata["spine"]
+                != fleet.plan.metadata["spine"])
+        net.advance(12.0)
+        engine = net.node(site).engine
+        assert len(engine._spines) == 2
+        keys = {engine.queries[fleet.qid].spine,
+                engine.queries[control.qid].spine}
+        assert len(keys) == 2
+        net.advance(40.0 + control.plan.deadline + 5.0 - 12.0)
+        assert len({r.epoch for r in fleet_results}) >= 3
+        assert len({r.epoch for r in control_results}) >= 3
+
+    def test_stop_peels_subscribers_then_closes_the_spine(self, net):
+        site = net.any_address()
+        outs = []
+        fleet = []
+        for i in range(3):
+            results = []
+            fleet.append(net.submit_sql(VARIANTS[i], node=site,
+                                        on_epoch=results.append))
+            outs.append(results)
+        net.advance(12.0)
+        engine = net.node(site).engine
+        (srec,) = engine._spines.values()
+        assert len(srec.subscribers) == 3
+
+        # Two members leave mid-flight: the spine survives for the
+        # remaining co-tenant and keeps answering.
+        fleet[0].stop()
+        fleet[1].stop()
+        net.advance(2.0)
+        assert len(engine._spines) == 1
+        (srec,) = engine._spines.values()
+        assert set(srec.subscribers) == {fleet[2].qid}
+        assert engine.shared_scans.host_count("s") == 1
+        epochs_before = {r.epoch for r in outs[2]}
+        net.advance(10.0)
+        assert {r.epoch for r in outs[2]} - epochs_before, (
+            "surviving subscriber stopped receiving epochs"
+        )
+
+        # The last member leaving closes the execution and releases the
+        # scan host on every node.
+        fleet[2].stop()
+        net.advance(2.0)
+        for address in net.addresses():
+            eng = net.node(address).engine
+            assert not eng._spines
+            assert eng.shared_scans.host_count("s") == 0
+
+    def test_staggered_submission_joins_by_epoch_phase(self, net):
+        # A near-duplicate submitted whole periods later lands on the
+        # same grid phase, so it joins the existing spine at an offset;
+        # one submitted off-phase must get its own spine.
+        site = net.any_address()
+        first = net.submit_sql(VARIANTS[0], node=site)
+        net.advance(10.0)  # exactly one period: same phase
+        second = net.submit_sql(VARIANTS[1], node=site)
+        engine = net.node(site).engine
+        assert engine.queries[first.qid].spine == engine.queries[second.qid].spine
+        sub = engine._spines[engine.queries[second.qid].spine]
+        assert sub.subscribers[second.qid].offset == 1
+        assert sub.subscribers[first.qid].offset == 0
+        net.advance(3.3)  # mid-period: different phase
+        third = net.submit_sql(VARIANTS[2], node=site)
+        assert (engine.queries[third.qid].spine
+                != engine.queries[first.qid].spine)
+        assert len(engine._spines) == 2

@@ -361,13 +361,16 @@ class TestOverlappingEpochs:
         net.advance(6.0)  # epoch 3 opens -> epoch 1 sealed
         assert sorted(execution._open_epochs) == [2, 3]
 
-    def test_overlap_results_match_rebuild(self):
+    def test_overlap_results_match_private_execution(self):
         per_path = []
-        for options in (None, {"standing": False}):
+        for options in (None, {"shared": False}):
             _net, handle, results, _folded = run_continuous(
                 self.SQL, seed=321, advance=70.0, options=options
             )
-            assert handle.plan.standing == (options is None)
+            assert handle.plan.standing
+            assert (handle.plan.metadata.get("spine") is not None) == (
+                options is None
+            )
             per_path.append([
                 (r.epoch, r.rows[0][1], round(r.rows[0][0], 6))
                 for r in results
@@ -379,17 +382,19 @@ class TestOverlappingEpochs:
             assert count == 24
             assert total == pytest.approx(3 * sum(range(1, 9)))
 
-    def test_overlap_with_panes_matches_rebuild(self):
+    def test_overlap_with_panes_matches_private_execution(self):
         sql = ("SELECT SUM(v) AS total, COUNT(*) AS n FROM s "
                "EVERY 6 SECONDS WINDOW 18 SECONDS LIFETIME 42 SECONDS")
         per_path = []
-        for options in (None, {"standing": False}):
+        for options in (None, {"shared": False}):
             _net, handle, results, _folded = run_continuous(
                 sql, seed=55, advance=70.0, options=options
             )
-            if options is None:
-                assert handle.plan.epoch_overlap == 2
-                assert handle.plan.pane is not None
+            assert handle.plan.epoch_overlap == 2
+            assert handle.plan.pane is not None
+            assert (handle.plan.metadata.get("spine") is not None) == (
+                options is None
+            )
             per_path.append([
                 (r.epoch, r.rows[0][1], round(r.rows[0][0], 6))
                 for r in results

@@ -65,55 +65,70 @@ class TestStandingLifecycle:
         assert plan.standing
         assert plan.epoch_overlap == 3
 
-    def test_standing_option_forces_rebuild(self, net):
-        # The compatibility fallback: the ``standing`` query option is
-        # the only remaining road to rebuild-per-epoch (plus the
-        # cluster-wide EngineConfig.standing flag).
+    def test_standing_option_is_ignored(self, net):
+        # The rebuild-per-epoch path is retired: every continuous plan
+        # runs standing, and the legacy ``standing`` query option is
+        # accepted but changes nothing.
         plan = net.compile_sql(CONTINUOUS_SQL, options={"standing": False})
-        assert not plan.standing
+        assert plan.standing
+        # ``shared`` is the option that still means something: it keeps
+        # the query off the subscription spine (private execution).
+        private = net.compile_sql(CONTINUOUS_SQL, options={"shared": False})
+        assert private.standing
+        assert private.metadata.get("spine") is None
 
     def test_one_execution_reused_across_epochs(self, net):
         handle = net.submit_sql(CONTINUOUS_SQL)
         net.advance(12)  # inside epoch 1
         engine = net.node(net.addresses()[3]).engine
-        first = engine.queries[handle.qid].execution
+        record = engine.queries[handle.qid]
+        first = record.execution
         assert first is not None
-        assert engine.executions[(handle.qid, 1)] is first
+        # The plan is shareable, so the execution lives on a spine; the
+        # record points at the spine's one standing execution.
+        assert record.spine is not None
+        assert engine._spines[record.spine].execution is first
         net.advance(10)  # inside epoch 2
         assert engine.queries[handle.qid].execution is first
-        assert engine.executions[(handle.qid, 2)] is first
-        assert (handle.qid, 1) not in engine.executions
+        assert engine._spines[record.spine].execution is first
 
     def test_delivery_registered_once_per_query(self, net):
         handle = net.submit_sql(CONTINUOUS_SQL)
         net.advance(12)
+        engine = net.node(net.addresses()[2]).engine
+        spine_key = engine.queries[handle.qid].spine
+        assert spine_key is not None
         chord = net.node(net.addresses()[2]).chord
+        prefix = "s|{}|".format(spine_key)
         standing_ns = [
-            ns for ns in chord._delivery_handlers if handle.qid in ns
+            ns for ns in chord._delivery_handlers if ns.startswith(prefix)
         ]
         assert standing_ns, "standing exchange input not registered"
-        # Epoch-free namespace: no epoch component between qid and op id.
+        # Epoch-free namespace: no epoch component between the spine
+        # key and the op id.
         for ns in standing_ns:
             parts = ns.split("|")
-            assert parts[0] == "q" and parts[1] == handle.qid
+            assert parts[0] == "s" and parts[1] == spine_key
             assert not parts[2].isdigit()  # would be the epoch in rebuild
         handler_before = {ns: chord._delivery_handlers[ns] for ns in standing_ns}
         net.advance(10)  # next epoch: same registration must persist
         for ns, handler in handler_before.items():
             assert chord._delivery_handlers.get(ns) is handler
 
-    def test_results_match_rebuild_path(self):
-        # Same deterministic workload through both execution disciplines.
+    def test_results_match_private_execution(self):
+        # Same deterministic workload through the shared spine and a
+        # ``shared: False`` private standing execution.
         per_path = []
-        for standing in (True, False):
+        for shared in (True, False):
             n = PierNetwork(nodes=8, seed=321)
             n.create_stream_table("s", [("v", "FLOAT")], window=30.0)
             for i, address in enumerate(n.addresses()):
                 install_ticker(n, address, float(i + 1))
             results = []
-            options = None if standing else {"standing": False}
-            n.submit_sql(CONTINUOUS_SQL, on_epoch=results.append,
-                         options=options)
+            options = None if shared else {"shared": False}
+            handle = n.submit_sql(CONTINUOUS_SQL, on_epoch=results.append,
+                                  options=options)
+            assert (handle.plan.metadata.get("spine") is not None) == shared
             n.advance(60)
             per_path.append([
                 (r.epoch, r.rows[0][1], round(r.rows[0][0], 6))
