@@ -142,8 +142,21 @@ def run_fleet(seed, nodes, q, shared):
                     )
     after = net.message_counters()
     scans_after = sum(n.engine.rows_scanned for n in net.nodes.values())
+    # Tree-edge hop caching: combiner forwards that went direct to the
+    # learned terminal owner instead of re-walking the stable route.
+    # Closed combiners fold their counters into the engine totals;
+    # still-registered ones are read live.
+    forwards = shortcuts = 0
+    for n in net.nodes.values():
+        forwards += n.engine.tree_forwards
+        shortcuts += n.engine.tree_hop_shortcuts
+        for combiner in n.engine.combiners.values():
+            forwards += combiner.forwarded
+            shortcuts += combiner.hop_shortcuts
     return {
         "queries": q,
+        "tree_forwards": forwards,
+        "tree_hop_shortcuts": shortcuts,
         "per_query": [
             {r.epoch: sorted(r.rows) for r in results}
             for _h, results in fleet
@@ -244,6 +257,10 @@ def check_sweep(stats, qs):
                             / max(1, big["rows_scanned"])),
         "unshared_xmsg_x": (unshared["exchange_messages"]
                             / max(1, big["exchange_messages"])),
+        # Fraction of in-tree combiner forwards that skipped the
+        # O(log N) stable-route walk via the learned-owner hop cache.
+        "hop_shortcut_frac": (big["tree_hop_shortcuts"]
+                              / max(1, big["tree_forwards"])),
     }
     # The headline bar: 100 near-duplicates cost about one query.
     assert ratios["scan_ratio_100"] <= 1.5, (
@@ -296,6 +313,14 @@ def exhibit(nodes, qs, stats, ratios):
             un["queries"], ratios["unshared_scan_x"],
             ratios["unshared_xmsg_x"])
     )
+    big = stats["shared"][100] if 100 in stats["shared"] else (
+        stats["shared"][max(qs)])
+    text += (
+        "tree-edge hop cache (shared fleet): {} of {} combiner forwards "
+        "went direct to the learned owner ({:.0%})\n".format(
+            big["tree_hop_shortcuts"], big["tree_forwards"],
+            ratios["hop_shortcut_frac"])
+    )
     return text
 
 
@@ -337,6 +362,7 @@ def main(argv=None):
         "xmsg_ratio_100": round(ratios["xmsg_ratio_100"], 4),
         "unshared_scan_x": round(ratios["unshared_scan_x"], 4),
         "unshared_xmsg_x": round(ratios["unshared_xmsg_x"], 4),
+        "hop_shortcut_frac": round(ratios["hop_shortcut_frac"], 4),
     }, scale="smoke" if args.smoke else "full")
     print("ok: {} fleets share one spine with per-query parity; Q=100 "
           "costs {:.2f}x scans / {:.2f}x hops of Q=1".format(

@@ -64,6 +64,19 @@ class Aggregate:
         """
         raise PlanError("{} is not invertible".format(self.name))
 
+    def add_many(self, state, values):
+        """Fold a column of values into ``state`` (vectorized ``add``).
+
+        The default loops ``add`` in order, so overrides must stay
+        *exactly* equal to that loop -- including float accumulation
+        order -- not merely mathematically equivalent. Only counting
+        aggregates (whose fold is integer addition) override it.
+        """
+        add = self.add
+        for value in values:
+            state = add(state, value)
+        return state
+
     def final(self, state):
         """Finish a state into the user-visible value (identity here)."""
         return state
@@ -80,6 +93,9 @@ class CountStar(Aggregate):
 
     def add(self, state, value):
         return state + 1
+
+    def add_many(self, state, values):
+        return state + len(values)
 
     def merge(self, left, right):
         return left + right
@@ -99,6 +115,9 @@ class Count(Aggregate):
 
     def add(self, state, value):
         return state + (0 if value is None else 1)
+
+    def add_many(self, state, values):
+        return state + sum(1 for v in values if v is not None)
 
     def merge(self, left, right):
         return left + right
@@ -248,12 +267,22 @@ class ApproxTopK(Aggregate):
     under-count and over-count by at most ``epsilon * N``
     (``epsilon = e / width``) with high probability, so any value whose
     true count clears the k-th count by ``2 * epsilon * N`` is
-    guaranteed to appear. The candidate set only grows under merge,
-    so the aggregate is not invertible; paned windows re-merge live
-    pane partials (O(panes) constant-size merges).
+    guaranteed to appear.
+
+    Count-Min is *linear*, so the aggregate is invertible: unmerging a
+    retiring pane subtracts its sketch counters exactly
+    (``CountMinSketch.unmerge``), and candidates whose estimate drops
+    to zero -- values that lived only in the retired pane -- are
+    dropped before re-trimming. A stale candidate kept alive by
+    hash-collision noise still obeys the one-sided error bound (its
+    estimate is at most ``epsilon * N`` over its true count of zero),
+    so sliding windows keep the documented APPROX_TOPK guarantees
+    while paying O(panes changed) sketch work instead of re-merging
+    the whole window.
     """
 
     name = "APPROX_TOPK"
+    invertible = True
 
     def __init__(self, k=10, depth=4, width=256):
         self.k = k
@@ -273,6 +302,15 @@ class ApproxTopK(Aggregate):
     def merge(self, left, right):
         sketch = left[0].merge(right[0])
         return (sketch, self._trim(sketch, left[1] | right[1]))
+
+    def unmerge(self, state, part):
+        """Subtract a retiring pane: exact on counters, one-sided on
+        candidates (mirrors the SUM/COUNT pane protocol)."""
+        sketch = state[0].unmerge(part[0])
+        survivors = frozenset(
+            v for v in state[1] if sketch.estimate(v) > 0
+        )
+        return (sketch, self._trim(sketch, survivors))
 
     def _trim(self, sketch, candidates):
         if len(candidates) <= self._cap:
@@ -408,6 +446,12 @@ class AggSpec:
         if self.arg is None:
             return lambda row: None
         return self.arg.compile(schema)
+
+    def compile_arg_batch(self, schema):
+        """Batch form of :meth:`compile_arg`: RowBatch -> value list."""
+        if self.arg is None:
+            return lambda batch: [None] * len(batch)
+        return self.arg.compile_batch(schema)
 
     def __repr__(self):
         arg = "*" if self.arg is None else self.arg.display()

@@ -47,7 +47,7 @@ class TreeCombiner:
     """Hold-and-merge relay for partial aggregate states."""
 
     def __init__(self, dht, ns, route_ns, upcall, agg_specs, hold_delay,
-                 paned=False, suspect_fn=None, qsrc_fn=None):
+                 paned=False, suspect_fn=None, qsrc_fn=None, owner_fn=None):
         self.dht = dht
         self.ns = ns  # delivery namespace (dispatch tag on arrival)
         self.route_ns = route_ns  # routing namespace (must match the exchange's)
@@ -57,11 +57,13 @@ class TreeCombiner:
         self.paned = paned  # pane-tagged edge: stable (unsalted) routing
         self.suspect_fn = suspect_fn  # owner-cache suspicion (stable edges)
         self.qsrc_fn = qsrc_fn  # representative qid for shared executions
+        self.owner_fn = owner_fn  # learned terminal owner (hop caching)
         # (epoch, pane, group_values) -> [merged states (list), salted]
         self._held = {}
         self._timer = None
         self.merged_in = 0  # messages absorbed (for the ablation bench)
         self.forwarded = 0
+        self.hop_shortcuts = 0  # forwards that went direct to a cached owner
 
     def handler(self, node, route_msg, at_owner):
         """Routing intercept: absorb and merge unless we own the key.
@@ -133,9 +135,27 @@ class TreeCombiner:
                 qsrc = self.qsrc_fn()
                 if qsrc is not None:
                     payload["qsrc"] = qsrc
-            self.dht.route(
-                storage_key(route_ns, gvals), payload, upcall=self.upcall,
-            )
+            key = storage_key(route_ns, gvals)
+            if (self.owner_fn is not None and epoch is not None
+                    and not payload.get("salted")):
+                # Tree-edge hop caching: an unsalted standing forward
+                # whose terminal owner is already learned goes direct
+                # (one hop) instead of re-walking the O(log N) stable
+                # route every epoch. Only *forwards* shortcut -- the
+                # senders below still walk, so mid-route combiners
+                # upstream of this node stay in the path. Unlearned
+                # keys walk once with learn set; the owner's reply
+                # warms this node's cache. Suspicion expires the cache
+                # entry (owner_fn returns None) and the salted fallback
+                # bypasses it entirely, so invalidation rides the
+                # existing re-salt/suspect machinery.
+                owner = self.owner_fn(self.ns, gvals)
+                if owner is not None:
+                    self.hop_shortcuts += 1
+                    self.dht.route_via(owner, key, payload)
+                    continue
+                payload["learn"] = True
+            self.dht.route(key, payload, upcall=self.upcall)
 
     def close(self):
         """Flush anything still held (epoch teardown)."""

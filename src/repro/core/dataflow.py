@@ -51,6 +51,7 @@ Late rows are dropped -- the soft-state philosophy the paper leans on.
 
 from contextlib import contextmanager
 
+from repro.core.batch import RowBatch
 from repro.util.errors import PlanError
 
 
@@ -300,10 +301,17 @@ class Operator:
     pane-aware consumer switches its accumulation bucket.
     """
 
+    #: Engine batch counter, resolved once at construction (class-level
+    #: default so stub operators that skip ``__init__`` still emit).
+    _note_batches = None
+
     def __init__(self, ctx, spec):
         self.ctx = ctx
         self.spec = spec
         self.consumers = []  # (operator instance, port)
+        self._note_batches = getattr(
+            getattr(ctx, "engine", None), "note_batches_pushed", None
+        )
 
     def wire(self, consumer, port):
         """Connect this operator's output to ``consumer``'s input port."""
@@ -318,6 +326,20 @@ class Operator:
         raise NotImplementedError(
             "{} does not accept input".format(type(self).__name__)
         )
+
+    def push_batch(self, batch, port=0):
+        """Receive a :class:`RowBatch` on ``port``.
+
+        The default unrolls to row-at-a-time ``push`` so the long tail
+        of operators keeps working unchanged; hot-path operators
+        (select, project, group-by partial, top-k, exchange) override
+        it with column loops. Overrides must produce *row-identical*
+        output to the unrolled default -- the property tests hold them
+        to it.
+        """
+        push = self.push
+        for row in batch.iter_rows():
+            push(row, port)
 
     def flush(self):
         """Plan deadline for this op: emit held state downstream.
@@ -347,6 +369,17 @@ class Operator:
         """Push ``row`` to every wired consumer."""
         for consumer, port in self.consumers:
             consumer.push(row, port)
+
+    def emit_batch(self, batch):
+        """Push a :class:`RowBatch` to every wired consumer.
+
+        Counted once per producing operator call (``batches_pushed``),
+        however many consumers receive it.
+        """
+        if self._note_batches is not None:
+            self._note_batches(1)
+        for consumer, port in self.consumers:
+            consumer.push_batch(batch, port)
 
     def open_pane(self, pane):
         """A paned producer announces the pane its next rows belong to.
@@ -519,19 +552,25 @@ class _ExecutionBase:
             self.ops[op_id].push(row, port)
 
     def deliver_batch(self, op_id, port, rows, pane=None):
-        """A batched exchange message arrived: push each carried row.
+        """A batched exchange message arrived: feed the consumer batch.
 
         ``pane`` is the batch's pane tag (pane-tagged exchanges of
         paned plans); it is re-announced to the receiving operator
         before the rows so per-pane state lands in the right bucket.
+        Multi-row arrivals go through the consumer's ``push_batch``
+        (vectorized operators process them as one batch); single rows
+        skip the batch wrapper.
         """
         if self.closed:
             return
         op = self.ops[op_id]
         if pane is not None:
             op.open_pane(pane)
-        for row in rows:
-            op.push(row, port)
+        rows = list(rows)
+        if len(rows) == 1:
+            op.push(rows[0], port)
+        else:
+            op.push_batch(RowBatch(rows=rows), port)
 
     def control(self, op_id, payload, epoch=None):
         """Deliver a control payload to one op, or to a filter group.
@@ -722,8 +761,11 @@ class StandingExecution(_ExecutionBase):
         with self.ctx.in_epoch(epoch):
             if pane is not None:
                 op.open_pane(pane)
-            for row in rows:
-                op.push(row, port)
+            rows = list(rows)
+            if len(rows) == 1:
+                op.push(rows[0], port)
+            else:
+                op.push_batch(RowBatch(rows=rows), port)
 
     def close(self):
         self._early = {}

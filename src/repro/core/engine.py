@@ -72,6 +72,13 @@ class EngineConfig:
     standing tree edges, which needs the cache to detect suspects).
     ``stop_tombstone_ttl`` is how long a stopped qid is remembered to
     fend off stale refresh broadcasts.
+
+    ``columnar_batches`` turns on the columnar hot path: scans emit
+    their per-epoch deltas as :class:`~repro.core.batch.RowBatch`
+    objects feeding vectorized operators, and multi-row exchange
+    messages ship per-column lists instead of row tuples. Off is the
+    row-at-a-time ablation the columnar benchmark compares against;
+    results are identical either way.
     """
 
     def __init__(
@@ -89,6 +96,7 @@ class EngineConfig:
         route_cache_ttl=120.0,
         nack_mute_ttl=30.0,
         stop_tombstone_ttl=120.0,
+        columnar_batches=True,
     ):
         self.teardown_slack = teardown_slack
         self.tree_hold_delay = tree_hold_delay
@@ -103,6 +111,7 @@ class EngineConfig:
         self.route_cache_ttl = route_cache_ttl
         self.nack_mute_ttl = nack_mute_ttl
         self.stop_tombstone_ttl = stop_tombstone_ttl
+        self.columnar_batches = columnar_batches
 
 
 class _QueryRecord:
@@ -152,6 +161,9 @@ class PierEngine:
         self.rows_scanned = 0  # scan effort counter (benchmarks)
         self.rows_aggregated = 0  # rows folded into stateful window ops
         self.rows_merged = 0  # partial states folded at group owners
+        self.batches_pushed = 0  # multi-row RowBatch emissions (columnar)
+        self.tree_forwards = 0  # combiner forwards (closed combiners)
+        self.tree_hop_shortcuts = 0  # of which went direct to a cached owner
         self.coordinator = None  # set by Coordinator.attach
 
         dht.on_broadcast(self._on_broadcast)
@@ -233,6 +245,12 @@ class PierEngine:
         from-scratch path re-folds the whole window every epoch, so the
         ratio of these counters is the paned benchmark's headline."""
         self.rows_aggregated += n
+
+    def note_batches_pushed(self, n):
+        """Columnar-path accounting: RowBatch emissions between
+        operators. ``rows_scanned`` / ``rows_aggregated`` keep their
+        per-row meaning; this counts how often whole batches moved."""
+        self.batches_pushed += n
 
     def note_rows_merged(self, n):
         """Owner-side accounting: partial state rows folded by final
@@ -612,10 +630,14 @@ class PierEngine:
             # exchange) re-salts a group's route only while its cached
             # owner is suspect. Shared executions also stamp a
             # representative qid on forwards for plan-pull provenance.
-            suspect_fn = (
-                self.route_owner_suspect
-                if standing and self.config.route_cache_ttl > 0 else None
-            )
+            caching = standing and self.config.route_cache_ttl > 0
+            suspect_fn = self.route_owner_suspect if caching else None
+            # Hop caching: a standing combiner's forward may go direct
+            # to the learned terminal owner instead of re-walking the
+            # O(log N) stable-key route every epoch. Unlearned keys
+            # walk with learn set (warming the cache); salted forwards
+            # always walk (the re-salt IS the invalidation).
+            owner_fn = self.cached_owner if caching else None
             qsrc_fn = (
                 execution.ctx.rep_qid
                 if getattr(execution.ctx, "shared", False) else None
@@ -625,6 +647,7 @@ class PierEngine:
                 combine.get("hold", self.config.tree_hold_delay),
                 paned=combine.get("paned", False),
                 suspect_fn=suspect_fn, qsrc_fn=qsrc_fn,
+                owner_fn=owner_fn,
             )
             self.combiners[ns] = combiner
             self.dht.register_intercept(upcall, combiner.handler)
@@ -655,6 +678,10 @@ class PierEngine:
         combiner = self.combiners.pop(ns, None)
         if combiner is not None:
             combiner.close()
+            # Fold the edge's hop accounting into engine totals so the
+            # benches can still read it after the execution tears down.
+            self.tree_forwards += combiner.forwarded
+            self.tree_hop_shortcuts += combiner.hop_shortcuts
             self.dht.unregister_intercept(combiner.upcall)
         self._drop_undelivered(ns)
 

@@ -47,6 +47,7 @@ Standing continuous plans add two behaviours:
   if the cached owner dies.
 """
 
+from repro.core.batch import columnar_wire
 from repro.core.dataflow import EpochStateRing, Operator
 from repro.core.operators import register_operator
 from repro.dht.chord import storage_key
@@ -71,10 +72,19 @@ def epoch_route_ns(route_ns, epoch):
 def payload_rows(payload):
     """Rows carried by a ``deliver`` / ``deliver_batch`` payload.
 
-    The wire shape is produced by ``Exchange._route`` below; every
+    The wire shapes are produced by ``Exchange._route`` below; every
     consumer (engine delivery, unclaimed-row buffering, tree combiners)
-    decodes it through here so the two shapes stay defined in one place.
+    decodes them through here so all three stay defined in one place:
+
+    * ``cols`` -- columnar batch: per-column value lists, transposed
+      back to row tuples (uniform-arity batches; saves the per-row
+      container framing on the wire);
+    * ``rows`` -- row-shaped batch (ragged rows, or columnar mode off);
+    * ``data`` -- a single row.
     """
+    cols = payload.get("cols")
+    if cols is not None:
+        return list(zip(*cols))
     rows = payload.get("rows")
     if rows is not None:
         return rows
@@ -101,7 +111,13 @@ class Exchange(Operator):
             ctx.upcall_name(consumer_id, port) if self.mode == "tree" else None
         )
         self._key_fn = self._build_key_fn(spec.params["key"])
+        self._batch_key_fn = self._build_batch_key_fn(spec.params["key"])
         config = ctx.engine.config
+        # Columnar wire shape for multi-row messages (row-mode ablation
+        # for the benchmarks turns it off engine-wide).
+        self._columnar_wire = bool(
+            getattr(config, "columnar_batches", True)
+        )
         self._flush_delay = spec.params.get("flush_delay", config.flush_delay)
         self._max_batch_rows = spec.params.get(
             "max_batch_rows", config.max_batch_rows
@@ -168,6 +184,70 @@ class Exchange(Operator):
             return lambda row: "__root__"
         raise PlanError("unknown exchange key kind {!r}".format(kind))
 
+    def _build_batch_key_fn(self, key_spec):
+        """Routing ids for a whole batch (one per row, in row order)."""
+        kind = key_spec["kind"]
+        if kind == "exprs":
+            compiled = [
+                e.compile_batch(key_spec["schema"])
+                for e in key_spec["exprs"]
+            ]
+
+            def batch_keys(batch):
+                cols = [fn(batch) for fn in compiled]
+                if len(cols) == 1:
+                    return [(v,) for v in cols[0]]
+                return list(zip(*cols))
+
+            return batch_keys
+        if kind == "group":
+            return lambda batch: [row[0] for row in batch.rows()]
+        if kind == "row":
+            return lambda batch: batch.rows()
+        return lambda batch: ["__root__"] * len(batch)
+
+    def push_batch(self, batch, port=0):
+        """Vectorized push: routing keys evaluate as columns, the
+        per-push invariants (epoch, pane, mute lookup shape) hoist out
+        of the loop, and rows append into the same per-(pane, rid)
+        pending buckets the row path uses -- byte caps included, so the
+        shipped messages are identical to row-at-a-time pushes.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        rows = batch.rows()
+        rids = self._batch_key_fn(batch)
+        muted_fn = self._muted_fn
+        epoch = self._active_epoch() if self._standing else None
+        pane = self._current_pane if self._paned else None
+        if self._flush_delay <= 0:
+            for row, rid in zip(rows, rids):
+                if muted_fn is not None and muted_fn(self._ns, rid):
+                    continue
+                self._route(rid, [row], epoch, pane)
+            return
+        pending = self._pending.state(epoch)
+        held_rows = pending["rows"]
+        held_bytes = pending["bytes"]
+        for row, rid in zip(rows, rids):
+            if muted_fn is not None and muted_fn(self._ns, rid):
+                continue
+            bucket = (pane, rid)
+            bucket_rows = held_rows.setdefault(bucket, [])
+            bucket_rows.append(row)
+            size = held_bytes.get(bucket, 0) + wire_size(row)
+            held_bytes[bucket] = size
+            if (len(bucket_rows) >= self._max_batch_rows
+                    or size >= self._max_batch_bytes):
+                del held_rows[bucket]
+                del held_bytes[bucket]
+                self._route(rid, bucket_rows, epoch, pane)
+        if self._timer is None and held_rows:
+            self._timer = self.ctx.dht.set_timer(
+                self._flush_delay, self._flush_pending
+            )
+
     def push(self, row, port=0):
         rid = self._key_fn(row)
         if self._muted_fn is not None and self._muted_fn(self._ns, rid):
@@ -214,8 +294,12 @@ class Exchange(Operator):
             payload = {"op": "deliver", "ns": self._ns, "rid": rid,
                        "data": rows[0]}
         else:
-            payload = {"op": "deliver_batch", "ns": self._ns, "rid": rid,
-                       "rows": rows}
+            payload = {"op": "deliver_batch", "ns": self._ns, "rid": rid}
+            cols = columnar_wire(rows) if self._columnar_wire else None
+            if cols is not None:
+                payload["cols"] = cols
+            else:
+                payload["rows"] = rows
         if self._mid_fn is not None:
             # Per-message dedup id: survives re-forwards of this exact
             # message, so the delivery layer drops at-least-once

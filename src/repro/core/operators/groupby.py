@@ -192,9 +192,14 @@ class GroupByPartial(Operator):
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
         schema = spec.params["schema"]
-        self._group_fns = [e.compile(schema) for e in spec.params["group_exprs"]]
+        group_exprs = spec.params["group_exprs"]
+        self._group_fns = [e.compile(schema) for e in group_exprs]
+        self._batch_group_fns = [e.compile_batch(schema) for e in group_exprs]
         self._agg_specs = spec.params["agg_specs"]
         self._arg_fns = [a.compile_arg(schema) for a in self._agg_specs]
+        self._batch_arg_fns = [
+            a.compile_arg_batch(schema) for a in self._agg_specs
+        ]
         self._note = getattr(ctx.engine, "note_rows_aggregated", None)
         self._epochs = EpochStateRing(dict)  # epoch -> {gvals: [states]}
         self._paned = (bool(spec.params.get("paned"))
@@ -219,22 +224,62 @@ class GroupByPartial(Operator):
 
     def push(self, row, port=0):
         gvals = tuple(fn(row) for fn in self._group_fns)
-        if self._ship_delta:
-            store = self._pending_panes.setdefault(self._current_pane, {})
-            states = store.get(gvals)
-            if states is None:
-                states = store[gvals] = [a.agg.init() for a in self._agg_specs]
-        elif self._paned:
-            states = self._window.entry(self._current_pane, gvals)
-        else:
-            store = self._epochs.state(self._active_epoch())
-            states = store.get(gvals)
-            if states is None:
-                states = store[gvals] = [a.agg.init() for a in self._agg_specs]
+        states = self._group_states(gvals)
         for i, spec in enumerate(self._agg_specs):
             states[i] = spec.agg.add(states[i], self._arg_fns[i](row))
         if self._note is not None:
             self._note(1)
+
+    def push_batch(self, batch, port=0):
+        """Vectorized fold: evaluate group keys and aggregate inputs as
+        whole columns, then fold each group's run of values in one pass.
+
+        Rows are bucketed by group key first (preserving arrival order
+        within each group), so per-group accumulation order -- and thus
+        every state, float sums included -- matches the row-at-a-time
+        path exactly. State-store lookups happen once per group per
+        batch instead of once per row.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        group_cols = [fn(batch) for fn in self._batch_group_fns]
+        arg_cols = [fn(batch) for fn in self._batch_arg_fns]
+        if not group_cols:
+            keys = [()] * n  # global aggregate: one group for every row
+        elif len(group_cols) == 1:
+            keys = [(g,) for g in group_cols[0]]
+        else:
+            keys = list(zip(*group_cols))
+        buckets = {}
+        for i, gvals in enumerate(keys):
+            bucket = buckets.get(gvals)
+            if bucket is None:
+                bucket = buckets[gvals] = []
+            bucket.append(i)
+        for gvals, indices in buckets.items():
+            states = self._group_states(gvals)
+            for i, spec in enumerate(self._agg_specs):
+                col = arg_cols[i]
+                states[i] = spec.agg.add_many(
+                    states[i], [col[j] for j in indices]
+                )
+        if self._note is not None:
+            self._note(n)
+
+    def _group_states(self, gvals):
+        """The mutable state list for one group under the current mode
+        (pending pane / pane window / epoch ring)."""
+        if self._ship_delta:
+            store = self._pending_panes.setdefault(self._current_pane, {})
+        elif self._paned:
+            return self._window.entry(self._current_pane, gvals)
+        else:
+            store = self._epochs.state(self._active_epoch())
+        states = store.get(gvals)
+        if states is None:
+            states = store[gvals] = [a.agg.init() for a in self._agg_specs]
+        return states
 
     def flush(self):
         if not self._paned:

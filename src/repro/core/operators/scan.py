@@ -42,6 +42,7 @@ width in seconds, the others in panes) and switches on the pane-emission
 mode described above.
 """
 
+from repro.core.batch import RowBatch
 from repro.core.dataflow import Operator
 from repro.core.operators import register_operator
 from repro.db.window import pane_index, window_pane_range
@@ -52,6 +53,15 @@ class Scan(Operator):
     def __init__(self, ctx, spec):
         super().__init__(ctx, spec)
         self._standing = bool(getattr(ctx, "standing", False))
+        config = getattr(getattr(ctx, "engine", None), "config", None)
+        # Columnar batching: each emission wave leaves as one RowBatch
+        # feeding consumers' push_batch. The planner stamps
+        # batch-capable pipelines (params["batch"]); the engine knob is
+        # the global row-mode ablation for benchmarks.
+        self._batch = bool(
+            spec.params.get("batch", True)
+            and getattr(config, "columnar_batches", True)
+        )
         self._paned = bool(spec.params.get("paned")) and self._standing
         self._table_def = None
         self._pending = []  # stream mode: [(ts, row)] not yet aged out
@@ -74,6 +84,19 @@ class Scan(Operator):
     def _count(self, n):
         self.ctx.engine.note_rows_scanned(n)
 
+    def _emit_rows(self, rows):
+        """Emit one scan wave: a single RowBatch in columnar mode, a
+        row loop otherwise. ``rows`` is taken over by the batch."""
+        if not rows:
+            return
+        if self._batch and len(rows) > 1:
+            self.emit_batch(
+                RowBatch(rows=rows, schema=self._table_def.schema)
+            )
+        else:
+            for row in rows:
+                self.emit(row)
+
     def _window(self):
         window = self.spec.params.get("window") or self.ctx.plan.window
         if window is None:
@@ -89,8 +112,7 @@ class Scan(Operator):
         if self._table_def.source == "dht":
             items = self.ctx.dht.lscan(table_name)
             self._count(len(items))
-            for item in items:
-                self.emit(tuple(item.value))
+            self._emit_rows([tuple(item.value) for item in items])
             return
         fragment = self.ctx.fragment(table_name)
         if self._table_def.source == "stream":
@@ -100,8 +122,7 @@ class Scan(Operator):
         else:
             rows = fragment.scan()
             self._count(len(rows))
-        for row in rows:
-            self.emit(row)
+        self._emit_rows(list(rows))
 
     # ------------------------------------------------------------------
     # Standing (subscription) mode
@@ -110,9 +131,6 @@ class Scan(Operator):
         source = self._table_def.source
         if source == "stream":
             fragment = self.ctx.fragment(table_name)
-            # Seed with history already retained, then hear about each
-            # future append exactly once.
-            self._pending = fragment.items()
             registry = getattr(self.ctx.engine, "shared_scans", None)
             share_key = self.spec.params.get("share_scan")
             if share_key and registry is not None:
@@ -120,11 +138,16 @@ class Scan(Operator):
                 # rows to every subscribed standing scan, and the host
                 # charges the seed/append examinations once however
                 # many queries listen. Per-epoch window examinations
-                # below still count per scan.
+                # below still count per scan. The host hands over the
+                # retained history as one batch to seed the buffer.
                 self._share_token = registry.acquire(
                     share_key, fragment, self._on_shared_append
                 )
+                self._pending = registry.seed_rows(share_key)
             else:
+                # Seed with history already retained, then hear about
+                # each future append exactly once.
+                self._pending = fragment.items()
                 self._count(len(self._pending))
                 self._append_token = fragment.on_append(self._on_append)
             if self._paned:
@@ -141,8 +164,7 @@ class Scan(Operator):
         else:
             rows = self.ctx.fragment(table_name).scan()
             self._count(len(rows))
-            for row in rows:
-                self.emit(row)
+            self._emit_rows(list(rows))
 
     def _sub_ttl(self):
         # Outlive one missed boundary, not a dead query: the next
@@ -190,8 +212,7 @@ class Scan(Operator):
         else:
             rows = self.ctx.fragment(self.spec.params["table"]).scan()
             self._count(len(rows))
-            for row in rows:
-                self.emit(row)
+            self._emit_rows(list(rows))
 
     def _emit_stream_epoch(self, t_k):
         window = self._window()
@@ -200,14 +221,15 @@ class Scan(Operator):
         # Rows at or before the *next* window's low edge can never be
         # scanned again; keep the overlap (window > every) for re-emission.
         keep_after = t_k + every - window
-        kept = []
+        kept, out = [], []
         for ts, row in self._pending:
-            self._count(1)
             if lo < ts <= t_k:
-                self.emit(row)
+                out.append(row)
             if ts > keep_after:
                 kept.append((ts, row))
+        self._count(len(self._pending))
         self._pending = kept
+        self._emit_rows(out)
 
     def _emit_paned_epoch(self, k):
         """Bucket the delta by pane and emit each row exactly once.
@@ -227,31 +249,33 @@ class Scan(Operator):
             k, self._panes_per_every, self._panes_per_window
         )
         kept, buckets = [], {}
+        examined = 0
         for ts, row in self._pending:
             p = pane_index(ts, self._pane_origin, self._pane)
             if p >= hi:
                 kept.append((ts, row))
                 continue
-            self._count(1)
+            examined += 1
             if p >= lo:
                 buckets.setdefault(p, []).append(row)
+        self._count(examined)
         self._pending = kept
         for p in sorted(buckets):
             self.open_pane(p)
-            for row in buckets[p]:
-                self.emit(row)
+            self._emit_rows(buckets[p])
 
     def _emit_dht_epoch(self):
         now = self.ctx.clock.now
-        dead = []
+        dead, out = [], []
         for key, item in self._tracked.items():
-            self._count(1)
             if item.expires_at > now:
-                self.emit(tuple(item.value))
+                out.append(tuple(item.value))
             else:
                 dead.append(key)
+        self._count(len(self._tracked))
         for key in dead:
             del self._tracked[key]
+        self._emit_rows(out)
 
     def teardown(self):
         if self._share_token is not None:

@@ -107,6 +107,29 @@ class TopK(Operator):
                 0.2, self._reflush, self._active_epoch()
             )
 
+    def push_batch(self, batch, port=0):
+        """Vectorized buffer fill: one extend + one counter bump.
+
+        The cut happens at flush, so batching changes nothing about
+        the emitted rows -- only the per-row bookkeeping collapses.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        if self._note is not None:
+            self._note(n)
+        rows = batch.rows()
+        if self._paned:
+            self._panes.setdefault(self._current_pane, []).extend(rows)
+            self._pane_cut.discard(self._current_pane)
+            return
+        entry = self._epochs.state(self._active_epoch())
+        entry["rows"].extend(rows)
+        if self._replay and entry["flushed"] and entry["timer"] is None:
+            entry["timer"] = self.ctx.dht.set_timer(
+                0.2, self._reflush, self._active_epoch()
+            )
+
     def _reflush(self, epoch):
         self._run_in_epoch(epoch, self.flush)
 

@@ -54,6 +54,12 @@ class _ScanHost:
         for callback in list(self.subscribers.values()):
             callback(timestamp, row)
 
+    def seed_rows(self):
+        """The fragment's retained ``(ts, row)`` pairs, handed over in
+        one call -- a subscribing scan seeds its whole pending buffer
+        as a single batch instead of replaying history row by row."""
+        return self.fragment.items()
+
     def subscribe(self, callback):
         token = self._next_token
         self._next_token += 1
@@ -94,6 +100,12 @@ class SharedScanRegistry:
             host = _ScanHost(self, table, fragment)
             self._hosts[table] = host
         return (table, host.subscribe(callback))
+
+    def seed_rows(self, table):
+        """One-batch seed hand-off from ``table``'s host (empty when no
+        host exists yet -- callers acquire first)."""
+        host = self._hosts.get(table)
+        return host.seed_rows() if host is not None else []
 
     def release(self, token):
         table, sub = token

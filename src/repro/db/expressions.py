@@ -9,6 +9,13 @@ SQL three-valued logic is simplified to Python semantics with one
 carve-out: any comparison or arithmetic against None yields None, and
 None is falsy in predicates, which matches the observable behaviour of
 SQL WHERE for the queries PIER runs.
+
+Vectorized operators use ``expr.compile_batch(schema)`` instead: the
+returned function takes a :class:`repro.core.batch.RowBatch` and
+yields one *value list* (one entry per row), computed with column
+loops. Every override must be value-identical to mapping the row
+closure over the batch -- including the None carve-out -- and the base
+class guarantees it by defaulting to exactly that mapping.
 """
 
 from repro.util.errors import PlanError
@@ -19,6 +26,16 @@ class Expr:
 
     def compile(self, schema):
         raise NotImplementedError
+
+    def compile_batch(self, schema):
+        """Compile to a batch evaluator: RowBatch -> list of values.
+
+        The fallback maps the row closure over the batch, so every
+        expression kind works on batches; hot kinds override with
+        column loops.
+        """
+        fn = self.compile(schema)
+        return lambda batch: [fn(row) for row in batch.iter_rows()]
 
     def column_refs(self):
         """All column names this expression reads (for pushdown analysis)."""
@@ -39,6 +56,11 @@ class ColumnRef(Expr):
         index = schema.index_of(self.name)
         return lambda row: row[index]
 
+    def compile_batch(self, schema):
+        index = schema.index_of(self.name)
+        # The batch's own column list, shared: callers must not mutate.
+        return lambda batch: batch.column(index)
+
     def column_refs(self):
         return {self.name}
 
@@ -53,6 +75,10 @@ class Literal(Expr):
     def compile(self, schema):
         value = self.value
         return lambda row: value
+
+    def compile_batch(self, schema):
+        value = self.value
+        return lambda batch: [value] * len(batch)
 
     def display(self):
         if isinstance(self.value, str):
@@ -101,6 +127,12 @@ class BinaryOp(Expr):
         right = self.right.compile(schema)
         return lambda row: fn(left(row), right(row))
 
+    def compile_batch(self, schema):
+        fn = _BINARY_FNS[self.op]
+        left = self.left.compile_batch(schema)
+        right = self.right.compile_batch(schema)
+        return lambda batch: list(map(fn, left(batch), right(batch)))
+
     def column_refs(self):
         return self.left.column_refs() | self.right.column_refs()
 
@@ -121,6 +153,14 @@ class UnaryOp(Expr):
         if self.op == "NOT":
             return lambda row: not operand(row)
         return lambda row: None if operand(row) is None else -operand(row)
+
+    def compile_batch(self, schema):
+        operand = self.operand.compile_batch(schema)
+        if self.op == "NOT":
+            return lambda batch: [not v for v in operand(batch)]
+        return lambda batch: [
+            None if v is None else -v for v in operand(batch)
+        ]
 
     def column_refs(self):
         return self.operand.column_refs()
@@ -151,6 +191,15 @@ class FuncCall(Expr):
         fn = _SCALAR_FNS[self.name]
         compiled = [a.compile(schema) for a in self.args]
         return lambda row: fn(*(c(row) for c in compiled))
+
+    def compile_batch(self, schema):
+        if not self.args:
+            return super().compile_batch(schema)
+        fn = _SCALAR_FNS[self.name]
+        compiled = [a.compile_batch(schema) for a in self.args]
+        return lambda batch: list(
+            map(fn, *(c(batch) for c in compiled))
+        )
 
     def column_refs(self):
         refs = set()

@@ -116,7 +116,13 @@ class Network:
         elif op == "deliver_batch":
             self.counters.add("exchange_messages")
             self.counters.add("exchange_batches")
-            self.counters.add("exchange_rows", len(inner["rows"]))
+            cols = inner.get("cols")
+            if cols is not None:
+                # Columnar wire shape: row count is any column's length.
+                self.counters.add("exchange_rows",
+                                  len(cols[0]) if cols else 0)
+            else:
+                self.counters.add("exchange_rows", len(inner["rows"]))
         else:
             return
         if size is not None:

@@ -1,0 +1,565 @@
+"""Columnar hot path: RowBatch mechanics and push/push_batch parity.
+
+Two layers:
+
+* :class:`repro.core.batch.RowBatch` unit tests -- lazy rows<->columns
+  duality, truthy ``take``, ``project``, the dict adapter seam, and the
+  ``columnar_wire`` encoder's uniform-arity gate;
+* the vectorization contract: for EVERY operator, ``push_batch`` must
+  be row-identical to feeding the same rows through ``push`` one at a
+  time -- both the default loop and each vectorized override
+  (Select/Project/TopK/GroupByPartial/Exchange), on randomized batches
+  including empty and single-row ones, and under pane/epoch-tagged
+  delivery. The Select cases pin the null-semantics fast path: a
+  predicate evaluating to None, False or 0 filters the row out in both
+  modes (SQL three-valued logic must survive vectorization).
+"""
+
+import random
+
+import pytest
+
+from repro.core.aggregates import AggSpec
+from repro.core.batch import RowBatch, columnar_wire
+from repro.core.dataflow import Operator
+from repro.core.exchange import payload_rows
+from repro.core.opgraph import OpSpec
+from repro.core.operators import create_operator
+from repro.db.expressions import BinaryOp, FuncCall, col, lit
+from repro.db.schema import Schema
+from repro.db.types import INT, STR
+
+SCHEMA = Schema.of(("a", INT), ("b", INT), ("s", STR))
+
+
+class Sink(Operator):
+    """Row-at-a-time consumer: batches reach it via the default loop."""
+
+    def __init__(self):
+        self.rows = []
+        self.consumers = []
+        self.resets = 0
+
+    def push(self, row, port=0):
+        self.rows.append(row)
+
+    def reset_batch(self):
+        self.resets += 1
+
+
+class BatchSink(Operator):
+    """Batch-aware consumer recording delivery granularity."""
+
+    def __init__(self):
+        self.rows = []
+        self.batches = 0
+        self.consumers = []
+
+    def push(self, row, port=0):
+        self.rows.append(row)
+
+    def push_batch(self, batch, port=0):
+        self.batches += 1
+        self.rows.extend(batch.iter_rows())
+
+
+class StubDht:
+    def set_timer(self, delay, callback, *args):
+        return object()
+
+    def cancel_timer(self, timer):
+        pass
+
+
+class StubCtx:
+    """Network-free operator context; standing/epoch knobs per test."""
+
+    def __init__(self, standing=False):
+        self.engine = None
+        self.dht = StubDht()
+        self.plan = None
+        self.query_id = "q"
+        self.epoch = 0
+        self.active_epoch = 0
+        self.t0 = 0.0
+        self.standing = standing
+
+
+def make(kind, params, standing=False):
+    ctx = StubCtx(standing=standing)
+    op = create_operator(ctx, OpSpec("x", kind, params))
+    sink = Sink()
+    op.wire(sink, 0)
+    return op, sink
+
+
+def random_rows(rng, n):
+    return [
+        (
+            rng.choice([None, 0, 1, 2, 3, rng.randint(-50, 50)]),
+            rng.randint(0, 9),
+            rng.choice(["x", "y", "z", ""]),
+        )
+        for _ in range(n)
+    ]
+
+
+# Batch sizes the contract must survive: empty, single-row, small, odd.
+SIZES = (0, 1, 2, 5, 17)
+
+
+# ----------------------------------------------------------------------
+# RowBatch mechanics
+# ----------------------------------------------------------------------
+class TestRowBatch:
+    def test_rows_columns_round_trip(self):
+        rows = [(1, 2, "x"), (3, 4, "y")]
+        by_rows = RowBatch.from_rows(rows, SCHEMA)
+        assert by_rows.columns() == [[1, 3], [2, 4], ["x", "y"]]
+        by_cols = RowBatch.from_columns([[1, 3], [2, 4], ["x", "y"]])
+        assert by_cols.rows() == rows
+        assert list(by_rows.iter_rows()) == rows
+        assert len(by_rows) == len(by_cols) == 2
+
+    def test_needs_rows_or_columns(self):
+        with pytest.raises(ValueError):
+            RowBatch()
+
+    def test_empty_batch_transposes_per_schema(self):
+        batch = RowBatch.from_rows([], SCHEMA)
+        assert len(batch) == 0
+        assert batch.columns() == [[], [], []]
+        assert RowBatch.from_rows([]).columns() == []
+
+    def test_take_is_truthy_not_is_true(self):
+        batch = RowBatch.from_rows([(1, 0, "a"), (2, 0, "b"), (3, 0, "c")])
+        kept = batch.take([None, False, 7])
+        assert kept.rows() == [(3, 0, "c")]
+        assert batch.take([0, "", None]).rows() == []
+
+    def test_take_all_pass_returns_self(self):
+        batch = RowBatch.from_columns([[1, 2], [3, 4]])
+        assert batch.take([1, True]) is batch
+
+    def test_take_on_column_built_batch(self):
+        batch = RowBatch.from_columns([[1, 2, 3], ["a", "b", "c"]])
+        kept = batch.take([True, None, True])
+        assert kept.rows() == [(1, "a"), (3, "c")]
+
+    def test_project_by_name_and_position(self):
+        batch = RowBatch.from_rows([(1, 2, "x"), (3, 4, "y")], SCHEMA)
+        assert batch.project(["s", "a"]).rows() == [("x", 1), ("y", 3)]
+        assert batch.project([1]).rows() == [(2,), (4,)]
+        # Projection shares column lists with the source batch.
+        assert batch.project(["a"]).column(0) is batch.column(0)
+
+    def test_dict_adapters(self):
+        dicts = [{"a": 1, "b": 2, "s": "x"}, {"a": 3, "b": 4, "s": "y"}]
+        batch = RowBatch.from_dicts(dicts, SCHEMA)
+        assert batch.rows() == [(1, 2, "x"), (3, 4, "y")]
+        assert batch.to_dicts() == dicts
+
+    def test_columnar_wire_uniform_tuples_only(self):
+        assert columnar_wire([(1, "a"), (2, "b")]) == [[1, 2], ["a", "b"]]
+        assert columnar_wire([(1, 2), (3,)]) is None  # ragged
+        assert columnar_wire([(1, 2), [3, 4]]) is None  # not all tuples
+        assert columnar_wire([(), ()]) is None  # zero arity
+        assert columnar_wire([]) is None
+
+
+# ----------------------------------------------------------------------
+# Select null semantics: None / False / 0 filter in BOTH modes
+# ----------------------------------------------------------------------
+class TestSelectNullSemantics:
+    def _run(self, predicate, rows, batch_mode):
+        op, sink = make("select", {"predicate": predicate, "schema": SCHEMA})
+        if batch_mode:
+            op.push_batch(RowBatch.from_rows(rows, SCHEMA))
+        else:
+            for row in rows:
+                op.push(row)
+        return sink.rows
+
+    @pytest.mark.parametrize("batch_mode", [False, True])
+    def test_null_comparison_filters(self, batch_mode):
+        # a > NULL is NULL for every row: nothing may pass.
+        predicate = BinaryOp(">", col("a"), lit(None))
+        rows = [(5, 0, ""), (None, 0, ""), (-5, 0, "")]
+        assert self._run(predicate, rows, batch_mode) == []
+
+    @pytest.mark.parametrize("batch_mode", [False, True])
+    def test_none_false_and_zero_all_filter(self, batch_mode):
+        # A bare column predicate exposes raw values to the truth test:
+        # None (SQL NULL), False and 0 must all drop the row; any other
+        # value passes it. ``is True`` filtering would wrongly keep
+        # None/0 rows or drop truthy non-bool values.
+        rows = [
+            (None, 1, "null"),
+            (False, 2, "false"),
+            (0, 3, "zero"),
+            (1, 4, "one"),
+            (-7, 5, "neg"),
+            (True, 6, "true"),
+        ]
+        kept = self._run(col("a"), rows, batch_mode)
+        assert [r[2] for r in kept] == ["one", "neg", "true"]
+
+    def test_row_and_batch_agree_on_random_predicates(self):
+        rng = random.Random(77)
+        predicate = BinaryOp(
+            "AND",
+            BinaryOp(">", col("a"), lit(0)),
+            BinaryOp("<", col("b"), lit(7)),
+        )
+        for n in SIZES:
+            rows = random_rows(rng, n)
+            assert (self._run(predicate, rows, False)
+                    == self._run(predicate, rows, True))
+
+
+# ----------------------------------------------------------------------
+# Parity property: push_batch == row-at-a-time push, every operator
+# ----------------------------------------------------------------------
+def drive(make_op, rows, batch_mode, flush=True, epochs=None, panes=None):
+    """Feed rows through one operator instance and return the sink rows.
+
+    ``epochs`` / ``panes`` optionally tag each batch: the rows are
+    split into per-(epoch, pane) chunks fed in order, mimicking
+    epoch/pane-tagged deliver_batch.
+    """
+    op, sink = make_op()
+    chunks = [(None, None, rows)]
+    if epochs is not None or panes is not None:
+        chunks = []
+        for i, row in enumerate(rows):
+            epoch = epochs[i] if epochs is not None else None
+            pane = panes[i] if panes is not None else None
+            if chunks and chunks[-1][:2] == (epoch, pane):
+                chunks[-1][2].append(row)
+            else:
+                chunks.append((epoch, pane, [row]))
+    for epoch, pane, chunk in chunks:
+        if epoch is not None:
+            op.ctx.epoch = op.ctx.active_epoch = epoch
+        if pane is not None:
+            op.open_pane(pane)
+        if batch_mode:
+            op.push_batch(RowBatch.from_rows(chunk, SCHEMA))
+        else:
+            for row in chunk:
+                op.push(row)
+    if flush:
+        op.flush()
+    return sink.rows
+
+
+class TestPushBatchParity:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_select_override(self, n):
+        rows = random_rows(random.Random(100 + n), n)
+
+        def build():
+            return make("select", {
+                "predicate": BinaryOp(">", col("a"), lit(0)),
+                "schema": SCHEMA,
+            })
+
+        assert (drive(build, rows, False, flush=False)
+                == drive(build, rows, True, flush=False))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_project_override(self, n):
+        rows = random_rows(random.Random(200 + n), n)
+
+        def build():
+            return make("project", {
+                "exprs": [BinaryOp("+", col("b"), lit(1)),
+                          FuncCall("LENGTH", [col("s")]), col("a")],
+                "schema": SCHEMA,
+            })
+
+        assert (drive(build, rows, False, flush=False)
+                == drive(build, rows, True, flush=False))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_topk_override(self, n):
+        rows = random_rows(random.Random(300 + n), n)
+
+        def build():
+            return make("topk", {
+                "sort_keys": [(col("b"), True)], "limit": 3,
+                "schema": SCHEMA,
+            })
+
+        assert drive(build, rows, False) == drive(build, rows, True)
+
+    def test_topk_paned_override(self):
+        rng = random.Random(301)
+        rows = random_rows(rng, 12)
+        panes = sorted(rng.randint(0, 2) for _ in rows)
+
+        def build():
+            return make("topk", {
+                "sort_keys": [(col("b"), True)], "limit": 3,
+                "schema": SCHEMA,
+                "paned": {"width": 1.0, "every": 1, "window": 3},
+            }, standing=True)
+
+        def run(batch_mode):
+            op, sink = build()
+            for pane in sorted(set(panes)):
+                chunk = [r for r, p in zip(rows, panes) if p == pane]
+                op.open_pane(pane)
+                if batch_mode:
+                    op.push_batch(RowBatch.from_rows(chunk, SCHEMA))
+                else:
+                    for row in chunk:
+                        op.push(row)
+            op.ctx.epoch = op.ctx.active_epoch = 3
+            op.flush()
+            return sink.rows
+
+        assert run(False) == run(True)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_groupby_partial_override(self, n):
+        rows = random_rows(random.Random(400 + n), n)
+        specs = [AggSpec("SUM", col("b"), "total"),
+                 AggSpec("COUNT", col("a"), "n"),
+                 AggSpec("COUNT", None, "rows"),
+                 AggSpec("AVG", col("b"), "mean")]
+
+        def build():
+            return make("groupby_partial", {
+                "group_exprs": [col("s")], "agg_specs": specs,
+                "schema": SCHEMA,
+            })
+
+        assert (sorted(drive(build, rows, False))
+                == sorted(drive(build, rows, True)))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_groupby_partial_global_aggregate(self, n):
+        # Zero group exprs: every row folds into the single () group
+        # (the regression the monitoring workload exercises).
+        rows = random_rows(random.Random(450 + n), n)
+        specs = [AggSpec("SUM", col("b"), "total"),
+                 AggSpec("COUNT", None, "n")]
+
+        def build():
+            return make("groupby_partial", {
+                "group_exprs": [], "agg_specs": specs, "schema": SCHEMA,
+            })
+
+        assert drive(build, rows, False) == drive(build, rows, True)
+
+    @pytest.mark.parametrize("ship", ["local", "delta"])
+    def test_groupby_partial_paned_modes(self, ship):
+        rng = random.Random(17 if ship == "local" else 18)
+        rows = random_rows(rng, 14)
+        panes = sorted(rng.randint(0, 2) for _ in rows)
+        specs = [AggSpec("SUM", col("b"), "total"),
+                 AggSpec("COUNT", None, "n")]
+        params = {
+            "group_exprs": [col("s")], "agg_specs": specs,
+            "schema": SCHEMA,
+            "paned": {"width": 1.0, "every": 1, "window": 3},
+        }
+        if ship == "delta":
+            params["paned_ship"] = "delta"
+
+        def build():
+            return make("groupby_partial", dict(params), standing=True)
+
+        def run(batch_mode):
+            op, sink = build()
+            for pane in sorted(set(panes)):
+                chunk = [r for r, p in zip(rows, panes) if p == pane]
+                op.open_pane(pane)
+                if batch_mode:
+                    op.push_batch(RowBatch.from_rows(chunk, SCHEMA))
+                else:
+                    for row in chunk:
+                        op.push(row)
+            op.ctx.epoch = op.ctx.active_epoch = 3
+            op.flush()
+            return sink.rows
+
+        assert sorted(run(False)) == sorted(run(True))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_groupby_partial_epoch_tagged_batches(self, n):
+        # Standing epoch-ring mode: batches arriving under different
+        # active epochs accumulate into their own epoch's states.
+        rows = random_rows(random.Random(500 + n), n)
+        epochs = [1 + (i % 2) for i in range(n)]
+        specs = [AggSpec("SUM", col("b"), "total")]
+
+        def build():
+            return make("groupby_partial", {
+                "group_exprs": [col("s")], "agg_specs": specs,
+                "schema": SCHEMA,
+            }, standing=True)
+
+        def run(batch_mode):
+            op, sink = build()
+            out = []
+            # Feed per-epoch chunks, then flush each epoch in order.
+            for epoch in (1, 2):
+                chunk = [r for r, e in zip(rows, epochs) if e == epoch]
+                op.ctx.epoch = op.ctx.active_epoch = epoch
+                if batch_mode:
+                    op.push_batch(RowBatch.from_rows(chunk, SCHEMA))
+                else:
+                    for row in chunk:
+                        op.push(row)
+            for epoch in (1, 2):
+                op.ctx.epoch = op.ctx.active_epoch = epoch
+                sink.rows = []
+                op.flush()
+                out.append(sorted(sink.rows))
+            return out
+
+        assert run(False) == run(True)
+
+    @pytest.mark.parametrize("kind,params", [
+        ("distinct", {}),
+        ("limit", {"limit": 4}),
+    ])
+    @pytest.mark.parametrize("n", SIZES)
+    def test_default_loop_operators(self, kind, params, n):
+        rows = random_rows(random.Random(600 + n), n)
+
+        def build():
+            return make(kind, dict(params))
+
+        assert (drive(build, rows, False, flush=False)
+                == drive(build, rows, True, flush=False))
+
+    def test_default_push_batch_preserves_port(self):
+        class TwoPort(Operator):
+            def __init__(self):
+                self.got = []
+                self.consumers = []
+
+            def push(self, row, port=0):
+                self.got.append((port, row))
+
+        op = TwoPort()
+        op.push_batch(RowBatch.from_rows([(1,), (2,)]), port=1)
+        assert op.got == [(1, (1,)), (1, (2,))]
+
+    def test_emit_batch_feeds_batch_consumers_whole(self):
+        class Source(Operator):
+            def __init__(self):
+                self.consumers = []
+
+        source = Source()
+        sink = BatchSink()
+        source.wire(sink, 0)
+        source.emit_batch(RowBatch.from_rows([(1,), (2,), (3,)]))
+        assert sink.batches == 1
+        assert sink.rows == [(1,), (2,), (3,)]
+
+
+# ----------------------------------------------------------------------
+# Exchange parity: batched pushes ship byte-identical messages
+# ----------------------------------------------------------------------
+class TestExchangeBatchParity:
+    def _exchange(self, sent, flush_delay=5.0, columnar=True):
+        from repro.core.engine import EngineConfig
+        from repro.core.exchange import Exchange
+
+        class CaptureDht:
+            def route(self, key, payload, upcall=None):
+                sent.append((key, payload))
+
+            def set_timer(self, delay, callback, *args):
+                return object()
+
+            def cancel_timer(self, timer):
+                pass
+
+        class StubPlan:
+            def consumers_of(self, op_id):
+                return [("sink", 0)]
+
+        class Engine:
+            config = EngineConfig(
+                flush_delay=flush_delay, max_batch_rows=4,
+                columnar_batches=columnar,
+            )
+
+        class Ctx:
+            plan = StubPlan()
+            dht = CaptureDht()
+            engine = Engine()
+
+            def namespace(self, op_id, port):
+                return "ns|{}|{}".format(op_id, port)
+
+            def upcall_name(self, op_id, port):
+                return "up|{}|{}".format(op_id, port)
+
+        class Spec:
+            op_id = "x1"
+            params = {"mode": "rehash",
+                      "key": {"kind": "exprs", "exprs": [col("s")],
+                              "schema": SCHEMA}}
+
+        return Exchange(Ctx(), Spec())
+
+    @staticmethod
+    def _normalize(sent):
+        return [
+            (key, payload["op"], payload.get("rid"),
+             list(payload_rows(payload)))
+            for key, payload in sent
+        ]
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    @pytest.mark.parametrize("n", SIZES)
+    def test_push_batch_ships_identical_messages(self, columnar, n):
+        rows = random_rows(random.Random(700 + n), n)
+        sent_rowwise, sent_batched = [], []
+        by_row = self._exchange(sent_rowwise, columnar=columnar)
+        for row in rows:
+            by_row.push(row)
+        by_row.flush()
+        batched = self._exchange(sent_batched, columnar=columnar)
+        batched.push_batch(RowBatch.from_rows(rows, SCHEMA))
+        batched.flush()
+        assert (self._normalize(sent_rowwise)
+                == self._normalize(sent_batched))
+
+    def test_columnar_wire_shape_decodes(self):
+        rows = [(1, 2, "x"), (3, 4, "y"), (5, 6, "x")]
+        sent = []
+        exchange = self._exchange(sent, columnar=True)
+        exchange.push_batch(RowBatch.from_rows(rows, SCHEMA))
+        exchange.flush()
+        shapes = {p["op"] for _k, p in sent}
+        assert "deliver_batch" in shapes
+        for _key, payload in sent:
+            if payload["op"] == "deliver_batch":
+                assert "cols" in payload and "rows" not in payload
+        decoded = [r for _k, p in sent for r in payload_rows(p)]
+        assert sorted(decoded) == sorted(rows)
+
+    def test_row_wire_shape_when_columnar_off(self):
+        rows = [(1, 2, "x"), (3, 4, "x")]
+        sent = []
+        exchange = self._exchange(sent, columnar=False)
+        exchange.push_batch(RowBatch.from_rows(rows, SCHEMA))
+        exchange.flush()
+        for _key, payload in sent:
+            if payload["op"] == "deliver_batch":
+                assert "rows" in payload and "cols" not in payload
+
+    def test_unbatched_exchange_routes_batch_rows_singly(self):
+        rows = [(1, 2, "x"), (3, 4, "y")]
+        sent = []
+        exchange = self._exchange(sent, flush_delay=0.0)
+        exchange.push_batch(RowBatch.from_rows(rows, SCHEMA))
+        assert [p["op"] for _k, p in sent] == ["deliver", "deliver"]
+        assert [p["data"] for _k, p in sent] == rows

@@ -385,8 +385,10 @@ class TestPaneMechanics:
         exchange.push((("g",), (3,)))
         exchange.flush()
         by_pane = {}
+        from repro.core.exchange import payload_rows
+
         for payload in sent:
-            rows = payload.get("rows") or [payload["data"]]
+            rows = payload_rows(payload)
             by_pane.setdefault(payload["pane"], []).extend(rows)
             assert payload["epoch"] == 3
         assert set(by_pane) == {7, 8}

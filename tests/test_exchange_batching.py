@@ -246,8 +246,10 @@ class TestBatchLimits:
         for i in range(7):
             exchange.push(("same-key",))  # one routing key, seven rows
         # Row cap is 3: two full batches ship immediately, one row waits.
+        from repro.core.exchange import payload_rows
+
         assert [p["op"] for p in sent] == ["deliver_batch", "deliver_batch"]
-        assert all(len(p["rows"]) == 3 for p in sent)
+        assert all(len(payload_rows(p)) == 3 for p in sent)
         clock.run_for(6.0)  # flush window fires for the remainder
         assert sent[-1]["op"] == "deliver"
         assert sent[-1]["data"] == ("same-key",)

@@ -278,3 +278,88 @@ class TestPaneSlidingSketchParity:
                     "trial {} epoch {}: {} vs exact {}".format(
                         trial, k, approx[g], true_count)
                 )
+
+
+# ----------------------------------------------------------------------
+# APPROX_TOPK invertibility: exact pane unmerge (Count-Min linearity)
+# ----------------------------------------------------------------------
+class TestApproxTopKInvertible:
+    def test_unmerge_counters_are_exact(self):
+        """Subtracting a retired pane's partial leaves exactly the
+        sketch of the surviving rows (Count-Min is linear)."""
+        rng = random.Random(91)
+        agg = aggregate_by_name("APPROX_TOPK")
+        assert agg.invertible
+        retiring_rows = [rng.randint(0, 30) for _ in range(120)]
+        surviving_rows = [rng.randint(0, 30) for _ in range(150)]
+        retiring = agg.init()
+        for v in retiring_rows:
+            retiring = agg.add(retiring, v)
+        surviving = agg.init()
+        for v in surviving_rows:
+            surviving = agg.add(surviving, v)
+        window = agg.merge(surviving, retiring)
+        slid = agg.unmerge(window, retiring)
+        assert slid[0].rows == surviving[0].rows
+        assert slid[0].total == surviving[0].total
+
+    def test_unmerge_drops_retired_only_candidates(self):
+        """A value that lived only in the retired pane falls out of the
+        candidate set once its estimate hits zero."""
+        agg = aggregate_by_name("APPROX_TOPK")
+        keeper = agg.init()
+        for _ in range(5):
+            keeper = agg.add(keeper, "stays")
+        retiring = agg.init()
+        for _ in range(7):
+            retiring = agg.add(retiring, "leaves")
+        window = agg.merge(keeper, retiring)
+        assert {"stays", "leaves"} <= set(window[1])
+        slid = agg.unmerge(window, retiring)
+        assert "stays" in slid[1]
+        assert "leaves" not in slid[1]
+        ranked = dict(agg.final(slid))
+        assert ranked.get("stays") == 5
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_paned_topk_slides_without_remerge(self, trial):
+        """A paned APPROX_TOPK partial (invertible slide path) answers
+        each epoch with exactly the sketch a fresh fold of the window's
+        rows would build, and its top-k never undercounts."""
+        import collections
+
+        rng = random.Random(54000 + trial)
+        e = rng.randint(1, 3)
+        w = e * rng.randint(2, 4)
+        specs = [AggSpec("APPROX_TOPK", col("v"), "t")]
+        op, sink = _paned_partial(specs, e, w)
+        by_pane = {}
+
+        next_pane = None
+        for k in range(1, rng.randint(4, 7) + 1):
+            lo, hi = window_pane_range(k, e, w)
+            start = lo if next_pane is None else max(lo, next_pane)
+            for p in range(start, hi):
+                rows = [("g", rng.randint(0, 25))
+                        for _ in range(rng.randint(0, 12))]
+                by_pane[p] = [v for _g, v in rows]
+                op.open_pane(p)
+                for row in rows:
+                    op.push(row)
+            next_pane = hi
+            op.ctx.epoch = op.ctx.active_epoch = k
+            sink.rows = []
+            op.flush()
+            window_values = [
+                v for p in range(lo, hi) for v in by_pane.get(p, [])
+            ]
+            if not window_values:
+                assert sink.rows == []
+                continue
+            assert len(sink.rows) == 1
+            sketch, candidates = sink.rows[0][1][0]
+            assert sketch.rows == cm_of(window_values).rows
+            assert sketch.total == len(window_values)
+            true_counts = collections.Counter(window_values)
+            for value, estimate in specs[0].agg.final((sketch, candidates)):
+                assert estimate >= true_counts.get(value, 0)
