@@ -85,6 +85,15 @@ class LocalQueryContext:
     #: provenance stamps) test this rather than the class.
     shared = False
 
+    #: Prefix-sharing knobs (set by the engine on member executions).
+    #: ``prefix_fed`` makes the plan's scan passive -- rows arrive via
+    #: :meth:`StandingExecution.deliver_scan` from the shared stage
+    #: instead of a private table subscription. ``prefix_key`` lets
+    #: standing exchanges co-route co-tenant queries' rows to one owner
+    #: (see :meth:`Exchange route namespaces <repro.core.exchange>`).
+    prefix_fed = False
+    prefix_key = None
+
     def __init__(self, engine, plan, query_id, epoch, t0, origin,
                  standing=False):
         self.engine = engine
@@ -128,6 +137,20 @@ class LocalQueryContext:
         if self.standing:
             return "t|{}|{}|{}".format(self.query_id, op_id, port)
         return "t|{}|{}|{}|{}".format(self.query_id, self.epoch, op_id, port)
+
+    def route_namespace(self, op_id):
+        """ROUTING namespace for the exchange feeding ``op_id``.
+
+        Usually the ``"x"``-port delivery namespace; prefix-sharing
+        members instead route under a namespace derived from the shared
+        prefix key, so co-tenant queries' equal routing ids rendezvous
+        at the SAME owner and their batches can be multiplexed into one
+        wire message. Delivery stays per-query (``payload["ns"]``), so
+        the owner demultiplexes back to each query's own operator.
+        """
+        if self.prefix_key is not None and self.standing:
+            return "p|{}|{}|x".format(self.prefix_key, op_id)
+        return self.namespace(op_id, "x")
 
     def fragment(self, table_name):
         """This node's local/stream fragment of ``table_name``."""
@@ -444,7 +467,7 @@ class _ExecutionBase:
     standing = False
 
     def __init__(self, engine, plan, query_id, epoch, t0, origin,
-                 spine=None):
+                 spine=None, prefix_key=None):
         from repro.core.operators import create_operator
 
         self.engine = engine
@@ -460,6 +483,9 @@ class _ExecutionBase:
                 engine, plan, query_id, epoch, t0, origin,
                 standing=self.standing,
             )
+        if prefix_key is not None:
+            self.ctx.prefix_fed = True
+            self.ctx.prefix_key = prefix_key
         self.ops = {}
         self._flush_timers = []
         self.closed = False
@@ -650,11 +676,12 @@ class StandingExecution(_ExecutionBase):
     standing = True
 
     def __init__(self, engine, plan, query_id, epoch, t0, origin,
-                 spine=None):
+                 spine=None, prefix_key=None):
         super().__init__(engine, plan, query_id, epoch, t0, origin,
-                         spine=spine)
+                         spine=spine, prefix_key=prefix_key)
         self.live_epochs = plan_live_epochs(plan)
         self._early = {}  # epoch -> [(op_id, port, rows)]
+        self._early_scan = {}  # epoch -> [(rows, pane)] from a prefix stage
         self._open_epochs = {epoch: t0}  # epoch -> t_k, ascending
         self._sealed_through = epoch - 1  # epochs <= this are closed here
 
@@ -695,6 +722,8 @@ class StandingExecution(_ExecutionBase):
             self.ops[op_id].open_epoch(k, t_k)
         for op_id, port, rows, pane in self._early.pop(k, ()):
             self.deliver_batch(op_id, port, rows, k, pane)
+        for rows, pane in self._early_scan.pop(k, ()):
+            self.deliver_scan(rows, k, pane)
 
     def _move_context(self, k, t_k):
         self.ctx.epoch = k
@@ -707,6 +736,7 @@ class StandingExecution(_ExecutionBase):
         """Close epoch ``e`` everywhere: ship leftovers, drop its state."""
         self._open_epochs.pop(e, None)
         self._early.pop(e, None)
+        self._early_scan.pop(e, None)
         kept = []
         for epoch, timer in self._flush_timers:
             if epoch == e:
@@ -767,8 +797,45 @@ class StandingExecution(_ExecutionBase):
             else:
                 op.push_batch(RowBatch(rows=rows), port)
 
+    def deliver_scan(self, rows, epoch, pane=None):
+        """Scan rows arrived from a shared prefix stage for ``epoch``.
+
+        A prefix-fed member's scan is passive; the stage's demux calls
+        this instead, with the member's own epoch number. Guards mirror
+        :meth:`deliver_batch`: sealed epochs drop (pane-tagged rows
+        re-file under the oldest open epoch -- the pane, not the epoch,
+        decides where windowed state lands), epochs this member has not
+        opened yet park in ``_early_scan`` until its boundary timer
+        fires (the stage timer can fire first at a shared instant), and
+        implausibly far-ahead tags drop.
+        """
+        if self.closed:
+            return
+        if epoch not in self._open_epochs:
+            if epoch <= self._sealed_through:
+                if pane is None or not self._open_epochs:
+                    return
+                epoch = min(self._open_epochs)
+            elif epoch > self.ctx.epoch + 2:
+                return
+            else:
+                self._early_scan.setdefault(epoch, []).append(
+                    (list(rows), pane)
+                )
+                return
+        scan_id = self._prefix_scan_id()
+        if scan_id is None:
+            return
+        with self.ctx.in_epoch(epoch):
+            self.ops[scan_id].inject_rows(list(rows), pane)
+
+    def _prefix_scan_id(self):
+        scans = [s.op_id for s in self.plan.ops_of_kind("scan")]
+        return scans[0] if len(scans) == 1 else None
+
     def close(self):
         self._early = {}
+        self._early_scan = {}
         self._open_epochs = {}
         super().close()
 

@@ -42,8 +42,15 @@ the coordinator's periodic plan re-broadcasts.
 
 from repro.core.aggregation_tree import TreeCombiner
 from repro.core.dataflow import EpochExecution, StandingExecution
-from repro.core.exchange import payload_rows
-from repro.core.sharing import SharedScanRegistry, SpineRecord, SpineSubscriber
+from repro.core.exchange import ExchangeMux, payload_rows
+from repro.core.opgraph import OpSpec, QueryPlan
+from repro.core.sharing import (
+    PrefixRecord,
+    PrefixSubscriber,
+    SharedScanRegistry,
+    SpineRecord,
+    SpineSubscriber,
+)
 from repro.db.table import make_fragment
 
 
@@ -79,6 +86,14 @@ class EngineConfig:
     messages ship per-column lists instead of row tuples. Off is the
     row-at-a-time ablation the columnar benchmark compares against;
     results are identical either way.
+
+    ``shared_dataflows`` turns on every multi-query sharing layer:
+    spine co-execution of canonically identical standing queries,
+    prefix (scan-stage) sharing of different queries over the same
+    (table, geometry), shared per-table scan hosts, and exchange
+    multiplexing of co-routed batches. Off is the fully-private
+    ablation the differential fuzz suite compares against; results are
+    identical either way.
     """
 
     def __init__(
@@ -97,6 +112,7 @@ class EngineConfig:
         nack_mute_ttl=30.0,
         stop_tombstone_ttl=120.0,
         columnar_batches=True,
+        shared_dataflows=True,
     ):
         self.teardown_slack = teardown_slack
         self.tree_hold_delay = tree_hold_delay
@@ -112,6 +128,7 @@ class EngineConfig:
         self.nack_mute_ttl = nack_mute_ttl
         self.stop_tombstone_ttl = stop_tombstone_ttl
         self.columnar_batches = columnar_batches
+        self.shared_dataflows = shared_dataflows
 
 
 class _QueryRecord:
@@ -144,7 +161,9 @@ class PierEngine:
         self.executions = {}  # (qid, epoch) -> execution serving that epoch
         self.queries = {}  # qid -> _QueryRecord
         self._spines = {}  # spine key -> SpineRecord (shared executions)
+        self._prefixes = {}  # prefix key -> PrefixRecord (shared scan stages)
         self.shared_scans = SharedScanRegistry(self)
+        self.exchange_mux = ExchangeMux(self)  # prefix-member coalescing
         self.combiners = {}  # ns -> TreeCombiner
         self._undelivered = {}  # ns -> [rows arriving before registration]
         self._undelivered_tags = {}  # ns -> [epoch tag per buffered row]
@@ -425,7 +444,27 @@ class PierEngine:
         split a spine). Plans the planner left unstamped (one-shot,
         bloom-staged, ``shared=False``) return None and run privately.
         """
+        if not self.config.shared_dataflows:
+            return None
         sig = plan.metadata.get("spine") if plan.metadata else None
+        if sig is None:
+            return None
+        phase_ms = int(round((t0 % plan.every) * 1000))
+        return "{}@{}".format(sig, phase_ms)
+
+    def _prefix_key(self, plan, t0):
+        """Prefix-stage identity for a plan at submission time ``t0``.
+
+        Same shape as :meth:`_spine_key` (signature + epoch phase in
+        integer milliseconds), but over the logical *prefix* signature:
+        plans that differ in predicates/groups yet scan the same stream
+        table on the same grid share one scan stage. Checked only after
+        the spine key missed -- identical bodies share the whole
+        dataflow instead.
+        """
+        if not self.config.shared_dataflows:
+            return None
+        sig = plan.metadata.get("prefix") if plan.metadata else None
         if sig is None:
             return None
         phase_ms = int(round((t0 % plan.every) * 1000))
@@ -443,6 +482,7 @@ class PierEngine:
         srec = self._spines.get(key)
         if srec is None:
             srec = SpineRecord(key, plan, record.t0 % plan.every)
+            srec.prefix = self._prefix_key(plan, record.t0)
             self._spines[key] = srec
         offset = int(round((record.t0 - srec.t0) / plan.every))
         last_epoch = None
@@ -467,12 +507,29 @@ class PierEngine:
             # (re)enter the grid at the current epoch. For the common
             # first-subscriber-at-submission case this runs spine epoch
             # ``offset`` immediately -- the subscriber's epoch 0, which
-            # fan-out filters, but whose scan seeds the window history
-            # exactly like a private adoption would.
+            # fan-out filters, but whose window history gets seeded
+            # exactly like a private adoption would (by its own scan,
+            # or by its shared scan stage).
             srec.stalled = False
             elapsed = max(0.0, self.clock.now - srec.t0)
             k_now = int(elapsed // plan.every)
+            if srec.prefix is not None and srec.execution is not None:
+                # Stage-fed spine re-entering after a stall: waves the
+                # stage fanned past this spine's horizon were skipped,
+                # so its retained pane state has gaps. Soft-state
+                # answer: rebuild the execution from scratch; it is
+                # re-seeded from the stage's retained panes below.
+                old, srec.execution = srec.execution, None
+                old.close()
+                for sub_qid in srec.subscribers:
+                    rec = self.queries.get(sub_qid)
+                    if rec is not None and rec.spine == key:
+                        rec.execution = None
             self._advance_spine(key, k_now, srec.t0 + k_now * plan.every)
+            if srec.prefix is not None and srec.execution is not None:
+                self._enroll_spine_in_stage(srec, k_now)
+        elif srec.prefix is not None:
+            self._sync_stage_horizon(srec)
 
     def _advance_spine(self, key, k, t_k):
         """Spine epoch boundary: build once, then roll; stall when no
@@ -492,7 +549,8 @@ class PierEngine:
             return
         if srec.execution is None:
             execution = StandingExecution(
-                self, srec.plan, key, k, t_k, self.address, spine=srec
+                self, srec.plan, key, k, t_k, self.address, spine=srec,
+                prefix_key=srec.prefix,
             )
             srec.execution = execution
             execution.start()
@@ -522,11 +580,15 @@ class PierEngine:
         srec.subscribers.pop(qid, None)
         if not srec.subscribers:
             self._close_spine(key)
+        elif srec.prefix is not None:
+            self._sync_stage_horizon(srec)
 
     def _close_spine(self, key):
         srec = self._spines.pop(key, None)
         if srec is None:
             return
+        if srec.prefix is not None:
+            self._drop_prefix_subscriber("s|" + key, srec.prefix)
         if srec.next_timer is not None:
             srec.next_timer.cancel()
             srec.next_timer = None
@@ -535,6 +597,187 @@ class PierEngine:
             execution.close()
         # The spine is gone for good: reclaim its per-key soft state.
         prefix = "s|{}|".format(key)
+        for entry in [k for k in self._route_owners
+                      if k[0].startswith(prefix)]:
+            del self._route_owners[entry]
+        for entry in [k for k in self._exchange_mutes
+                      if k[0].startswith(prefix)]:
+            del self._exchange_mutes[entry]
+
+    # ------------------------------------------------------------------
+    # Shared prefix stages (common-subplan sharing)
+    # ------------------------------------------------------------------
+    def _enroll_spine_in_stage(self, srec, k_now):
+        """Subscribe spine ``srec``'s execution to its shared scan stage.
+
+        Every stage-stamped spine -- single-subscriber (one lone query)
+        or a whole identical-query fleet -- is one stage member: its
+        scan is passive (``prefix_fed``) and the stage's demux injects
+        each epoch's rows via ``deliver_scan``. Spines of *different*
+        signatures over the same (table, geometry, phase) land on the
+        same stage; that is the common-subplan sharing: one scan feeds
+        every tail. Spine grids are absolute (origin = phase), so a
+        spine always sits at stage offset 0 and stage epoch ``k`` feeds
+        spine epoch ``k`` directly.
+
+        Seeding mirrors a private adoption: a spine entering at epoch 0
+        reports nothing before its first boundary, where the stage
+        backfills its retained panes; one entering mid-grid (``k_now >=
+        1``) gets the current window immediately -- from the stage's
+        initial full-history emission when the stage is new, or from
+        the demux's retained-pane store when it joins a running stage.
+        """
+        key = srec.prefix
+        plan = srec.plan
+        prec = self._prefixes.get(key)
+        if prec is None:
+            prec = PrefixRecord(key, self._stage_plan(plan), srec.t0)
+            self._prefixes[key] = prec
+        sid = "s|" + srec.key
+        offset = int(round((srec.t0 - prec.t0) / plan.every))
+        sub = prec.subscribers.get(sid)
+        if sub is None:
+            sub = PrefixSubscriber(sid, offset, None, 0, False)
+            prec.subscribers[sid] = sub
+        sub.last_epoch = srec.last_spine_epoch()
+        sub.start_epoch = offset + k_now + 1
+        sub.needs_backfill = plan.pane is not None and k_now == 0
+        if k_now >= 1 and prec.execution is not None:
+            if prec.next_timer is not None:
+                # Running stage, joined mid-epoch: this epoch's waves
+                # already fanned past us. Re-seed the current window
+                # from the demux's retained panes now.
+                self._backfill_from_stage(prec, sub, srec.execution,
+                                          k_now)
+            else:
+                # Stalled stage: re-entering the grid below emits the
+                # stall-gap panes itself, but panes emitted before the
+                # stall live only in its store -- flag a backfill at
+                # the re-entry open.
+                sub.needs_backfill = plan.pane is not None
+                sub.start_epoch = offset + k_now
+        if prec.next_timer is None:
+            # New stage, or one stalled past every member's horizon:
+            # (re)enter the grid at the current epoch. A new stage's
+            # initial emission seeds the full window history exactly
+            # like a private adoption's first scan would.
+            prec.stalled = False
+            elapsed = max(0.0, self.clock.now - prec.t0)
+            k = int(elapsed // plan.every)
+            self._advance_prefix(key, k, prec.t0 + k * plan.every)
+
+    def _sync_stage_horizon(self, srec):
+        """Keep the stage subscriber's horizon in step with the spine's
+        (membership changed: the last epoch any member needs moved)."""
+        prec = self._prefixes.get(srec.prefix)
+        if prec is None:
+            return
+        sub = prec.subscribers.get("s|" + srec.key)
+        if sub is not None:
+            sub.last_epoch = srec.last_spine_epoch()
+
+    def _backfill_from_stage(self, prec, sub, execution, j):
+        """Inject the stage's retained panes into a (re)joining member.
+
+        ``j`` is the member epoch the current stage epoch answers; the
+        store holds exactly the already-emitted panes of that epoch's
+        window (pruned at each boundary). Unpaned stages retain nothing
+        -- their next boundary re-emits the full window anyway.
+        """
+        sub.needs_backfill = False
+        if prec.execution is None:
+            return
+        geometry = prec.plan.ops_of_kind("scan")[0].params.get("paned")
+        shift = sub.offset * geometry["every"] if geometry else 0
+        for op in prec.execution.ops.values():
+            if op.spec.kind == "demux":
+                for pane in sorted(op._store):
+                    execution.deliver_scan(
+                        list(op._store[pane]), j, pane - shift
+                    )
+
+    def _stage_plan(self, plan):
+        """The two-op stage plan (scan -> demux) for prefix ``plan``.
+
+        Cloned from the member plan's scan spec, so pane geometry,
+        shared-scan host key and batching carry over; every co-tenant
+        lowers an identical scan spec by construction (it is covered by
+        the prefix signature).
+        """
+        scan_spec = plan.ops_of_kind("scan")[0]
+        stage_scan = OpSpec("stage_scan", "scan", dict(scan_spec.params))
+        demux_params = {}
+        if scan_spec.params.get("paned"):
+            demux_params["paned"] = scan_spec.params["paned"]
+        stage_demux = OpSpec("stage_demux", "demux", demux_params,
+                             ["stage_scan"])
+        return QueryPlan(
+            [stage_scan, stage_demux], "stage_demux", mode="continuous",
+            every=plan.every, window=plan.window, deadline=plan.deadline,
+            standing=True, epoch_overlap=1, pane=plan.pane,
+        )
+
+    def _advance_prefix(self, key, k, t_k):
+        """Stage epoch boundary: build once, then roll; stall when no
+        subscriber's lifetime reaches ``k``."""
+        prec = self._prefixes.get(key)
+        if prec is None:
+            return
+        prec.next_timer = None
+        if not prec.subscribers:
+            self._close_prefix(key)
+            return
+        last = prec.last_stage_epoch()
+        if last is not None and k > last:
+            prec.stalled = True
+            return
+        if prec.execution is None:
+            execution = StandingExecution(
+                self, prec.plan, "p|" + key, k, t_k, self.address
+            )
+            # The demux reads the subscriber map through the record;
+            # parked before start() so the initial scan wave fans.
+            execution.ctx.prefix_record = prec
+            prec.execution = execution
+            execution.start()
+        else:
+            prec.execution.advance_epoch(k, t_k)
+        prec.next_timer = self.set_timer(
+            max(0.0, t_k + prec.plan.every - self.clock.now),
+            self._advance_prefix, key, k + 1, t_k + prec.plan.every,
+        )
+
+    def prefix_member_execution(self, member_id):
+        """A stage member's execution (demux fan-out hook). Members are
+        spines, identified in the subscriber map as ``s|<spine key>``."""
+        if member_id.startswith("s|"):
+            srec = self._spines.get(member_id[2:])
+            return srec.execution if srec is not None else None
+        record = self.queries.get(member_id)
+        return record.execution if record is not None else None
+
+    def _drop_prefix_subscriber(self, qid, key):
+        prec = self._prefixes.get(key)
+        if prec is None:
+            return
+        prec.subscribers.pop(qid, None)
+        if not prec.subscribers:
+            self._close_prefix(key)
+
+    def _close_prefix(self, key):
+        prec = self._prefixes.pop(key, None)
+        if prec is None:
+            return
+        if prec.next_timer is not None:
+            prec.next_timer.cancel()
+            prec.next_timer = None
+        execution, prec.execution = prec.execution, None
+        if execution is not None:
+            execution.close()
+        # The stage is gone for good: reclaim the co-routing soft state
+        # its members' exchanges accumulated under the prefix route
+        # namespace.
+        prefix = "p|{}|".format(key)
         for entry in [k for k in self._route_owners
                       if k[0].startswith(prefix)]:
             del self._route_owners[entry]
@@ -588,7 +831,8 @@ class PierEngine:
         record.execution = None
         if record.spine is not None:
             # Leave the shared execution to its co-tenants; it closes
-            # only when the last subscriber leaves.
+            # only when the last subscriber leaves (which in turn drops
+            # the spine's shared-scan-stage membership).
             self._drop_spine_subscriber(qid, record.spine)
         for (open_qid, epoch) in list(self.executions):
             if open_qid == qid:
@@ -624,7 +868,7 @@ class PierEngine:
         self.dht.register_delivery(ns, deliver)
         if combine is not None:
             upcall = execution.ctx.upcall_name(op_id, port)
-            route_ns = execution.ctx.namespace(op_id, "x")
+            route_ns = execution.ctx.route_namespace(op_id)
             # Standing tree edges with a live owner cache get the
             # stable-rendezvous discipline: the combiner (like the
             # exchange) re-salts a group's route only while its cached
@@ -936,7 +1180,9 @@ class PierEngine:
         self.executions = {}
         self.queries = {}
         self._spines = {}  # spine timers die with the crash
+        self._prefixes = {}  # stage timers die with the crash
         self.shared_scans.reset()
+        self.exchange_mux = ExchangeMux(self)  # held bundles die too
         self.combiners = {}
         self._undelivered = {}
         self._undelivered_tags = {}

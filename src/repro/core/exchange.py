@@ -103,7 +103,13 @@ class Exchange(Operator):
         # Routing must be port-independent: a join's two inputs have to
         # co-locate equal keys, so both exchanges hash under the consumer's
         # shared namespace and only the delivery tag carries the port.
-        self._route_ns = ctx.namespace(consumer_id, "x")
+        # Prefix-sharing members route under the shared prefix key (see
+        # LocalQueryContext.route_namespace) so co-tenants co-locate.
+        route_ns_fn = getattr(ctx, "route_namespace", None)
+        self._route_ns = (
+            route_ns_fn(consumer_id) if route_ns_fn is not None
+            else ctx.namespace(consumer_id, "x")
+        )
         self.mode = spec.params.get("mode", "rehash")
         if self.mode not in ("rehash", "tree"):
             raise PlanError("unknown exchange mode {!r}".format(self.mode))
@@ -163,6 +169,13 @@ class Exchange(Operator):
         self._rep_qid_fn = (
             ctx.rep_qid if getattr(ctx, "shared", False) else None
         )
+        # Prefix-sharing members hand their outbound route messages to
+        # the engine's per-instant multiplexer: co-tenant queries push
+        # at the same instants (one demux fan feeds them all), so
+        # same-destination messages coalesce into one deliver_mux.
+        self._mux = None
+        if self._standing and getattr(ctx, "prefix_key", None) is not None:
+            self._mux = getattr(ctx.engine, "exchange_mux", None)
         # Pending batches are keyed by epoch tag, then routing id: a
         # standing overlapping-epoch plan can push rows for several
         # live epochs through the same exchange instance, and each
@@ -317,10 +330,10 @@ class Exchange(Operator):
                 key = storage_key(self._route_ns, rid)
                 owner = self._owner_fn(self._ns, rid)
                 if owner is not None:
-                    self.ctx.dht.route_via(owner, key, payload)
+                    self._dispatch_via(owner, key, payload)
                     return
                 payload["learn"] = True  # ask the terminal to identify itself
-                self.ctx.dht.route(key, payload, upcall=self._upcall)
+                self._dispatch(key, payload)
                 return
             if self._paned:
                 # Pane-tagged partials must accumulate at a *stable*
@@ -329,7 +342,7 @@ class Exchange(Operator):
                 # strand them at last epoch's owner. The epoch tag
                 # still rides on the payload for late/early gating.
                 key = storage_key(self._route_ns, rid)
-                self.ctx.dht.route(key, payload, upcall=self._upcall)
+                self._dispatch(key, payload)
                 return
             if self._stable_tree:
                 # Stable per-query rendezvous for tree edges, like the
@@ -354,7 +367,7 @@ class Exchange(Operator):
                     key = storage_key(self._route_ns, rid)
                     if self._owner_fn(self._ns, rid) is None:
                         payload["learn"] = True
-                self.ctx.dht.route(key, payload, upcall=self._upcall)
+                self._dispatch(key, payload)
                 return
             # No owner cache (tree mode): salt the routing key with the
             # epoch so successive epochs rendezvous at *different*
@@ -366,10 +379,23 @@ class Exchange(Operator):
             # whoever terminates the salted key dispatches to the same
             # standing registration.
             key = storage_key(epoch_route_ns(self._route_ns, epoch), rid)
-            self.ctx.dht.route(key, payload, upcall=self._upcall)
+            self._dispatch(key, payload)
             return
         key = storage_key(self._route_ns, rid)
-        self.ctx.dht.route(key, payload, upcall=self._upcall)
+        self._dispatch(key, payload)
+
+    def _dispatch(self, key, payload):
+        """Ship one route message -- directly, or via the mux."""
+        if self._mux is not None:
+            self._mux.route(key, payload, self._upcall)
+        else:
+            self.ctx.dht.route(key, payload, upcall=self._upcall)
+
+    def _dispatch_via(self, owner, key, payload):
+        if self._mux is not None:
+            self._mux.route_via(owner, key, payload)
+        else:
+            self.ctx.dht.route_via(owner, key, payload)
 
     def open_pane(self, pane):
         """Pane markers stop at the exchange either way: a pane-tagged
@@ -397,3 +423,71 @@ class Exchange(Operator):
         # Best effort, like the unbatched path: a row pushed just before
         # close would already be in flight; ship what we still hold.
         self.flush()
+
+
+class ExchangeMux:
+    """Per-engine multiplexer for prefix-sharing members' route traffic.
+
+    Co-tenant queries of one prefix stage push at the same instants
+    (one demux fan feeds them all) and -- thanks to the shared route
+    namespace -- equal routing ids rendezvous at the same owner. Their
+    exchanges hand outbound messages here instead of routing directly;
+    a zero-delay timer (which the simulator fires after the whole
+    same-instant cascade) coalesces everything bound for one routing
+    key into a single ``deliver_mux`` message whose parts are the
+    original per-query payloads. The receiver dispatches each part
+    through the normal delivery ladder, so answers are unchanged; only
+    the message count amortizes across the fleet.
+
+    Bundles ride with ``upcall=None``: mid-route tree combining is
+    per-query anyway (upcall names embed the qid), and every part
+    terminates at the same owner, where each query's final operator
+    merges exactly as it would have. Single-entry buckets fall back to
+    the ordinary route/route_via call, upcall included.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._buckets = {}  # bucket key -> [(payload, upcall, owner, key)]
+        self._timer = None
+        self.bundles = 0  # multi-part messages shipped (introspection)
+        self.bundled_parts = 0
+
+    def route(self, key, payload, upcall):
+        self._add(("route", key), payload, upcall, None, key)
+
+    def route_via(self, owner, key, payload):
+        self._add(("via", owner.address, key), payload, None, owner, key)
+
+    def _add(self, bucket, payload, upcall, owner, key):
+        self._buckets.setdefault(bucket, []).append(
+            (payload, upcall, owner, key)
+        )
+        if self._timer is None:
+            self._timer = self.engine.set_timer(0.0, self._ship)
+
+    def _ship(self):
+        self._timer = None
+        buckets, self._buckets = self._buckets, {}
+        dht = self.engine.dht
+        mid_fn = getattr(dht, "fresh_mid", None)
+        for entries in buckets.values():
+            payload, upcall, owner, key = entries[0]
+            if len(entries) == 1:
+                if owner is not None:
+                    dht.route_via(owner, key, payload)
+                else:
+                    dht.route(key, payload, upcall=upcall)
+                continue
+            bundle = {
+                "op": "deliver_mux",
+                "parts": [e[0] for e in entries],
+            }
+            if mid_fn is not None:
+                bundle["mid"] = mid_fn()
+            self.bundles += 1
+            self.bundled_parts += len(entries)
+            if owner is not None:
+                dht.route_via(owner, key, bundle)
+            else:
+                dht.route(key, bundle, upcall=None)

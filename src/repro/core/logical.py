@@ -179,6 +179,59 @@ class LogicalPlan:
         h.update(repr(options).encode("utf-8"))
         return h.hexdigest()[:16]
 
+    def scan_nodes(self):
+        return [n for n in self.nodes if n.kind == "scan"]
+
+    def prefix_signature(self):
+        """Digest identifying the *shareable prefix* of a standing query.
+
+        Where :meth:`share_signature` covers the whole canonical DAG (so
+        only identical bodies share), the prefix signature covers only
+        the part every single-table standing query has in common: the
+        scan over one stream table, plus the epoch geometry and the
+        non-``shared`` query options. Queries with *different*
+        predicates/groups but the same (table, EVERY, WINDOW) get the
+        same prefix signature, so the engine can run one shared
+        scan-stage per node and demux rows into each query's private
+        tail (see ``core/sharing.py``). Returns None for plans with no
+        single shareable scan (joins, recursive plans).
+        """
+        scans = self.scan_nodes()
+        if len(scans) != 1:
+            return None
+        h = hashlib.sha1()
+        h.update(b"prefix:")
+        h.update(scans[0].signature().encode("utf-8"))
+        h.update("|{}|{}".format(self.query.every, self.query.window)
+                 .encode("utf-8"))
+        options = sorted(
+            (k, v) for k, v in self.query.options.items() if k != "shared"
+        )
+        h.update(repr(options).encode("utf-8"))
+        return h.hexdigest()[:16]
+
+    def prefix_chain(self):
+        """Per-node signature chain from the scan upward (diagnostics).
+
+        The chain lists, bottom-up, the signature of each node on the
+        unary spine starting at the single scan; it stops at the first
+        node with more than one consumer or more than one input. Used
+        by tests/docs to show *where* two plans diverge.
+        """
+        scans = self.scan_nodes()
+        if len(scans) != 1:
+            return []
+        consumers = self.consumers()
+        chain = []
+        node = scans[0]
+        while node is not None:
+            chain.append((node.kind, node.signature()))
+            nexts = consumers.get(node, [])
+            if len(nexts) != 1 or len(nexts[0].inputs) != 1:
+                break
+            node = nexts[0]
+        return chain
+
 
 # ----------------------------------------------------------------------
 # Canonical expression forms

@@ -15,8 +15,10 @@ standing execution keeps up to N epochs' state apart through one
 instance.
 """
 
+from repro.core.batch import RowBatch
 from repro.core.dataflow import EpochStateRing, Operator
 from repro.core.operators import register_operator
+from repro.db.window import window_pane_range
 
 
 @register_operator("distinct")
@@ -41,11 +43,147 @@ class Distinct(Operator):
             self.ctx.engine.note_progress(self.ctx.query_id, self.ctx.epoch, 1)
         self.emit(row)
 
+    def push_batch(self, batch, port=0):
+        """Column kernel: one membership pass, one batched emission.
+
+        The novel rows leave in first-occurrence order as a single
+        RowBatch (downstream vectorized operators process one batch
+        instead of N pushes) and the progress note aggregates the whole
+        wave -- row-identical to the default loop by construction.
+        """
+        seen = self._seen.state(self._active_epoch())
+        seen_add = seen.add
+        novel = []
+        append = novel.append
+        for row in batch.iter_rows():
+            if row not in seen:
+                seen_add(row)
+                append(row)
+        if not novel:
+            return
+        if self._report:
+            self.ctx.engine.note_progress(
+                self.ctx.query_id, self.ctx.epoch, len(novel)
+            )
+        if len(novel) == 1:
+            self.emit(novel[0])
+        else:
+            self.emit_batch(RowBatch(rows=novel))
+
     def seal_epoch(self, k):
         self._seen.seal(k)
 
     def teardown(self):
         self._seen.clear()
+
+
+@register_operator("demux")
+class Demux(Operator):
+    """Fan a shared prefix stage's scan waves into member executions.
+
+    The stage plan is scan -> demux; the engine parks the owning
+    :class:`~repro.core.sharing.PrefixRecord` on the stage context
+    (``ctx.prefix_record``) and this operator fans every wave of stage
+    epoch ``k`` to each subscriber as *its* epoch ``j = k - offset``
+    via ``StandingExecution.deliver_scan`` (which re-applies the
+    member-side open/sealed/early guards). Pane markers from the stage
+    scan ride along so pane-aware tails bucket waves exactly as a
+    private scan would announce them.
+
+    Paned stages also retain each emitted pane's rows (pruned below the
+    newest window) so a subscriber that joins an already-running stage
+    can be backfilled: at its first full boundary the retained panes
+    its window still covers are injected once, making its epoch-1
+    window identical to a private twin's -- exact parity from the first
+    reported epoch onward.
+    """
+
+    def __init__(self, ctx, spec):
+        super().__init__(ctx, spec)
+        geometry = spec.params.get("paned")
+        self._paned = bool(geometry)
+        if self._paned:
+            self._panes_per_every = geometry["every"]
+            self._panes_per_window = geometry["window"]
+        self._pane = None  # current pane marker from the stage scan
+        self._store = {}  # pane -> [rows] retained for joiner backfill
+
+    def _record(self):
+        return getattr(self.ctx, "prefix_record", None)
+
+    def _member_pane(self, pane, sub):
+        """Translate a stage pane index into the subscriber's numbering.
+
+        Pane indices are aligned to a query's own t0; a member that
+        joined ``offset`` epochs after the stage's grid origin numbers
+        the same wall-clock pane ``offset * panes_per_every`` lower.
+        """
+        if pane is None:
+            return None
+        return pane - sub.offset * self._panes_per_every
+
+    def open_pane(self, pane):
+        self._pane = pane  # marker consumed here, not propagated
+
+    def push(self, row, port=0):
+        self._fan([row])
+
+    def push_batch(self, batch, port=0):
+        self._fan(list(batch.iter_rows()))
+
+    def _fan(self, rows):
+        record = self._record()
+        if record is None or not rows:
+            return
+        k = self._active_epoch()
+        pane = self._pane if self._paned else None
+        if pane is not None:
+            self._store.setdefault(pane, []).extend(rows)
+        engine = self.ctx.engine
+        for sub in list(record.subscribers.values()):
+            j = k - sub.offset
+            if j < 1:
+                # Members never run their epoch 0 (submission instant);
+                # the first boundary's open drains backfill instead.
+                continue
+            if sub.last_epoch is not None and j > sub.last_epoch:
+                continue
+            execution = engine.prefix_member_execution(sub.qid)
+            if execution is not None:
+                execution.deliver_scan(
+                    list(rows), j, self._member_pane(pane, sub)
+                )
+
+    def open_epoch(self, k, t_k):
+        record = self._record()
+        if record is None or not self._paned:
+            return
+        lo, hi = window_pane_range(
+            k, self._panes_per_every, self._panes_per_window
+        )
+        engine = self.ctx.engine
+        for sub in list(record.subscribers.values()):
+            if not sub.needs_backfill or k < sub.start_epoch:
+                continue
+            sub.needs_backfill = False
+            execution = engine.prefix_member_execution(sub.qid)
+            if execution is None:
+                continue
+            j = k - sub.offset
+            # Panes emitted at stage epochs < k that epoch k's window
+            # still covers: [lo, hi - panes_per_every). The top
+            # panes_per_every panes are epoch k's own wave, which fans
+            # normally right after this open (sources open last).
+            for p in sorted(self._store):
+                if lo <= p < hi - self._panes_per_every:
+                    execution.deliver_scan(
+                        list(self._store[p]), j, self._member_pane(p, sub)
+                    )
+        for p in [p for p in self._store if p < lo]:
+            del self._store[p]
+
+    def teardown(self):
+        self._store = {}
 
 
 @register_operator("union")

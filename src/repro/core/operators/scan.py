@@ -63,6 +63,13 @@ class Scan(Operator):
             and getattr(config, "columnar_batches", True)
         )
         self._paned = bool(spec.params.get("paned")) and self._standing
+        # Prefix-fed: a shared scan stage feeds this execution via
+        # StandingExecution.deliver_scan; this scan goes passive (no
+        # subscription, no per-epoch emission) and only relays injected
+        # waves. Examinations are charged once at the stage.
+        self._prefix_fed = (
+            self._standing and bool(getattr(ctx, "prefix_fed", False))
+        )
         self._table_def = None
         self._pending = []  # stream mode: [(ts, row)] not yet aged out
         self._tracked = {}  # dht mode: item key -> StoredItem (by ref)
@@ -106,6 +113,8 @@ class Scan(Operator):
     def start(self):
         table_name = self.spec.params["table"]
         self._table_def = self.ctx.engine.catalog.lookup(table_name)
+        if self._prefix_fed:
+            return  # passive: the prefix stage injects our rows
         if self._standing:
             self._start_standing(table_name)
             return
@@ -133,6 +142,9 @@ class Scan(Operator):
             fragment = self.ctx.fragment(table_name)
             registry = getattr(self.ctx.engine, "shared_scans", None)
             share_key = self.spec.params.get("share_scan")
+            config = getattr(self.ctx.engine, "config", None)
+            if not getattr(config, "shared_dataflows", True):
+                share_key = None  # ablation: fully private plumbing
             if share_key and registry is not None:
                 # Shared host: ONE append hook per table per node fans
                 # rows to every subscribed standing scan, and the host
@@ -185,7 +197,7 @@ class Scan(Operator):
 
     def open_epoch(self, k, t_k):
         """Emit epoch ``k``'s delta (subscription mode only)."""
-        if not self._standing:
+        if not self._standing or self._prefix_fed:
             return
         source = self._table_def.source
         if source == "stream":
@@ -263,6 +275,18 @@ class Scan(Operator):
         for p in sorted(buckets):
             self.open_pane(p)
             self._emit_rows(buckets[p])
+
+    def inject_rows(self, rows, pane=None):
+        """Relay one wave from a shared prefix stage (prefix-fed mode).
+
+        The caller (``StandingExecution.deliver_scan``) has already
+        scoped the epoch; rows were examined and charged once at the
+        stage, so no ``_count`` here. The pane marker is re-announced
+        first so pane-aware consumers bucket the wave correctly.
+        """
+        if pane is not None:
+            self.announce_pane(pane)
+        self._emit_rows(list(rows))
 
     def _emit_dht_epoch(self):
         now = self.ctx.clock.now

@@ -216,6 +216,16 @@ def _plan_flat(lq, catalog, timing):
             # per-epoch coordinator round-trip is keyed to one qid.
             if not any(spec.kind == "bloom_stage" for spec in b.specs):
                 metadata["spine"] = logical.share_signature()
+                # Prefix sharing: single-stream-table plans also carry
+                # the scan-stage signature, so queries with *different*
+                # predicates/groups over the same (table, geometry) can
+                # share one scan stage with a demux into private tails.
+                scans = logical.scan_nodes()
+                if (len(scans) == 1
+                        and scans[0].attrs["table_def"].source == "stream"):
+                    prefix = logical.prefix_signature()
+                    if prefix is not None:
+                        metadata["prefix"] = prefix
 
     # Columnar batch capability: every lowered pipeline moves rows as
     # RowBatches (scan deltas emit batched, hot operators vectorize).

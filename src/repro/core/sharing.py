@@ -145,7 +145,7 @@ class SpineRecord:
     """Engine-side state for one shared standing execution."""
 
     __slots__ = ("key", "plan", "t0", "subscribers", "execution",
-                 "next_timer", "stalled")
+                 "next_timer", "stalled", "prefix")
 
     def __init__(self, key, plan, t0):
         self.key = key
@@ -155,6 +155,7 @@ class SpineRecord:
         self.execution = None
         self.next_timer = None
         self.stalled = False
+        self.prefix = None  # prefix-stage key when the scan is staged
 
     def rep_qid(self):
         """A live member qid for plan-pull provenance (any will do --
@@ -165,6 +166,65 @@ class SpineRecord:
 
     def last_spine_epoch(self):
         """Last spine epoch any member still needs, or None if some
+        member is unbounded (no LIFETIME)."""
+        last = 0
+        for sub in self.subscribers.values():
+            if sub.last_epoch is None:
+                return None
+            last = max(last, sub.offset + sub.last_epoch)
+        return last
+
+
+class PrefixSubscriber:
+    """One spine fed by a shared prefix (scan) stage.
+
+    A stage member runs its own execution (tail operators, exchanges,
+    epoch ring) -- the stage only replaces its scan. ``start_epoch`` is
+    the first *stage* epoch whose rows the member consumes; a member
+    whose first window needs panes the stage emitted before it joined
+    gets the stage's retained pane history backfilled once
+    (``needs_backfill``) so that window matches a private scan's seeded
+    window exactly.
+    """
+
+    __slots__ = ("qid", "offset", "last_epoch", "start_epoch",
+                 "needs_backfill")
+
+    def __init__(self, qid, offset, last_epoch, start_epoch,
+                 needs_backfill):
+        self.qid = qid
+        self.offset = offset  # stage epoch k feeds my epoch k - offset
+        self.last_epoch = last_epoch  # my last epoch (None = unbounded)
+        self.start_epoch = start_epoch  # first stage epoch I consume
+        self.needs_backfill = needs_backfill
+
+
+class PrefixRecord:
+    """Engine-side state for one shared scan-stage execution.
+
+    The stage runs a two-op plan (scan -> demux) on the same absolute
+    epoch grid as spines (``t0`` = phase); the demux operator holds the
+    subscriber map and fans each stage epoch's rows into every member
+    spine's execution via ``StandingExecution.deliver_scan``. Spines
+    whose logical plans *differ* (different predicates, groups, or
+    output shapes) but scan the same stream table on the same epoch
+    grid all ride one stage -- the fleet pays for one scan.
+    """
+
+    __slots__ = ("key", "plan", "t0", "subscribers", "execution",
+                 "next_timer", "stalled")
+
+    def __init__(self, key, plan, t0):
+        self.key = key
+        self.plan = plan  # the two-op stage plan, not a member plan
+        self.t0 = t0  # = phase: absolute instant of stage epoch 0
+        self.subscribers = {}  # qid -> PrefixSubscriber
+        self.execution = None
+        self.next_timer = None
+        self.stalled = False
+
+    def last_stage_epoch(self):
+        """Last stage epoch any member still needs, or None if some
         member is unbounded (no LIFETIME)."""
         last = 0
         for sub in self.subscribers.values():

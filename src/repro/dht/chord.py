@@ -186,8 +186,15 @@ class ChordNode(SimNode, RpcNode):
         """Graceful departure: hand keys to the successor, then stop."""
         if self.successor != self.ref:
             items = self.store.lscan_all()
-            if items:
-                self.send(self.successor.address, msg.StoreItems(items))
+            if items or self._seen_mids:
+                # Keys AND consumed delivery ids move together: the
+                # successor inherits the range, so it must also inherit
+                # the dedup memory, or a retransmission raced against
+                # this departure double-delivers at the heir.
+                self.send(
+                    self.successor.address,
+                    msg.StoreItems(items, mids=dict(self._seen_mids)),
+                )
             if self.predecessor is not None and self.predecessor != self.ref:
                 self.send(
                     self.predecessor.address,
@@ -575,52 +582,18 @@ class ChordNode(SimNode, RpcNode):
             )
             self._note_storage_probe(payload["ns"])
         elif op == "deliver" or op == "deliver_batch":
+            self._deliver_arrived(payload, message)
+        elif op == "deliver_mux":
+            # A multiplexed bundle: several co-routed exchange payloads
+            # (different queries sharing one prefix stage) shipped as a
+            # single message to a common owner. The bundle has its own
+            # delivery id; each part keeps its own too, so a replayed
+            # bundle drops whole and a part re-sent solo later still
+            # dedups.
             if not self.accept_delivery_once(payload.get("mid")):
-                # Replay of a delivery this node already consumed (a
-                # re-forward after a lost hop ack): drop it here, before
-                # it can double-count in an execution or the engine's
-                # unclaimed-row buffer.
                 return
-            if (
-                payload.get("learn")
-                and message.origin != self.ref
-                and (self.owns(message.key) or self.successor == self.ref)
-            ):
-                # The origin asked who terminates this key (a standing
-                # exchange warming its owner cache): answer once, then
-                # it can skip the recursive walk until the hint expires.
-                # Only the *owner* answers -- an heir that absorbed this
-                # delivery while the owner is suspected must not get
-                # cached, or batches would go direct to a non-owner for
-                # the whole cache TTL. The origin simply keeps walking
-                # until a true owner replies.
-                self.send_direct(message.origin.address, {
-                    "op": "xowner", "ns": payload["ns"],
-                    "rid": payload.get("rid"), "ref": self.ref,
-                })
-            elif (
-                message.force_terminal
-                and message.origin != self.ref
-                and payload.get("rid") is not None
-                and not self.owns(message.key)
-            ):
-                # A cache-directed (or heir) delivery landed on a node
-                # that no longer owns the key -- ownership moved, e.g. a
-                # joiner took over the range while the sender's owner
-                # cache was warm. Deliver anyway (approximate delivery
-                # beats a drop) but tell the origin to forget the entry
-                # so its next batch re-walks the ring and re-learns.
-                self.send_direct(message.origin.address, {
-                    "op": "xowner_stale", "ns": payload["ns"],
-                    "rid": payload["rid"],
-                })
-            handler = self._delivery_handlers.get(payload["ns"])
-            if handler is not None:
-                handler(payload, message)
-            elif self._default_delivery is not None:
-                # No subscriber yet (plan still disseminating): let the
-                # engine buffer the row(s) instead of dropping them.
-                self._default_delivery(payload, message)
+            for part in payload["parts"]:
+                self._deliver_arrived(part, message)
         elif op == "bcast_repair":
             repaired = msg.Broadcast(
                 payload["payload"], payload["limit"], message.origin,
@@ -631,6 +604,54 @@ class ChordNode(SimNode, RpcNode):
                                       payload["depth"])
         else:  # pragma: no cover - future ops
             raise ValueError("unknown route op {!r}".format(op))
+
+    def _deliver_arrived(self, payload, message):
+        if not self.accept_delivery_once(payload.get("mid")):
+            # Replay of a delivery this node already consumed (a
+            # re-forward after a lost hop ack): drop it here, before
+            # it can double-count in an execution or the engine's
+            # unclaimed-row buffer.
+            return
+        if (
+            payload.get("learn")
+            and message.origin != self.ref
+            and (self.owns(message.key) or self.successor == self.ref)
+        ):
+            # The origin asked who terminates this key (a standing
+            # exchange warming its owner cache): answer once, then
+            # it can skip the recursive walk until the hint expires.
+            # Only the *owner* answers -- an heir that absorbed this
+            # delivery while the owner is suspected must not get
+            # cached, or batches would go direct to a non-owner for
+            # the whole cache TTL. The origin simply keeps walking
+            # until a true owner replies.
+            self.send_direct(message.origin.address, {
+                "op": "xowner", "ns": payload["ns"],
+                "rid": payload.get("rid"), "ref": self.ref,
+            })
+        elif (
+            message.force_terminal
+            and message.origin != self.ref
+            and payload.get("rid") is not None
+            and not self.owns(message.key)
+        ):
+            # A cache-directed (or heir) delivery landed on a node
+            # that no longer owns the key -- ownership moved, e.g. a
+            # joiner took over the range while the sender's owner
+            # cache was warm. Deliver anyway (approximate delivery
+            # beats a drop) but tell the origin to forget the entry
+            # so its next batch re-walks the ring and re-learns.
+            self.send_direct(message.origin.address, {
+                "op": "xowner_stale", "ns": payload["ns"],
+                "rid": payload["rid"],
+            })
+        handler = self._delivery_handlers.get(payload["ns"])
+        if handler is not None:
+            handler(payload, message)
+        elif self._default_delivery is not None:
+            # No subscriber yet (plan still disseminating): let the
+            # engine buffer the row(s) instead of dropping them.
+            self._default_delivery(payload, message)
 
     def register_intercept(self, name, handler):
         """``handler(node, route_msg, at_owner) -> bool`` (True = forward)."""
@@ -866,8 +887,14 @@ class ChordNode(SimNode, RpcNode):
             return not in_interval(key, new_pred.id, self.id, inclusive_hi=True)
 
         items = self.store.items_in_range(belongs_elsewhere)
-        if items:
-            self.send(new_pred.address, msg.StoreItems(items))
+        if items or self._seen_mids:
+            # Delivery ids are not range-partitioned (the mid names the
+            # sender, not the key), so the new owner gets the whole set;
+            # dedup is idempotent and the TTL sweeps the excess.
+            self.send(
+                new_pred.address,
+                msg.StoreItems(items, mids=dict(self._seen_mids)),
+            )
 
     def _stabilize(self):
         succ = self.successor
@@ -960,6 +987,11 @@ class ChordNode(SimNode, RpcNode):
         elif kind == "store_items":
             for item in payload.items:
                 self.store.put_item(item)
+            for mid, forget_at in getattr(payload, "mids", {}).items():
+                # Merge keeping the later deadline: if both sides saw
+                # the mid, the fresher sighting wins.
+                if forget_at > self._seen_mids.get(mid, 0.0):
+                    self._seen_mids[mid] = forget_at
         elif kind == "direct":
             self._handle_direct(payload, src)
         else:  # pragma: no cover - defensive

@@ -142,19 +142,28 @@ class Broadcast(Message):
 
 
 class StoreItems(Message):
-    """Bulk key transfer (join handoff or graceful leave)."""
+    """Bulk key transfer (join handoff or graceful leave).
+
+    ``mids`` rides along with the keys: the sender's consumed delivery
+    ids (with their forget-at deadlines). The heir takes over dedup
+    duty together with the range, so an in-flight retransmission of a
+    delivery the departed owner already consumed is dropped at the
+    successor instead of double-counted.
+    """
 
     kind = "store_items"
     category = "maintenance"
-    __slots__ = ("items",)
+    __slots__ = ("items", "mids")
 
-    def __init__(self, items):
+    def __init__(self, items, mids=None):
         self.items = items
+        self.mids = mids or {}
 
     def wire_size(self):
         from repro.util.serde import wire_size
 
-        return 8 + sum(wire_size(i.value) + 28 for i in self.items)
+        return (8 + sum(wire_size(i.value) + 28 for i in self.items)
+                + 24 * len(self.mids))
 
 
 class Direct(Message):

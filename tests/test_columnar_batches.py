@@ -436,6 +436,77 @@ class TestPushBatchParity:
         assert (drive(build, rows, False, flush=False)
                 == drive(build, rows, True, flush=False))
 
+    @pytest.mark.parametrize("n", SIZES)
+    def test_distinct_override_duplicate_heavy(self, n):
+        # The distinct column kernel must agree with the row loop when
+        # most of the batch is repeats (tiny value pool).
+        rng = random.Random(700 + n)
+        rows = [(rng.randint(0, 2), rng.randint(0, 1),
+                 rng.choice(["x", "y"])) for _ in range(n)]
+
+        def build():
+            return make("distinct", {})
+
+        assert (drive(build, rows, False, flush=False)
+                == drive(build, rows, True, flush=False))
+
+    def test_distinct_epoch_tagged_batches(self):
+        # Standing mode: each epoch's seen-set is its own; a row
+        # deduped in epoch 1 is novel again in epoch 2, in both modes.
+        rng = random.Random(701)
+        rows = [(rng.randint(0, 2), 0, "x") for _ in range(12)]
+        epochs = [1 + (i // 6) for i in range(12)]
+
+        def build():
+            return make("distinct", {}, standing=True)
+
+        row_mode = drive(build, rows, False, flush=False, epochs=epochs)
+        batch_mode = drive(build, rows, True, flush=False, epochs=epochs)
+        assert row_mode == batch_mode
+        assert len(batch_mode) == (len(set(rows[:6])) + len(set(rows[6:])))
+
+    def test_distinct_seal_epoch_releases_state(self):
+        op, sink = make("distinct", {}, standing=True)
+        op.ctx.epoch = op.ctx.active_epoch = 1
+        op.push_batch(RowBatch.from_rows(
+            [(1, 1, "x"), (1, 1, "x"), (2, 2, "y")], SCHEMA))
+        assert len(sink.rows) == 2
+        op.seal_epoch(1)
+        op.ctx.epoch = op.ctx.active_epoch = 2
+        op.push_batch(RowBatch.from_rows([(1, 1, "x")], SCHEMA))
+        assert len(sink.rows) == 3  # sealed epoch's memory is gone
+
+    def test_distinct_batch_progress_notes_aggregate(self):
+        # One progress note per wave, counting every novel row -- the
+        # quiescence accounting recursive plans depend on.
+        class Eng:
+            def __init__(self):
+                self.notes = []
+
+            def note_progress(self, qid, epoch, n):
+                self.notes.append(n)
+
+        op, sink = make("distinct", {"report_progress": True})
+        op.ctx.engine = Eng()
+        op.push_batch(RowBatch.from_rows(
+            [(1, 1, "x"), (1, 1, "x"), (2, 2, "y"), (3, 3, "z")], SCHEMA))
+        assert sink.rows == [(1, 1, "x"), (2, 2, "y"), (3, 3, "z")]
+        assert op.ctx.engine.notes == [3]
+
+    def test_distinct_emission_granularity(self):
+        # A single novel row leaves row-wise; several leave as ONE
+        # batch, so downstream vectorized operators stay batched.
+        op, _sink = make("distinct", {})
+        bsink = BatchSink()
+        op.consumers = []
+        op.wire(bsink, 0)
+        op.push_batch(RowBatch.from_rows([(1, 1, "x"), (1, 1, "x")], SCHEMA))
+        assert bsink.rows == [(1, 1, "x")]
+        assert bsink.batches == 0
+        op.push_batch(RowBatch.from_rows([(2, 1, "x"), (3, 1, "x")], SCHEMA))
+        assert bsink.batches == 1
+        assert bsink.rows == [(1, 1, "x"), (2, 1, "x"), (3, 1, "x")]
+
     def test_default_push_batch_preserves_port(self):
         class TwoPort(Operator):
             def __init__(self):

@@ -406,3 +406,90 @@ class TestExactlyOnceDelivery:
         assert sent
         assert all(p.get("mid") is not None for p in sent)
         assert len({p["mid"] for p in sent}) == len(sent)
+
+    def test_replayed_mux_bundle_dropped_at_the_door(self):
+        # Multiplexed exchange bundles dedup at BOTH granularities: the
+        # bundle's own mid (a re-forwarded bundle is dropped whole) and
+        # each inner part's mid (a part replayed solo is dropped too).
+        net = PierNetwork(nodes=4, seed=11)
+        chord = net.node(net.addresses()[1]).chord
+        got = []
+        chord.register_delivery("p|k|op9|x", lambda p, m: got.append(p))
+        parts = [
+            {"op": "deliver", "ns": "p|k|op9|x", "rid": ("a",),
+             "data": (1,), "mid": ("node0", 61)},
+            {"op": "deliver", "ns": "p|k|op9|x", "rid": ("b",),
+             "data": (2,), "mid": ("node0", 62)},
+        ]
+
+        class Bundle:
+            payload = {"op": "deliver_mux", "parts": parts,
+                       "mid": ("node0", 60)}
+            origin = None
+            key = 0
+            force_terminal = False
+
+        chord._route_arrived(Bundle())
+        assert len(got) == 2
+        chord._route_arrived(Bundle())  # re-forward after a lost ack
+        assert len(got) == 2
+
+        class Part:
+            payload = parts[0]
+            origin = None
+            key = 0
+            force_terminal = False
+
+        chord._route_arrived(Part())  # one part replayed un-bundled
+        assert len(got) == 2
+
+    def test_leave_hands_consumed_mids_to_the_successor(self):
+        # A graceful leave ships the consumed-mid set with the storage
+        # handoff, so a delivery retried against the heir is still
+        # dropped -- exactly-once survives the ownership transfer.
+        net = PierNetwork(nodes=4, seed=11)
+        addr = net.addresses()[1]
+        chord = net.node(addr).chord
+        heir = chord.successor.address
+        got = []
+        chord.register_delivery("q|x#1|op9|0", lambda p, m: got.append(p))
+
+        class Msg:
+            payload = {"op": "deliver", "ns": "q|x#1|op9|0", "rid": ("k",),
+                       "data": (1,), "mid": ("node9", 77)}
+            origin = None
+            key = 0
+            force_terminal = False
+
+        chord._route_arrived(Msg())
+        assert len(got) == 1
+        chord.leave()
+        net.advance(1.0)  # StoreItems lands at the successor
+        heir_chord = net.node(heir).chord
+        assert ("node9", 77) in heir_chord._seen_mids
+        heir_got = []
+        heir_chord.register_delivery("q|x#1|op9|0",
+                                     lambda p, m: heir_got.append(p))
+        heir_chord._route_arrived(Msg())  # the retry chases the heir
+        assert not heir_got
+
+    def test_handed_off_mids_merge_keeps_later_deadline(self):
+        from repro.dht import messages as msg
+
+        net = PierNetwork(nodes=4, seed=11)
+        a, b = net.addresses()[0], net.addresses()[1]
+        receiver = net.node(b).chord
+        receiver._seen_mids[("x", 1)] = net.now + 5.0
+        net.node(a).chord.send(b, msg.StoreItems([], mids={
+            ("x", 1): net.now + 50.0,  # later deadline wins
+            ("y", 2): net.now + 10.0,  # new entry adopted
+        }))
+        net.advance(1.0)
+        assert receiver._seen_mids[("x", 1)] == pytest.approx(net.now + 49.0)
+        assert ("y", 2) in receiver._seen_mids
+        receiver._seen_mids[("y", 2)] = net.now + 100.0
+        net.node(a).chord.send(b, msg.StoreItems([], mids={
+            ("y", 2): net.now + 1.0,  # earlier deadline must NOT regress
+        }))
+        net.advance(1.0)
+        assert receiver._seen_mids[("y", 2)] == pytest.approx(net.now + 99.0)

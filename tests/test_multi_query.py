@@ -1,12 +1,14 @@
 """Multi-query sharing: logical canonicalization, subscription spines,
-shared-scan refcounts, and parity with private executions."""
+prefix (scan-stage) sharing across different queries, shared-scan
+refcounts, and parity with private executions."""
 
 import math
 
 import pytest
 
 from repro.core.dataflow import StandingExecution
-from repro.core.network import PierNetwork
+from repro.core.engine import EngineConfig
+from repro.core.network import PierConfig, PierNetwork
 
 
 def install_ticker(net, address, value, period=2.0, table="s"):
@@ -236,3 +238,211 @@ class TestSpineRuntime:
         assert (engine.queries[third.qid].spine
                 != engine.queries[first.qid].spine)
         assert len(engine._spines) == 2
+
+
+def predicate_sql(threshold):
+    """Same scan + geometry as VARIANTS, different WHERE predicate:
+    never spine-shareable with the others, always stage-shareable."""
+    return ("SELECT SUM(v) AS total, COUNT(*) AS n FROM s "
+            "WHERE v > {} ".format(threshold) + TAIL)
+
+
+def twin_net(shared):
+    """A network identical to the ``net`` fixture, with sharing on/off."""
+    n = PierNetwork(nodes=8, seed=321, config=PierConfig(
+        engine=EngineConfig(shared_dataflows=shared)))
+    n.create_stream_table("s", [("v", "FLOAT")], window=30.0)
+    for i, address in enumerate(n.addresses()):
+        install_ticker(n, address, float(i + 1))
+    return n
+
+
+class TestPrefixSignatures:
+    """The prefix signature hashes only the common SUBPLAN -- the scan
+    and its epoch geometry -- so plans that cannot share a whole spine
+    can still share the scan stage. It must be exactly as coarse as
+    the stage is reusable: blind to predicates and select lists,
+    split by anything that changes what the scan produces."""
+
+    def test_surface_forms_share_one_prefix(self, net):
+        sigs = {net.compile_sql(v).metadata["prefix"] for v in VARIANTS}
+        assert len(sigs) == 1
+        assert None not in sigs
+
+    def test_predicates_do_not_split_the_prefix(self, net):
+        base = net.compile_sql(VARIANTS[0])
+        tighter = net.compile_sql(VARIANTS[0].replace("v > 2", "v > 3"))
+        assert base.metadata["prefix"] == tighter.metadata["prefix"]
+        # ...even though the whole-plan signatures rightly differ.
+        assert base.metadata["spine"] != tighter.metadata["spine"]
+
+    def test_select_list_does_not_split_the_prefix(self, net):
+        base = net.compile_sql(VARIANTS[0])
+        other = net.compile_sql(
+            "SELECT MAX(v) AS top FROM s WHERE v > 7 " + TAIL
+        )
+        assert base.metadata["prefix"] == other.metadata["prefix"]
+        assert base.metadata["spine"] != other.metadata["spine"]
+
+    def test_epoch_geometry_splits_the_prefix(self, net):
+        base = net.compile_sql(VARIANTS[0]).metadata["prefix"]
+        other_window = net.compile_sql(
+            VARIANTS[0].replace("WINDOW 10", "WINDOW 20")
+        ).metadata["prefix"]
+        other_every = net.compile_sql(
+            VARIANTS[0].replace("EVERY 10", "EVERY 5")
+        ).metadata["prefix"]
+        assert other_window != base
+        assert other_every != base
+
+    def test_scanned_table_splits_the_prefix(self, net):
+        net.create_stream_table("s2", [("v", "FLOAT")], window=30.0)
+        base = net.compile_sql(VARIANTS[0]).metadata["prefix"]
+        other = net.compile_sql(
+            "SELECT SUM(v) AS total, COUNT(*) AS n FROM s2 "
+            "WHERE v > 2 AND v < 100 " + TAIL
+        ).metadata["prefix"]
+        assert other != base
+
+    def test_opt_out_unstamps_the_prefix(self, net):
+        private = net.compile_sql(VARIANTS[0], options={"shared": False})
+        assert private.standing
+        assert private.metadata.get("prefix") is None
+
+    def test_lifetime_does_not_split_the_prefix(self, net):
+        base = net.compile_sql(VARIANTS[0]).metadata["prefix"]
+        longer = net.compile_sql(
+            VARIANTS[0].replace("LIFETIME 40", "LIFETIME 80")
+        ).metadata["prefix"]
+        assert longer == base
+
+
+class TestPrefixStageRuntime:
+    def test_different_predicate_fleet_rides_one_stage(self, net):
+        site = net.any_address()
+        fleet = [
+            net.submit_sql(predicate_sql(1.5 + i), node=site)
+            for i in range(4)
+        ]
+        # Four different predicates: four spines, ONE prefix.
+        assert len({h.plan.metadata["spine"] for h in fleet}) == 4
+        assert len({h.plan.metadata["prefix"] for h in fleet}) == 1
+        net.advance(12.0)  # inside epoch 1
+        for address in net.addresses():
+            engine = net.node(address).engine
+            assert len(engine._spines) == 4
+            assert len(engine._prefixes) == 1
+            (prec,) = engine._prefixes.values()
+            assert isinstance(prec.execution, StandingExecution)
+            # Every spine is enrolled as a stage member...
+            assert set(prec.subscribers) == {
+                "s|" + key for key in engine._spines
+            }
+            # ...runs its own (passively scanned) execution...
+            for srec in engine._spines.values():
+                assert srec.execution is not None
+                assert srec.execution is not prec.execution
+                assert srec.execution.ctx.prefix_fed
+            # ...and the table carries ONE append hook: the stage's.
+            assert engine.shared_scans.host_count("s") == 1
+
+    def test_fleet_results_match_ablation_twin(self):
+        thresholds = (1.5, 2.5, 3.5, 4.5)
+        legs = []
+        for shared in (True, False):
+            n = twin_net(shared)
+            site = n.any_address()
+            outs = []
+            for thr in thresholds:
+                results = []
+                n.submit_sql(predicate_sql(thr), node=site,
+                             on_epoch=results.append)
+                outs.append(results)
+            deadline = n.compile_sql(predicate_sql(0)).deadline
+            n.advance(12.0)  # mid-flight: the stage (only) exists when shared
+            assert bool(n.node(site).engine._prefixes) == shared
+            n.advance(40.0 + deadline + 5.0 - 12.0)
+            legs.append([
+                {r.epoch: sorted(r.rows) for r in results}
+                for results in outs
+            ])
+        staged, private = legs
+        for i in range(len(thresholds)):
+            assert set(staged[i]) == set(private[i])
+            assert len(staged[i]) >= 3
+            for k in private[i]:
+                assert _rows_match(staged[i][k], private[i][k])
+
+    def test_stop_peels_members_then_closes_the_stage(self, net):
+        site = net.any_address()
+        outs = []
+        fleet = []
+        for i in range(3):
+            results = []
+            fleet.append(net.submit_sql(predicate_sql(1.5 + i), node=site,
+                                        on_epoch=results.append))
+            outs.append(results)
+        net.advance(12.0)
+        engine = net.node(site).engine
+        (prec,) = engine._prefixes.values()
+        assert len(prec.subscribers) == 3
+
+        # Two members leave mid-flight: their spines close and leave
+        # the stage; the survivor keeps being fed.
+        fleet[0].stop()
+        fleet[1].stop()
+        net.advance(2.0)
+        assert len(engine._prefixes) == 1
+        (prec,) = engine._prefixes.values()
+        assert len(prec.subscribers) == 1
+        assert engine.shared_scans.host_count("s") == 1
+        epochs_before = {r.epoch for r in outs[2]}
+        net.advance(10.0)
+        assert {r.epoch for r in outs[2]} - epochs_before, (
+            "surviving stage member stopped receiving epochs"
+        )
+
+        # The last member leaving tears the stage down everywhere.
+        fleet[2].stop()
+        net.advance(2.0)
+        for address in net.addresses():
+            eng = net.node(address).engine
+            assert not eng._spines
+            assert not eng._prefixes
+            assert eng.shared_scans.host_count("s") == 0
+
+    def test_staggered_join_lands_on_the_running_stage(self, net):
+        site = net.any_address()
+        first_results = []
+        net.submit_sql(predicate_sql(1.5), node=site,
+                       on_epoch=first_results.append)
+        net.advance(10.0)  # one whole period: same grid phase
+        second_results = []
+        net.submit_sql(predicate_sql(4.5), node=site,
+                       on_epoch=second_results.append)
+        engine = net.node(site).engine
+        assert len(engine._spines) == 2
+        assert len(engine._prefixes) == 1
+        net.advance(3.3)  # mid-period: different phase
+        net.submit_sql(predicate_sql(6.5), node=site)
+        assert len(engine._prefixes) == 2, (
+            "off-phase query must get its own stage grid"
+        )
+        net.advance(45.0)
+        assert len({r.epoch for r in first_results}) >= 3
+        assert len({r.epoch for r in second_results}) >= 3
+
+    def test_ablation_runs_every_query_private(self):
+        n = twin_net(False)
+        site = n.any_address()
+        results = []
+        handle = n.submit_sql(predicate_sql(1.5), node=site,
+                              on_epoch=results.append)
+        # The planner still stamps the plan; the engine opts out.
+        assert handle.plan.metadata.get("prefix")
+        n.advance(20.0 + handle.plan.deadline + 2.0)
+        for address in n.addresses():
+            engine = n.node(address).engine
+            assert not engine._prefixes
+            assert not engine._spines
+        assert {r.epoch for r in results} >= {1, 2}

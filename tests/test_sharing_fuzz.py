@@ -1,0 +1,273 @@
+"""Differential fuzz suite for shared standing dataflows.
+
+Every trial draws a random fleet schedule -- different-predicate
+queries (plus some identical twins), staggered submission instants,
+early stops, and injected crash/recovery events -- and runs it TWICE
+from the same seed: once with sharing on (spines + prefix stages +
+exchange multiplexing) and once under the
+``EngineConfig(shared_dataflows=False)`` ablation, where every query
+runs fully private. Sharing is an optimization, never a semantics
+change, so each query's per-epoch results must be identical between
+the two legs.
+
+Comparison discipline:
+
+* crash-free trials compare every reported epoch of every query,
+  row for row (float-tolerant ordering only);
+* trials with injected crashes compare the epochs whose reports were
+  fully flushed BEFORE the first disturbance. Later epochs depend on
+  when the recovered node re-adopts the plan (a refresh-period race
+  that resolves differently run to run), so their rows are out of
+  scope -- but both legs must keep answering;
+* queries stopped early compare the epochs flushed before the stop.
+
+Every assertion is stamped with the trial seed; a failing seed is also
+appended to ``tests/fuzz_failures/sharing_fuzz.txt`` (uploaded as a CI
+artifact) so the exact trial can be replayed with::
+
+    PIER_FUZZ_SEED=<seed> PIER_FUZZ_TRIALS=1 \\
+        python -m pytest tests/test_sharing_fuzz.py
+
+Trial count/seed are env-tunable: ``PIER_FUZZ_TRIALS`` (default 50)
+and ``PIER_FUZZ_SEED`` (base seed, default 94082).
+"""
+
+import math
+import os
+import pathlib
+import random
+
+import pytest
+
+from repro.core.engine import EngineConfig
+from repro.core.network import PierConfig, PierNetwork
+
+TRIALS = int(os.environ.get("PIER_FUZZ_TRIALS", "50"))
+BASE_SEED = int(os.environ.get("PIER_FUZZ_SEED", "94082"))
+FAILURES = pathlib.Path(__file__).parent / "fuzz_failures" / "sharing_fuzz.txt"
+
+# Three select-list shapes: same scan prefix, different tails/spines.
+FORMS = (
+    "SELECT SUM(v) AS total, COUNT(*) AS n FROM s WHERE v > {thr}",
+    "SELECT COUNT(*) AS n FROM s WHERE v > {thr}",
+    "SELECT MAX(v) AS top, COUNT(*) AS n FROM s WHERE v > {thr}",
+)
+TAIL = " EVERY {e} SECONDS WINDOW {w} SECONDS LIFETIME {life} SECONDS"
+
+
+def make_schedule(seed):
+    """One reproducible trial: fleet + stops + crash/recovery events."""
+    rng = random.Random(seed)
+    every = rng.choice([5.0, 10.0])
+    window = every * rng.choice([1, 2, 3])
+    lifetime = every * rng.randint(3, 4)
+    nodes = rng.randint(5, 8)
+    queries = []
+    for _i in range(rng.randint(3, 6)):
+        if queries and rng.random() < 0.3:
+            # Identical twin: same form AND threshold -> shares a spine.
+            twin = rng.choice(queries)
+            form, thr = twin["form"], twin["thr"]
+        else:
+            form = rng.randrange(len(FORMS))
+            thr = round(rng.uniform(0.5, nodes - 0.5), 2)
+        submit_at = every * rng.randint(0, 2)
+        if rng.random() < 0.2:
+            submit_at += every / 2.0  # off-phase: its own stage grid
+        w = window if rng.random() < 0.8 else window + every
+        stop_at = None
+        if rng.random() < 0.25:
+            stop_at = submit_at + rng.uniform(0.5, 0.9) * lifetime
+        queries.append({
+            "form": form, "thr": thr, "window": w,
+            "submit_at": submit_at, "stop_at": stop_at,
+        })
+    # Anchor: the first query submits at t=0 and runs its whole life,
+    # so every trial has fully-flushed epochs left to compare even if
+    # the draws above stop everything else early.
+    queries[0]["submit_at"] = 0.0
+    queries[0]["stop_at"] = None
+    crashes = []
+    if rng.random() < 0.5:
+        for _ in range(rng.randint(1, 2)):
+            # Victims are never node 0 -- that's every query's site.
+            # Crashes land after the earliest epochs' reports flushed
+            # (flush deadlines run ~11s past the boundary), so every
+            # trial keeps a comparable pre-disturbance window.
+            at = lifetime + 13.0 + rng.uniform(0, 2 * every)
+            crashes.append({
+                "victim": rng.randrange(1, nodes),
+                "at": at,
+                "recover_at": at + rng.uniform(every, 2 * every),
+            })
+    return {
+        "seed": seed, "nodes": nodes, "every": every, "window": window,
+        "lifetime": lifetime, "queries": queries, "crashes": crashes,
+        "tick": rng.choice([1.7, 2.3, 3.1]),
+    }
+
+
+def _sql(schedule, q):
+    return FORMS[q["form"]].format(thr=q["thr"]) + TAIL.format(
+        e=schedule["every"], w=q["window"], life=schedule["lifetime"]
+    )
+
+
+def _install_ticker(net, address, base, period):
+    step = [0]
+
+    def tick():
+        engine = net.node(address).engine
+        step[0] += 1
+        engine.stream_append("s", (base + (step[0] % 4),))
+        engine.set_timer(period, tick)
+
+    net.node(address).engine.set_timer(0.1, tick)
+
+
+def run_leg(schedule, shared):
+    """Run one leg of the differential; returns per-query epoch rows."""
+    config = PierConfig(engine=EngineConfig(shared_dataflows=shared))
+    net = PierNetwork(nodes=schedule["nodes"], seed=schedule["seed"],
+                      config=config)
+    retention = max(q["window"] for q in schedule["queries"])
+    net.create_stream_table(
+        "s", [("v", "FLOAT")], window=2 * retention + schedule["every"]
+    )
+    addresses = net.addresses()
+    for i, address in enumerate(addresses):
+        _install_ticker(net, address, float(i), schedule["tick"])
+    site = addresses[0]
+
+    events = []
+    for i, q in enumerate(schedule["queries"]):
+        events.append((q["submit_at"], 0, "submit", i))
+        if q["stop_at"] is not None:
+            events.append((q["stop_at"], 1, "stop", i))
+    for c in schedule["crashes"]:
+        events.append((c["at"], 2, "crash", c["victim"]))
+        events.append((c["recover_at"], 3, "recover", c["victim"]))
+    events.sort()
+
+    handles = {}
+    outputs = {}
+    deadline = 0.0
+    for at, _prio, kind, arg in events:
+        if at > net.now:
+            net.advance(at - net.now)
+        if kind == "submit":
+            results = []
+            handle = net.submit_sql(_sql(schedule, schedule["queries"][arg]),
+                                    node=site, on_epoch=results.append)
+            assert handle.plan.standing, "seed {}".format(schedule["seed"])
+            if shared:
+                assert handle.plan.metadata.get("prefix"), (
+                    "seed {}: query {} not stamped prefix-shareable".format(
+                        schedule["seed"], arg)
+                )
+            handles[arg] = handle
+            outputs[arg] = results
+            deadline = max(deadline, handle.plan.deadline)
+        elif kind == "stop":
+            handles[arg].stop()
+        elif kind == "crash":
+            net.crash_node(addresses[arg])
+        elif kind == "recover":
+            net.recover_node(addresses[arg])
+            _install_ticker(net, addresses[arg], float(arg),
+                            schedule["tick"])
+
+    end = max(q["submit_at"] for q in schedule["queries"]) \
+        + schedule["lifetime"] + deadline + 3.0
+    if end > net.now:
+        net.advance(end - net.now)
+    for handle in handles.values():
+        handle.stop()
+    return {
+        "per_query": [
+            {r.epoch: sorted(r.rows) for r in outputs[i]}
+            for i in range(len(schedule["queries"]))
+        ],
+        "deadline": deadline,
+        "rows_scanned": sum(
+            n.engine.rows_scanned for n in net.nodes.values()
+        ),
+    }
+
+
+def _rows_match(a, b):
+    if len(a) != len(b):
+        return False
+    for row_a, row_b in zip(a, b):
+        if len(row_a) != len(row_b):
+            return False
+        for va, vb in zip(row_a, row_b):
+            if isinstance(va, float) or isinstance(vb, float):
+                if not math.isclose(va, vb, rel_tol=1e-9, abs_tol=1e-9):
+                    return False
+            elif va != vb:
+                return False
+    return True
+
+
+def compare_legs(schedule, shared, ablation):
+    """Per-query, per-epoch equality under the comparison discipline."""
+    seed = schedule["seed"]
+    first_crash = min((c["at"] for c in schedule["crashes"]), default=None)
+    compared = 0
+    for i, q in enumerate(schedule["queries"]):
+        got = shared["per_query"][i]
+        want = ablation["per_query"][i]
+        if first_crash is None and q["stop_at"] is None:
+            assert set(got) == set(want), (
+                "seed {}: query {} epoch sets differ (shared {}, "
+                "ablation {})".format(seed, i, sorted(got), sorted(want))
+            )
+        epochs = set(got) | set(want)
+        for k in sorted(epochs):
+            report_at = q["submit_at"] + k * schedule["every"] \
+                + shared["deadline"]
+            if q["stop_at"] is not None and report_at >= q["stop_at"] - 0.5:
+                continue  # report raced the stop broadcast
+            if first_crash is not None and report_at >= first_crash - 0.5:
+                continue  # disturbed: re-adoption timing is a race
+            assert k in got and k in want, (
+                "seed {}: query {} epoch {} missing from {} leg".format(
+                    seed, i, k, "shared" if k not in got else "ablation")
+            )
+            assert _rows_match(got[k], want[k]), (
+                "seed {}: query {} epoch {} diverged under sharing "
+                "({!r} vs {!r})".format(seed, i, k, got[k], want[k])
+            )
+            compared += 1
+    assert compared > 0, (
+        "seed {}: schedule left nothing to compare".format(seed)
+    )
+    # Sharing must never scan MORE than the private fleet.
+    assert shared["rows_scanned"] <= ablation["rows_scanned"], (
+        "seed {}: shared leg scanned {} rows vs {} private".format(
+            seed, shared["rows_scanned"], ablation["rows_scanned"])
+    )
+
+
+def _record_failure(seed, exc):
+    FAILURES.parent.mkdir(parents=True, exist_ok=True)
+    with FAILURES.open("a", encoding="utf-8") as fh:
+        fh.write(
+            "seed {}: {}\n  replay: PIER_FUZZ_SEED={} PIER_FUZZ_TRIALS=1 "
+            "python -m pytest tests/test_sharing_fuzz.py\n".format(
+                seed, exc, seed)
+        )
+
+
+@pytest.mark.parametrize("trial", range(TRIALS))
+def test_sharing_differential(trial):
+    seed = BASE_SEED + trial
+    schedule = make_schedule(seed)
+    try:
+        shared = run_leg(schedule, shared=True)
+        ablation = run_leg(schedule, shared=False)
+        compare_legs(schedule, shared, ablation)
+    except AssertionError as exc:
+        _record_failure(seed, exc)
+        raise
