@@ -47,7 +47,8 @@ class TreeCombiner:
     """Hold-and-merge relay for partial aggregate states."""
 
     def __init__(self, dht, ns, route_ns, upcall, agg_specs, hold_delay,
-                 paned=False, suspect_fn=None, qsrc_fn=None, owner_fn=None):
+                 paned=False, suspect_fn=None, qsrc_fn=None, owner_fn=None,
+                 regional=False):
         self.dht = dht
         self.ns = ns  # delivery namespace (dispatch tag on arrival)
         self.route_ns = route_ns  # routing namespace (must match the exchange's)
@@ -58,6 +59,14 @@ class TreeCombiner:
         self.suspect_fn = suspect_fn  # owner-cache suspicion (stable edges)
         self.qsrc_fn = qsrc_fn  # representative qid for shared executions
         self.owner_fn = owner_fn  # learned terminal owner (hop caching)
+        # Two-level regional trees: this node only ever absorbs as its
+        # region's rendezvous (senders route *through* it), so its
+        # forwards are already one-partial-per-region -- they go to
+        # the global owner WITHOUT the per-hop intercept. Re-absorbing
+        # a region's combined partial mid-backbone would chain another
+        # hold delay onto every epoch's critical path for no byte win
+        # that matters (there are only #regions forwards in flight).
+        self.regional = regional
         # (epoch, pane, group_values) -> [merged states (list), salted]
         self._held = {}
         self._timer = None
@@ -148,14 +157,22 @@ class TreeCombiner:
                 # warms this node's cache. Suspicion expires the cache
                 # entry (owner_fn returns None) and the salted fallback
                 # bypasses it entirely, so invalidation rides the
-                # existing re-salt/suspect machinery.
+                # existing re-salt/suspect machinery. The cache entry
+                # also records the owner's *region* and expires faster
+                # when it is across the backbone (see
+                # ``EngineConfig.cross_region_cache_ttl``) -- a cross-
+                # region owner learned just before a partition must not
+                # pin post-rejoin forwards onto the backbone.
                 owner = self.owner_fn(self.ns, gvals)
                 if owner is not None:
                     self.hop_shortcuts += 1
                     self.dht.route_via(owner, key, payload)
                     continue
                 payload["learn"] = True
-            self.dht.route(key, payload, upcall=self.upcall)
+            self.dht.route(
+                key, payload,
+                upcall=None if self.regional else self.upcall,
+            )
 
     def close(self):
         """Flush anything still held (epoch teardown)."""

@@ -113,6 +113,18 @@ class EngineConfig:
         stop_tombstone_ttl=120.0,
         columnar_batches=True,
         shared_dataflows=True,
+        # Region-aware two-level aggregation trees: standing tree-mode
+        # exchanges on a region-labelled topology send partials through
+        # their region's combiner rendezvous first, so one combined
+        # partial per region crosses the backbone per flush. Off by
+        # default -- the flat single-level tree stays the baseline.
+        regional_trees=False,
+        # Learned owners in another region expire on this shorter TTL
+        # (the plain route_cache_ttl still caps same-region entries): a
+        # cross-region owner cached just before a partition would
+        # otherwise pin post-rejoin forwards onto the backbone for the
+        # full TTL.
+        cross_region_cache_ttl=30.0,
     ):
         self.teardown_slack = teardown_slack
         self.tree_hold_delay = tree_hold_delay
@@ -129,6 +141,8 @@ class EngineConfig:
         self.stop_tombstone_ttl = stop_tombstone_ttl
         self.columnar_batches = columnar_batches
         self.shared_dataflows = shared_dataflows
+        self.regional_trees = regional_trees
+        self.cross_region_cache_ttl = cross_region_cache_ttl
 
 
 class _QueryRecord:
@@ -156,6 +170,7 @@ class PierEngine:
         self.rng = rng
         self.clock = dht.clock
         self.address = dht.address
+        self.region = getattr(dht, "region", None)
 
         self.fragments = {}
         self.executions = {}  # (qid, epoch) -> execution serving that epoch
@@ -172,7 +187,10 @@ class PierEngine:
         self._undelivered_timer = None
         self._stop_tombstones = {}  # qid -> forget-at time (stale-refresh guard)
         self._exchange_mutes = {}  # (ns, rid) -> mute expiry (NACKed keys)
-        self._route_owners = {}  # (ns, rid) -> (NodeRef, expiry) owner cache
+        # Learned-owner cache: (ns, rid) -> (NodeRef, expiry, region).
+        # The region rides along so cross-region owners can expire on
+        # the shorter cross_region_cache_ttl.
+        self._route_owners = {}
         self._progress_pending = {}  # (qid, epoch) -> count
         self._progress_timer = None
         self._publish_seq = 0
@@ -799,7 +817,7 @@ class PierEngine:
             del self._stop_tombstones[qid]
         for key in [k for k, t in self._exchange_mutes.items() if t <= now]:
             del self._exchange_mutes[key]
-        for key in [k for k, (_r, t) in self._route_owners.items() if t <= now]:
+        for key in [k for k, e in self._route_owners.items() if e[1] <= now]:
             del self._route_owners[key]
 
     def _stop_query(self, qid):
@@ -886,12 +904,20 @@ class PierEngine:
                 execution.ctx.rep_qid
                 if getattr(execution.ctx, "shared", False) else None
             )
+            # Under regional trees, absorption only happens at region
+            # rendezvous (senders route through them), so forwards are
+            # level-2 sends that skip further mid-route absorption.
+            regional = (
+                standing
+                and bool(getattr(self.config, "regional_trees", False))
+                and self.region is not None
+            )
             combiner = TreeCombiner(
                 self.dht, ns, route_ns, upcall, combine["agg_specs"],
                 combine.get("hold", self.config.tree_hold_delay),
                 paned=combine.get("paned", False),
                 suspect_fn=suspect_fn, qsrc_fn=qsrc_fn,
-                owner_fn=owner_fn,
+                owner_fn=owner_fn, regional=regional,
             )
             self.combiners[ns] = combiner
             self.dht.register_intercept(upcall, combiner.handler)
@@ -1080,7 +1106,7 @@ class PierEngine:
         entry = self._route_owners.get((ns, rid))
         if entry is None:
             return None
-        ref, expiry = entry
+        ref, expiry = entry[0], entry[1]
         if expiry <= self.clock.now or self.dht.is_suspect(ref.address):
             del self._route_owners[(ns, rid)]
             return None
@@ -1100,7 +1126,7 @@ class PierEngine:
         entry = self._route_owners.get((ns, rid))
         if entry is None:
             return False
-        ref, expiry = entry
+        ref, expiry = entry[0], entry[1]
         if expiry <= self.clock.now:
             del self._route_owners[(ns, rid)]
             return False
@@ -1149,9 +1175,17 @@ class PierEngine:
             return
         if op == "xowner":
             if payload.get("rid") is not None:
-                self._route_owners[(payload["ns"], payload["rid"])] = (
-                    payload["ref"],
-                    self.clock.now + self.config.route_cache_ttl,
+                ns, rid = payload["ns"], payload["rid"]
+                region = payload.get("region")
+                ttl = self.config.route_cache_ttl
+                if (region is not None and self.region is not None
+                        and region != self.region):
+                    # A backbone owner: trust it for less time, so a
+                    # partition cannot leave a cross-region entry
+                    # pinning forwards long after the region rejoined.
+                    ttl = min(ttl, self.config.cross_region_cache_ttl)
+                self._route_owners[(ns, rid)] = (
+                    payload["ref"], self.clock.now + ttl, region,
                 )
             return
         if op == "xowner_stale":

@@ -163,6 +163,22 @@ class Exchange(Operator):
             and getattr(config, "route_cache_ttl", 0) > 0
             and self._suspect_fn is not None and self._owner_fn is not None
         )
+        # Region-aware two-level trees: a standing tree edge on a
+        # region-labelled topology routes each partial through its own
+        # region's combiner rendezvous first. The rendezvous absorbs
+        # same-region partials into one level-1 combiner, which then
+        # ships ONE combined partial per region across the backbone
+        # toward the global owner (level 2 -- the ordinary combiner
+        # forward machinery). Resolved via getattr so harness stubs
+        # and flat topologies degrade to single-level trees.
+        self._rendezvous_fn = getattr(ctx.dht, "region_rendezvous", None)
+        self._regional = (
+            self._standing and self.mode == "tree"
+            and bool(getattr(config, "regional_trees", False))
+            and getattr(ctx.engine, "region", None) is not None
+            and self._rendezvous_fn is not None
+            and hasattr(ctx.dht, "route_through")
+        )
         # Spine executions stamp a live subscriber qid on every batch:
         # the s| namespace embeds no address, so this is the receiving
         # side's only lead for pulling a plan it missed.
@@ -342,7 +358,7 @@ class Exchange(Operator):
                 # strand them at last epoch's owner. The epoch tag
                 # still rides on the payload for late/early gating.
                 key = storage_key(self._route_ns, rid)
-                self._dispatch(key, payload)
+                self._ship(key, payload)
                 return
             if self._stable_tree:
                 # Stable per-query rendezvous for tree edges, like the
@@ -367,7 +383,7 @@ class Exchange(Operator):
                     key = storage_key(self._route_ns, rid)
                     if self._owner_fn(self._ns, rid) is None:
                         payload["learn"] = True
-                self._dispatch(key, payload)
+                self._ship(key, payload)
                 return
             # No owner cache (tree mode): salt the routing key with the
             # epoch so successive epochs rendezvous at *different*
@@ -379,9 +395,29 @@ class Exchange(Operator):
             # whoever terminates the salted key dispatches to the same
             # standing registration.
             key = storage_key(epoch_route_ns(self._route_ns, epoch), rid)
-            self._dispatch(key, payload)
+            self._ship(key, payload)
             return
         key = storage_key(self._route_ns, rid)
+        self._dispatch(key, payload)
+
+    def _ship(self, key, payload):
+        """Dispatch a standing tree partial, region-first when enabled.
+
+        Regional trees redirect the *first hop* to this region's
+        rendezvous, where the upcall intercept absorbs the partial into
+        the region-local combiner; the combiner's later forward crosses
+        the backbone once per region per flush. The message itself
+        still targets the global key, so a dead rendezvous degrades to
+        the normal walk (the hop machinery reroutes around it). Bundles
+        are bypassed: the mux ships with ``upcall=None``, which would
+        skip the level-1 absorption.
+        """
+        if self._regional:
+            via = self._rendezvous_fn(key)
+            if via is not None:
+                self.ctx.dht.route_through(via, key, payload,
+                                           upcall=self._upcall)
+                return
         self._dispatch(key, payload)
 
     def _dispatch(self, key, payload):

@@ -34,7 +34,7 @@ from repro.dht.chord import ChordNode
 from repro.dht.config import DhtConfig
 from repro.sim.churn import ChurnConfig, ChurnProcess
 from repro.sim.clock import SimClock
-from repro.sim.latency import GeoLatency
+from repro.sim.latency import GeoLatency, RegionalLatency
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.trace import TraceRecorder
 from repro.util.errors import PierError
@@ -74,19 +74,30 @@ class PierNode:
 
 class PierNetwork:
     def __init__(self, nodes=64, seed=0, config=None, addresses=None,
-                 placements=None):
+                 placements=None, regions=None):
         """Build a testbed of ``nodes`` hosts (or explicit ``addresses``).
 
         ``placements`` optionally maps address -> (x, y) site coordinates
         in the unit square (the PlanetLab workload uses this to cluster
         hosts into continental sites); unlisted hosts are placed randomly.
+
+        ``regions`` maps address -> region label and switches the
+        testbed to :class:`RegionalLatency` (rack-scale paths inside a
+        region, backbone paths between regions); it supplies the node
+        set, so ``addresses``/``placements`` are ignored when given.
         """
         self.config = config if config is not None else PierConfig()
         self.rng = SeededRng(seed)
         self.clock = SimClock()
-        self.latency = GeoLatency(
-            self.rng.fork("latency"), scale=self.config.latency_scale
-        )
+        if regions:
+            self.latency = RegionalLatency(
+                self.rng.fork("latency"), regions=regions
+            )
+            addresses = list(regions)
+        else:
+            self.latency = GeoLatency(
+                self.rng.fork("latency"), scale=self.config.latency_scale
+            )
         self.net = Network(
             self.clock, self.latency, self.rng.fork("net"), self.config.network
         )
@@ -98,7 +109,9 @@ class PierNetwork:
         if addresses is None:
             addresses = ["node{}".format(i) for i in range(nodes)]
         for address in addresses:
-            if placements and address in placements:
+            if regions:
+                pass  # region labels were assigned to the latency model
+            elif placements and address in placements:
                 x, y = placements[address]
                 self.latency.place(address, x, y)
             else:
@@ -265,6 +278,18 @@ class PierNetwork:
             live = [a for a in self.live_addresses() if a != address]
             bootstrap = live[0] if live else None
         node.chord.recover(bootstrap)
+
+    def partition_region(self, region):
+        """Cut a region's backbone links (nodes stay alive with state)."""
+        self.net.partition_region(region)
+
+    def heal_region(self, region):
+        """Reconnect a partitioned region."""
+        self.net.heal_region(region)
+
+    def region_of(self, address):
+        region_of = getattr(self.latency, "region_of", None)
+        return region_of(address) if region_of is not None else None
 
     def start_churn(self, mean_session, mean_downtime, on_leave=None,
                     on_join=None, exclude=()):

@@ -32,6 +32,7 @@ joins against the table as of the epoch its pane first closed, exactly
 like the pane partials the aggregate caches.
 """
 
+from repro.core.batch import RowBatch
 from repro.core.dataflow import EpochStateRing, Operator
 from repro.core.operators import register_operator
 
@@ -51,14 +52,20 @@ class SymmetricHashJoin(Operator):
         right_schema = spec.params["right_schema"]
         self._left_key = _key_fn(spec.params["left_keys"], left_schema)
         self._right_key = _key_fn(spec.params["right_keys"], right_schema)
+        self._left_batch_key = _batch_key_fn(
+            spec.params["left_keys"], left_schema)
+        self._right_batch_key = _batch_key_fn(
+            spec.params["right_keys"], right_schema)
         # epoch -> ({}, {}): key -> [rows], by port
         self._epochs = EpochStateRing(lambda: ({}, {}))
         residual = spec.params.get("residual")
         if residual is not None:
             out_schema = left_schema.concat(right_schema)
             self._residual = residual.compile(out_schema)
+            self._batch_residual = residual.compile_batch(out_schema)
         else:
             self._residual = None
+            self._batch_residual = None
 
     def push(self, row, port=0):
         tables = self._epochs.state(self._active_epoch())
@@ -70,6 +77,43 @@ class SymmetricHashJoin(Operator):
             joined = (row + match) if port == 0 else (match + row)
             if self._residual is None or self._residual(joined):
                 self.emit(joined)
+
+    def push_batch(self, batch, port=0):
+        """Vectorized build+probe: evaluate the join keys as whole
+        columns, then run one combined build/probe pass.
+
+        A batch arrives on a single port, so the opposite side's table
+        is constant for the batch's duration and per-row work shrinks
+        to one build append plus one probe lookup over already-computed
+        keys. The pass still walks rows in batch order and matches in
+        table insertion order -- joined output (and every table state
+        left behind) is row-identical to the default unrolled path.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        tables = self._epochs.state(self._active_epoch())
+        keys = (self._left_batch_key(batch) if port == 0
+                else self._right_batch_key(batch))
+        mine, other = tables[port], tables[1 - port]
+        left = port == 0
+        joined = []
+        for row, key in zip(batch.rows(), keys):
+            mine.setdefault(key, []).append(row)
+            for match in other.get(key, ()):
+                # Column order is left-then-right regardless of side.
+                joined.append((row + match) if left else (match + row))
+        if not joined:
+            return
+        if self._batch_residual is not None:
+            out = RowBatch(rows=joined)
+            joined = out.take(self._batch_residual(out)).rows()
+            if not joined:
+                return
+        if len(joined) == 1:
+            self.emit(joined[0])
+        else:
+            self.emit_batch(RowBatch(rows=joined))
 
     def seal_epoch(self, k):
         self._epochs.seal(k)
@@ -84,6 +128,15 @@ def _key_fn(exprs, schema):
         fn = compiled[0]
         return lambda row: (fn(row),)
     return lambda row: tuple(fn(row) for fn in compiled)
+
+
+def _batch_key_fn(exprs, schema):
+    """Batch variant of :func:`_key_fn`: batch -> list of key tuples."""
+    compiled = [e.compile_batch(schema) for e in exprs]
+    if len(compiled) == 1:
+        fn = compiled[0]
+        return lambda batch: [(v,) for v in fn(batch)]
+    return lambda batch: list(zip(*(fn(batch) for fn in compiled)))
 
 
 @register_operator("fetch_matches")

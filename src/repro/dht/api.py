@@ -47,6 +47,11 @@ class DhtApi:
     def alive(self):
         return self._node.alive
 
+    @property
+    def region(self):
+        """Region label from the topology, or None on a flat ring."""
+        return getattr(self._node, "region", None)
+
     # ------------------------------------------------------------------
     # Storage
     # ------------------------------------------------------------------
@@ -93,6 +98,14 @@ class DhtApi:
     def route_via(self, owner, key, payload):
         """One-hop delivery to a cached owner, with routed fallback."""
         self._node.route_via(owner, key, payload)
+
+    def route_through(self, via, key, payload, upcall=None):
+        """Key-route with an explicit first hop (regional rendezvous)."""
+        self._node.route_through(via, key, payload, upcall)
+
+    def region_rendezvous(self, key, region=None):
+        """This region's deterministic combiner for ``key`` (or None)."""
+        return self._node.region_rendezvous(key, region)
 
     def is_suspect(self, address):
         return self._node.is_suspect(address)

@@ -12,7 +12,7 @@ Two ways to stand up a Chord overlay:
   *maintains* the ring, so steady-state behaviour is identical.
 """
 
-from repro.util.ids import ID_BITS, in_interval
+from repro.util.ids import ID_BITS, distance_cw, in_interval
 
 
 def build_chord_ring(nodes, start_maintenance=True):
@@ -37,7 +37,15 @@ def build_chord_ring(nodes, start_maintenance=True):
 
 
 def _exact_fingers(node, sorted_refs, index):
-    """finger[k] = successor(node.id + 2^k), via binary search on the ring."""
+    """finger[k] = successor(node.id + 2^k), via binary search on the ring.
+
+    With ``proximity_routing`` on a region-labelled topology, the slot
+    instead takes the first *same-region* node inside its valid span
+    ``[start, start + 2^k)`` when one exists (proximity neighbor
+    selection) -- the same preference the periodic fix-fingers applies,
+    so oracle-built rings start in the steady state maintenance
+    converges to.
+    """
     fingers = [None] * ID_BITS
     n = len(sorted_refs)
     if n == 1:
@@ -45,10 +53,23 @@ def _exact_fingers(node, sorted_refs, index):
     ids = [r.id for r in sorted_refs]
     import bisect
 
+    proximity = (getattr(node.config, "proximity_routing", False)
+                 and getattr(node, "region", None) is not None)
     for k in range(ID_BITS):
         start = (node.id + (1 << k)) % (1 << ID_BITS)
         pos = bisect.bisect_left(ids, start) % n
-        fingers[k] = sorted_refs[pos]
+        chosen = sorted_refs[pos]
+        if proximity and node._region_of(chosen.address) != node.region:
+            span = 1 << k
+            for step in range(1, n):
+                ref = sorted_refs[(pos + step) % n]
+                if distance_cw(start, ref.id) >= span:
+                    break
+                if (ref != node.ref
+                        and node._region_of(ref.address) == node.region):
+                    chosen = ref
+                    break
+        fingers[k] = chosen
     return fingers
 
 

@@ -267,6 +267,50 @@ class ChordNode(SimNode, RpcNode):
         self._suspects.pop(address, None)
 
     # ------------------------------------------------------------------
+    # Region awareness (proximity neighbor selection)
+    # ------------------------------------------------------------------
+    def _region_of(self, address):
+        """Region label of a peer, via the topology's region directory.
+
+        The simulator's latency model doubles as the proximity service
+        a deployed overlay would consult (Vivaldi coordinates, a region
+        config); an unlabelled topology answers None for everyone and
+        every proximity preference below degrades to the flat ring.
+        """
+        region_of = getattr(self.network.latency, "region_of", None)
+        return region_of(address) if region_of is not None else None
+
+    def _proximity_on(self):
+        return self.config.proximity_routing and self.region is not None
+
+    def region_rendezvous(self, key, region=None):
+        """The region's deterministic meeting point for ``key``.
+
+        The first region member clockwise of ``key`` (skipping locally
+        suspected peers), so every member of a region independently
+        picks the same in-region combiner for a routing key -- the
+        region-local level of a two-level aggregation tree. Returns
+        None when the topology has no region directory.
+        """
+        region = region if region is not None else self.region
+        if region is None:
+            return None
+        members = getattr(self.network.latency, "members", None)
+        if members is None:
+            return None
+        best = None
+        best_distance = None
+        for address in members(region):
+            if address != self.address and self._is_suspect(address):
+                continue
+            node_id = node_id_for(address)
+            d = distance_cw(key, node_id)
+            if best_distance is None or d < best_distance:
+                best = NodeRef(node_id, address)
+                best_distance = d
+        return best
+
+    # ------------------------------------------------------------------
     # Next-hop selection
     # ------------------------------------------------------------------
     def owns(self, key):
@@ -289,9 +333,19 @@ class ChordNode(SimNode, RpcNode):
 
         Skips suspects and anything in ``exclude`` (hops already tried
         for this message). Falls back to the first usable successor.
+
+        Under ``proximity_routing`` a same-region candidate within 2x
+        of the best candidate's remaining distance wins the hop: every
+        in-interval candidate still makes strict progress (its distance
+        to the target is less than ours), so termination is untouched
+        and the stretch is bounded, but hops stay on rack-scale links
+        until the key's own region is reached.
         """
         best = None
         best_distance = None
+        local = None
+        local_distance = None
+        proximity = self._proximity_on()
         for candidate in self._candidates():
             if candidate is None or candidate == self.ref:
                 continue
@@ -302,7 +356,14 @@ class ChordNode(SimNode, RpcNode):
                 if best_distance is None or d < best_distance:
                     best = candidate
                     best_distance = d
+                if proximity and self._region_of(candidate.address) == self.region:
+                    if local_distance is None or d < local_distance:
+                        local = candidate
+                        local_distance = d
         if best is not None:
+            if (local is not None and local != best
+                    and local_distance <= 2 * best_distance):
+                return local
             return best
         # Successor-list fallback -- but never overshoot the target:
         # forwarding *past* the key makes messages lap the ring while
@@ -383,16 +444,24 @@ class ChordNode(SimNode, RpcNode):
             # The key's owner appears dead. The next live successor-list
             # entry inherits its range once stabilization completes, so
             # deliver there now (flagged terminal -- the heir does not
-            # yet believe it owns the range).
-            for heir in self.successors[1:]:
-                if heir == self.ref or heir.address in tried:
-                    continue
-                if self._is_suspect(heir.address):
-                    continue
+            # yet believe it owns the range). Delivery at any heir is
+            # approximate by contract, so proximity routing may prefer
+            # a region-local heir over the strict list order and keep
+            # the reroute off the backbone.
+            heirs = [
+                heir for heir in self.successors[1:]
+                if heir != self.ref and heir.address not in tried
+                and not self._is_suspect(heir.address)
+            ]
+            if self._proximity_on():
+                heirs.sort(
+                    key=lambda h: self._region_of(h.address) != self.region
+                )
+            if heirs:
                 message.force_terminal = True
-                self._send_hop(heir, message, target, tried)
-                return
-            self._terminal(message)
+                self._send_hop(heirs[0], message, target, tried)
+            else:
+                self._terminal(message)
             return
         nxt = self.closest_preceding(target, exclude=tried)
         if nxt is None:
@@ -535,6 +604,28 @@ class ChordNode(SimNode, RpcNode):
         message.hops += 1
         self.send(owner.address, message)
 
+    def route_through(self, via, key, payload, upcall=None):
+        """Key-route ``payload`` with an explicit first hop at ``via``.
+
+        The regional-tree send: the first hop goes to the region's
+        rendezvous (see :meth:`region_rendezvous`) where the upcall
+        intercept absorbs the partial into the region-local combiner;
+        whatever the combiner later forwards resumes normal key routing
+        toward the global owner. Unlike :meth:`route_via` the message
+        is NOT flagged terminal -- the via node runs the ordinary
+        per-hop upcall path, so absorption (not delivery) happens
+        there. If the via is silent the hop machinery suspects it and
+        re-routes toward the key as usual, so a dead rendezvous costs a
+        timeout, never rows.
+        """
+        message = msg.Route(key, payload, self.ref, hops=0, upcall=upcall)
+        if via == self.ref or via.address == self.address:
+            # We are the rendezvous: take the intercept path locally,
+            # exactly as if the message had just arrived here.
+            self._handle_route(message)
+            return
+        self._send_hop(via, message, key, frozenset())
+
     def is_suspect(self, address):
         """Expose failure suspicion (owner caches skip suspected nodes)."""
         return self._is_suspect(address)
@@ -628,6 +719,9 @@ class ChordNode(SimNode, RpcNode):
             self.send_direct(message.origin.address, {
                 "op": "xowner", "ns": payload["ns"],
                 "rid": payload.get("rid"), "ref": self.ref,
+                # Region label rides along so the learner can expire
+                # cross-region owners faster than local ones.
+                "region": self.region,
             })
         elif (
             message.force_terminal
@@ -945,11 +1039,47 @@ class ChordNode(SimNode, RpcNode):
             self._next_finger = (self._next_finger + 1) % ID_BITS
             start = (self.id + (1 << index)) % (1 << ID_BITS)
 
-            def set_finger(owner, hops, index=index):
+            def set_finger(owner, hops, index=index, start=start):
                 if owner is not None:
-                    self.fingers[index] = owner
+                    self.fingers[index] = self._proximity_finger(
+                        index, start, owner
+                    )
 
             self.lookup(start, set_finger)
+
+    def _proximity_finger(self, index, start, canonical):
+        """Proximity neighbor selection for one finger slot.
+
+        Any node in ``[start, start + 2^index)`` is a valid entry for
+        slot ``index`` -- greedy routing still at least halves the
+        remaining distance, keeping lookups O(log N) -- so when the
+        canonical successor of ``start`` is in another region, prefer a
+        known same-region node from inside the slot's span (Gummadi et
+        al.'s PNS, the standard latency-stretch fix for Chord).
+        """
+        if not self._proximity_on():
+            return canonical
+        if self._region_of(canonical.address) == self.region:
+            return canonical
+        span = 1 << index
+        best = canonical
+        best_distance = None
+        seen = set()
+        for candidate in self._candidates():
+            if candidate is None or candidate == self.ref:
+                continue
+            if candidate.address in seen:
+                continue
+            seen.add(candidate.address)
+            if self._is_suspect(candidate.address):
+                continue
+            if self._region_of(candidate.address) != self.region:
+                continue
+            d = distance_cw(start, candidate.id)
+            if d < span and (best_distance is None or d < best_distance):
+                best = candidate
+                best_distance = d
+        return best
 
     def _check_predecessor(self):
         if self.predecessor is None or self.predecessor == self.ref:

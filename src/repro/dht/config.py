@@ -38,6 +38,11 @@ class DhtConfig:
         # will, so keeping this short caps the extra discovery latency
         # the retransmit adds over immediate rerouting.
         hop_retransmit_timeout=0.4,
+        # Proximity neighbor selection: when the topology labels nodes
+        # with regions, prefer same-region peers for finger slots, for
+        # next hops within a 2x-distance band, and for reroute heirs.
+        # Off by default -- the flat ring stays the baseline.
+        proximity_routing=False,
     ):
         if successor_list_length < 1:
             raise ValueError("successor list must hold at least one entry")
@@ -55,3 +60,4 @@ class DhtConfig:
         self.graceful_leave = graceful_leave
         self.delivery_dedup_ttl = delivery_dedup_ttl
         self.hop_retransmit_timeout = hop_retransmit_timeout
+        self.proximity_routing = proximity_routing

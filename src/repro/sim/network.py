@@ -31,6 +31,7 @@ class Network:
         self._rng = rng
         self.config = config if config is not None else NetworkConfig()
         self._nodes = {}
+        self._partitioned = set()  # regions currently cut off the backbone
         self.counters = Counter()
         # Per-destination inbound accounting: the "fan-in at the query
         # site" metric the in-network-aggregation claim is about.
@@ -65,6 +66,28 @@ class Network:
         return len(self._nodes)
 
     # ------------------------------------------------------------------
+    # Region partitions
+    # ------------------------------------------------------------------
+    def partition_region(self, region):
+        """Cut ``region`` off the backbone: every message between the
+        region and the rest of the topology is dropped while the
+        partition holds. Intra-region traffic (and traffic among the
+        other regions) is untouched -- nodes stay alive with all their
+        state, unlike a crash. Requires a region-labelled latency model.
+        """
+        self._partitioned.add(region)
+
+    def heal_region(self, region):
+        """Reconnect a partitioned region to the backbone."""
+        self._partitioned.discard(region)
+
+    def _severed(self, ra, rb):
+        """Is the (ra, rb) link cut by a live partition?"""
+        if not self._partitioned or ra == rb:
+            return False
+        return ra in self._partitioned or rb in self._partitioned
+
+    # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
     def send(self, src, dst, payload):
@@ -86,8 +109,25 @@ class Network:
                 self.counters.add("bytes_kind_{}".format(kind), size)
         else:
             size = None
+        cross = False
+        severed = False
+        region_of = getattr(self.latency, "region_of", None)
+        if region_of is not None:
+            ra, rb = region_of(src), region_of(dst)
+            if ra is not None and rb is not None and ra != rb:
+                cross = True
+                self.counters.add("cross_region_messages")
+                if size is not None:
+                    self.counters.add("cross_region_bytes", size)
+            severed = self._severed(ra, rb)
         if kind == "route":
-            self._count_exchange_hop(payload, size)
+            self._count_exchange_hop(payload, size, cross)
+        if severed:
+            # A live region partition: the message crosses a cut link
+            # and vanishes, exactly like loss -- the sender learns
+            # nothing until an RPC timeout fires.
+            self.counters.add("messages_partitioned")
+            return
         if self.config.loss_rate > 0 and self._rng is not None:
             if self._rng.random() < self.config.loss_rate:
                 self.counters.add("messages_lost")
@@ -95,7 +135,7 @@ class Network:
         delay = self.latency.delay(src, dst)
         self.clock.schedule(delay, self._deliver, src, dst, payload)
 
-    def _count_exchange_hop(self, message, size):
+    def _count_exchange_hop(self, message, size, cross=False):
         """Per-hop accounting of exchange traffic (batched vs not).
 
         ``exchange_rows`` counts tuple *send attempts*, hop by hop
@@ -104,7 +144,9 @@ class Network:
         while ``exchange_messages`` (and the hop acks it drags along)
         shrink with batching -- the ratio is the amortization the
         batching layer buys. Message/row counts are kept even when byte
-        accounting is off (``size`` is None then).
+        accounting is off (``size`` is None then). ``cross`` marks a
+        hop whose endpoints live in different regions -- the backbone
+        share of the exchange traffic regional trees aim to shrink.
         """
         inner = getattr(message, "payload", None)
         if not isinstance(inner, dict):
@@ -140,8 +182,12 @@ class Network:
                     self.counters.add("exchange_rows")
         else:
             return
+        if cross:
+            self.counters.add("exchange_cross_region_messages")
         if size is not None:
             self.counters.add("exchange_bytes", size)
+            if cross:
+                self.counters.add("exchange_cross_region_bytes", size)
 
     def _deliver(self, src, dst, payload):
         node = self._nodes.get(dst)

@@ -8,7 +8,8 @@ Two layers:
 * the vectorization contract: for EVERY operator, ``push_batch`` must
   be row-identical to feeding the same rows through ``push`` one at a
   time -- both the default loop and each vectorized override
-  (Select/Project/TopK/GroupByPartial/Exchange), on randomized batches
+  (Select/Project/TopK/GroupByPartial/SymmetricHashJoin/BloomStage/
+  Exchange), on randomized batches
   including empty and single-row ones, and under pane/epoch-tagged
   delivery. The Select cases pin the null-semantics fast path: a
   predicate evaluating to None, False or 0 filters the row out in both
@@ -28,6 +29,7 @@ from repro.core.operators import create_operator
 from repro.db.expressions import BinaryOp, FuncCall, col, lit
 from repro.db.schema import Schema
 from repro.db.types import INT, STR
+from repro.util.bloom import BloomFilter
 
 SCHEMA = Schema.of(("a", INT), ("b", INT), ("s", STR))
 
@@ -531,6 +533,201 @@ class TestPushBatchParity:
         source.emit_batch(RowBatch.from_rows([(1,), (2,), (3,)]))
         assert sink.batches == 1
         assert sink.rows == [(1,), (2,), (3,)]
+
+
+# ----------------------------------------------------------------------
+# Symmetric hash join: vectorized build+probe == row-at-a-time
+# ----------------------------------------------------------------------
+class TestSymmetricHashJoinParity:
+    RIGHT = Schema.of(("k", INT), ("t", STR))
+
+    def _build(self, residual=None):
+        params = {
+            "left_schema": SCHEMA, "right_schema": self.RIGHT,
+            "left_keys": [col("b")], "right_keys": [col("k")],
+        }
+        if residual is not None:
+            params["residual"] = residual
+        return make("shj", params)
+
+    def _random_feeds(self, rng, n):
+        """Interleaved per-port chunks totalling ``n`` rows."""
+        feeds, remaining = [], n
+        while remaining > 0:
+            m = min(remaining, rng.randint(1, 5))
+            if rng.random() < 0.5:
+                feeds.append((0, random_rows(rng, m)))
+            else:
+                feeds.append((1, [
+                    (rng.randint(0, 9), rng.choice(["p", "q"]))
+                    for _ in range(m)
+                ]))
+            remaining -= m
+        return feeds
+
+    def _run(self, feeds, batch_mode, residual=None):
+        op, sink = self._build(residual)
+        for port, chunk in feeds:
+            schema = SCHEMA if port == 0 else self.RIGHT
+            if batch_mode:
+                op.push_batch(RowBatch.from_rows(chunk, schema), port=port)
+            else:
+                for row in chunk:
+                    op.push(row, port=port)
+        return sink.rows
+
+    @pytest.mark.parametrize("with_residual", [False, True])
+    @pytest.mark.parametrize("n", SIZES)
+    def test_interleaved_port_parity(self, n, with_residual):
+        # Keys overlap heavily (b and k both draw from 0..9), so the
+        # probe loop fires constantly. Exact equality: emission ORDER
+        # is part of the contract, not just the multiset.
+        feeds = self._random_feeds(random.Random(800 + n), n)
+        residual = (BinaryOp(">", col("a"), lit(0))
+                    if with_residual else None)
+        assert (self._run(feeds, False, residual)
+                == self._run(feeds, True, residual))
+
+    def test_duplicate_key_probe_order(self):
+        # Two matches already built under key 3, then a left batch with
+        # two rows of the same key: joins come out row-major (each left
+        # row against the matches in table insertion order).
+        feeds = [
+            (1, [(3, "p"), (3, "q")]),
+            (0, [(10, 3, "x"), (20, 3, "y")]),
+        ]
+        expected = [
+            (10, 3, "x", 3, "p"), (10, 3, "x", 3, "q"),
+            (20, 3, "y", 3, "p"), (20, 3, "y", 3, "q"),
+        ]
+        assert self._run(feeds, False) == expected
+        assert self._run(feeds, True) == expected
+
+    def test_build_side_batch_probes_later(self):
+        # A batch on the right port both builds its table and probes
+        # the left side built earlier -- column order stays
+        # left-then-right even when the right row arrives second.
+        feeds = [(0, [(1, 7, "x")]), (1, [(7, "p"), (7, "q")])]
+        expected = [(1, 7, "x", 7, "p"), (1, 7, "x", 7, "q")]
+        assert self._run(feeds, False) == expected
+        assert self._run(feeds, True) == expected
+
+    def test_emission_granularity(self):
+        # Several joins from one batch leave as ONE batch downstream;
+        # a single join leaves row-wise.
+        op, _sink = self._build()
+        bsink = BatchSink()
+        op.consumers = []
+        op.wire(bsink, 0)
+        op.push_batch(RowBatch.from_rows([(7, "p"), (7, "q")], self.RIGHT),
+                      port=1)
+        op.push_batch(RowBatch.from_rows([(1, 7, "x")], SCHEMA), port=0)
+        assert bsink.batches == 1
+        assert bsink.rows == [(1, 7, "x", 7, "p"), (1, 7, "x", 7, "q")]
+        op.push_batch(RowBatch.from_rows([(8, "p")], self.RIGHT), port=1)
+        op.push_batch(RowBatch.from_rows([(2, 8, "y")], SCHEMA), port=0)
+        assert bsink.batches == 1  # the lone join went out row-wise
+        assert bsink.rows[-1] == (2, 8, "y", 8, "p")
+
+
+# ----------------------------------------------------------------------
+# Bloom stage: vectorized buffer/fold + batch-granularity release
+# ----------------------------------------------------------------------
+class TestBloomStageParity:
+    def _build(self, paned=False):
+        params = {
+            "side": "left", "key_exprs": [col("s")], "schema": SCHEMA,
+            "capacity": 64, "fp_rate": 0.01, "group": "g",
+        }
+        if paned:
+            params["paned"] = {"every": 1, "window": 3}
+        return make("bloom_stage", params, standing=paned)
+
+    @staticmethod
+    def _filter_of(values):
+        other = BloomFilter.for_capacity(64, 0.01)
+        for v in values:
+            other.add((v,))  # key tuples, matching the stage's key_fn
+        return other
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_release_parity(self, n):
+        rows = random_rows(random.Random(900 + n), n)
+        other = self._filter_of(["x", "z"])
+
+        def run(batch_mode):
+            op, sink = self._build()
+            if batch_mode:
+                op.push_batch(RowBatch.from_rows(rows, SCHEMA))
+            else:
+                for row in rows:
+                    op.push(row)
+            op.control({"filters": {"right": other}})
+            return sink.rows
+
+        assert run(False) == run(True)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_filter_bits_identical(self, n):
+        # The vectorized fold must set exactly the bits the row loop
+        # sets -- the filter goes on the wire, so bit identity matters.
+        rows = random_rows(random.Random(950 + n), n)
+
+        def bits(batch_mode):
+            op, _sink = self._build()
+            if batch_mode:
+                op.push_batch(RowBatch.from_rows(rows, SCHEMA))
+            else:
+                for row in rows:
+                    op.push(row)
+            state = op._epochs.peek(0)
+            return None if state is None else state["filter"]._bits
+
+        assert bits(False) == bits(True)
+
+    def test_paned_release_parity(self):
+        rng = random.Random(960)
+        rows = random_rows(rng, 14)
+        panes = sorted(rng.randint(0, 2) for _ in rows)
+        other = self._filter_of(["y", ""])
+
+        def run(batch_mode):
+            op, sink = self._build(paned=True)
+            for pane in sorted(set(panes)):
+                chunk = [r for r, p in zip(rows, panes) if p == pane]
+                op.open_pane(pane)
+                if batch_mode:
+                    op.push_batch(RowBatch.from_rows(chunk, SCHEMA))
+                else:
+                    for row in chunk:
+                        op.push(row)
+            op.ctx.epoch = op.ctx.active_epoch = 2
+            op._epochs.state(2)  # arm the epoch (flush would do this)
+            op.control({"filters": {"right": other}})
+            return sink.rows
+
+        assert run(False) == run(True)
+
+    def test_missing_opposite_filter_releases_all(self):
+        rows = random_rows(random.Random(970), 6)
+        op, sink = self._build()
+        op.push_batch(RowBatch.from_rows(rows, SCHEMA))
+        op.control({"filters": {}})
+        assert sink.rows == rows
+
+    def test_release_granularity(self):
+        # Multiple passing rows leave as ONE batch; a single passer
+        # leaves row-wise (the DistinctOp emission convention).
+        other = self._filter_of(["x"])
+        op, _sink = self._build()
+        bsink = BatchSink()
+        op.consumers = []
+        op.wire(bsink, 0)
+        op.push_batch(RowBatch.from_rows(
+            [(1, 1, "x"), (2, 2, "q"), (3, 3, "x")], SCHEMA))
+        op.control({"filters": {"right": other}})
+        assert bsink.batches == 1
+        assert bsink.rows == [(1, 1, "x"), (3, 3, "x")]
 
 
 # ----------------------------------------------------------------------

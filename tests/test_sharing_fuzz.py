@@ -2,8 +2,9 @@
 
 Every trial draws a random fleet schedule -- different-predicate
 queries (plus some identical twins), staggered submission instants,
-early stops, and injected crash/recovery events -- and runs it TWICE
-from the same seed: once with sharing on (spines + prefix stages +
+early stops, injected crash/recovery events, and (in some trials) a
+region-labelled topology running proximity routing plus two-level
+regional aggregation trees -- and runs it TWICE from the same seed: once with sharing on (spines + prefix stages +
 exchange multiplexing) and once under the
 ``EngineConfig(shared_dataflows=False)`` ablation, where every query
 runs fully private. Sharing is an optimization, never a semantics
@@ -41,6 +42,7 @@ import pytest
 
 from repro.core.engine import EngineConfig
 from repro.core.network import PierConfig, PierNetwork
+from repro.dht.config import DhtConfig
 
 TRIALS = int(os.environ.get("PIER_FUZZ_TRIALS", "50"))
 BASE_SEED = int(os.environ.get("PIER_FUZZ_SEED", "94082"))
@@ -100,10 +102,21 @@ def make_schedule(seed):
                 "at": at,
                 "recover_at": at + rng.uniform(every, 2 * every),
             })
+    tick = rng.choice([1.7, 2.3, 3.1])
+    # Regional flavor (drawn last so earlier draws stay seed-stable):
+    # some trials run on a region-labelled topology with proximity
+    # routing and two-level regional trees on BOTH legs -- sharing
+    # must stay invisible under backbone latencies and region-local
+    # combiner rendezvous too.
+    regions = None
+    if rng.random() < 0.3:
+        k = rng.randint(2, 3)
+        regions = {"node{}".format(i): "r{}".format(i % k)
+                   for i in range(nodes)}
     return {
         "seed": seed, "nodes": nodes, "every": every, "window": window,
         "lifetime": lifetime, "queries": queries, "crashes": crashes,
-        "tick": rng.choice([1.7, 2.3, 3.1]),
+        "tick": tick, "regions": regions,
     }
 
 
@@ -127,9 +140,14 @@ def _install_ticker(net, address, base, period):
 
 def run_leg(schedule, shared):
     """Run one leg of the differential; returns per-query epoch rows."""
-    config = PierConfig(engine=EngineConfig(shared_dataflows=shared))
+    regional = schedule["regions"] is not None
+    config = PierConfig(
+        dht=DhtConfig(proximity_routing=regional),
+        engine=EngineConfig(shared_dataflows=shared,
+                            regional_trees=regional),
+    )
     net = PierNetwork(nodes=schedule["nodes"], seed=schedule["seed"],
-                      config=config)
+                      config=config, regions=schedule["regions"])
     retention = max(q["window"] for q in schedule["queries"])
     net.create_stream_table(
         "s", [("v", "FLOAT")], window=2 * retention + schedule["every"]
