@@ -1,0 +1,193 @@
+"""Admission control: refuse or degrade queries whose cost bound explodes.
+
+PIQL-style success tolerance for standing queries. Before a
+LogicalQuery is planned, :class:`AdmissionPolicy` asks the planner's
+cost bounder (:func:`repro.core.planner.bound_query_cost`) what the
+query would cost per second against current catalog stats. Queries
+within the configured budget are admitted untouched. Over-budget
+queries walk a degradation ladder, cheapest honest answer first:
+
+1. **sketch swap** -- ``COUNT(DISTINCT x)`` becomes
+   ``APPROX_COUNT_DISTINCT(x)``: the per-group value set (whose wire
+   size grows with distinct values) becomes a constant-size HLL with a
+   documented ~1.04/sqrt(2^precision) relative error;
+2. **widen EVERY** -- doubling the epoch period (up to
+   ``max_every_factor``) amortizes the per-epoch group-fold and
+   exchange terms; the answer stays exact, just less frequent;
+3. **sample** -- scans keep only a deterministic hash-sampled fraction
+   of rows (``options["sample_rate"]``, floored at
+   ``min_sample_rate``), trading answer fidelity for load. Applied
+   last because its error, unlike the sketch's, carries no bound.
+
+Every applied step is recorded in the decision (and stamped into
+``plan.metadata["admission"]`` by the network layer) so the answer is
+*labeled* approximate -- a degraded query is never silently wrong. A
+query still over budget after the full ladder raises
+:class:`AdmissionError` with the offending bound, which is the
+refusal the caller can surface.
+
+The ladder mutates the LogicalQuery *before* signatures are taken, so
+a degraded query's share/prefix signatures reflect what actually runs
+(a sampled query never shares a spine with its unsampled twin).
+"""
+
+from repro.core.planner import bound_query_cost
+from repro.util.errors import PierError
+
+
+class AdmissionError(PierError):
+    """The query's cost bound exceeds the budget even fully degraded."""
+
+    def __init__(self, message, bound=None, budget=None):
+        super().__init__(message)
+        self.bound = bound
+        self.budget = budget
+
+
+class AdmissionDecision:
+    """What admission did to one query."""
+
+    __slots__ = ("admitted", "degradations", "bound", "budget")
+
+    def __init__(self, admitted, degradations, bound, budget):
+        self.admitted = admitted
+        self.degradations = degradations  # [{kind, ...label fields}]
+        self.bound = bound  # CostBound after degradation (or None)
+        self.budget = budget
+
+    @property
+    def approximate(self):
+        """True when any applied degradation changes answer values
+        (widening EVERY keeps answers exact, only less frequent)."""
+        return any(
+            d["kind"] in ("sketch", "sample") for d in self.degradations
+        )
+
+    def as_dict(self):
+        out = {
+            "budget": self.budget,
+            "degradations": list(self.degradations),
+            "approximate": self.approximate,
+        }
+        if self.bound is not None:
+            out["bound"] = self.bound.as_dict()
+        return out
+
+
+class AdmissionPolicy:
+    """Budgeted admission with the sketch -> widen -> sample ladder.
+
+    ``budget_units`` is the per-query ceiling in the cost bounder's
+    scalar units/sec (None disables the policy entirely). The three
+    ``allow_*`` switches gate ladder rungs; a policy with all three off
+    is a pure admit-or-refuse gate.
+    """
+
+    def __init__(self, budget_units=None, allow_sketch=True,
+                 allow_widen=True, allow_sample=True,
+                 max_every_factor=4.0, min_sample_rate=0.05,
+                 sketch_precision=None):
+        self.budget_units = budget_units
+        self.allow_sketch = allow_sketch
+        self.allow_widen = allow_widen
+        self.allow_sample = allow_sample
+        self.max_every_factor = max_every_factor
+        self.min_sample_rate = min_sample_rate
+        self.sketch_precision = sketch_precision
+
+    def admit(self, lq, catalog, now=None):
+        """Admit ``lq`` (mutating it down the ladder when over budget).
+
+        Returns an :class:`AdmissionDecision`; raises
+        :class:`AdmissionError` when the fully degraded bound still
+        exceeds the budget.
+        """
+        budget = self.budget_units
+        bound = bound_query_cost(lq, catalog, now)
+        if budget is None or bound is None:
+            return AdmissionDecision(True, [], bound, budget)
+        if bound.units_per_sec() <= budget:
+            return AdmissionDecision(True, [], bound, budget)
+
+        degradations = []
+        if self.allow_sketch and self._swap_sketches(lq, degradations):
+            bound = bound_query_cost(lq, catalog, now)
+            if bound.units_per_sec() <= budget:
+                return AdmissionDecision(True, degradations, bound, budget)
+        if self.allow_widen:
+            bound = self._widen_every(lq, catalog, now, budget, degradations)
+            if bound.units_per_sec() <= budget:
+                return AdmissionDecision(True, degradations, bound, budget)
+        if self.allow_sample:
+            bound = self._sample(lq, catalog, now, budget, degradations)
+            if bound.units_per_sec() <= budget:
+                return AdmissionDecision(True, degradations, bound, budget)
+        raise AdmissionError(
+            "query cost bound {:.1f} units/s exceeds budget {:.1f} "
+            "even after degradation ({})".format(
+                bound.units_per_sec(), budget,
+                ", ".join(d["kind"] for d in degradations) or "none applicable",
+            ),
+            bound=bound, budget=budget,
+        )
+
+    # -- ladder rungs ---------------------------------------------------
+    def _swap_sketches(self, lq, degradations):
+        swapped = False
+        for item, name in lq.select_items:
+            if getattr(item, "func_name", None) == "COUNT_DISTINCT":
+                item.func_name = "APPROX_COUNT_DISTINCT"
+                if self.sketch_precision is not None:
+                    item.params = (self.sketch_precision,)
+                precision = item.params[0] if item.params else 10
+                degradations.append({
+                    "kind": "sketch",
+                    "column": name,
+                    "aggregate": "APPROX_COUNT_DISTINCT",
+                    # HLL standard error; see aggregates.ApproxCountDistinct.
+                    "relative_error": round(1.04 / (2 ** precision) ** 0.5, 4),
+                })
+                swapped = True
+        return swapped
+
+    def _widen_every(self, lq, catalog, now, budget, degradations):
+        original = lq.every
+        factor = 1.0
+        bound = bound_query_cost(lq, catalog, now)
+        while (bound.units_per_sec() > budget
+               and factor * 2.0 <= self.max_every_factor + 1e-9):
+            factor *= 2.0
+            lq.every = original * factor
+            widened = bound_query_cost(lq, catalog, now)
+            if widened.units_per_sec() >= bound.units_per_sec() - 1e-9:
+                # Scan-rate-bound query: widening buys nothing; undo.
+                lq.every = original * (factor / 2.0)
+                factor /= 2.0
+                break
+            bound = widened
+        if factor > 1.0:
+            degradations.append({
+                "kind": "widen_every",
+                "factor": factor,
+                "every": lq.every,
+            })
+        return bound
+
+    def _sample(self, lq, catalog, now, budget, degradations):
+        bound = bound_query_cost(lq, catalog, now)
+        over = bound.units_per_sec() / budget
+        rate = max(self.min_sample_rate, min(1.0, 1.0 / over))
+        # The scan-examination term is unsampled (every arriving row is
+        # still hashed), so shrink the rate until the whole bound fits
+        # or the floor stops us.
+        while rate >= self.min_sample_rate:
+            lq.options["sample_rate"] = rate
+            bound = bound_query_cost(lq, catalog, now)
+            if bound.units_per_sec() <= budget or rate == self.min_sample_rate:
+                break
+            rate = max(self.min_sample_rate, rate / 2.0)
+        degradations.append({
+            "kind": "sample",
+            "rate": lq.options["sample_rate"],
+        })
+        return bound

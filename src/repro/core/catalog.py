@@ -1,0 +1,166 @@
+"""Runtime statistics catalog: what admission control plans against.
+
+The schema catalog (:mod:`repro.db.catalog`) says what tables *are*;
+this module tracks what they *do*: per-table arrival rates and row
+sizes observed from the live append stream, plus per-query-shape group
+cardinalities fed back from closed epochs. The planner's cost bounder
+(:func:`repro.core.planner.bound_query_cost`) reads these to estimate
+a query's per-epoch rows scanned, exchange bytes, and owner fold work
+before a single row moves, and the admission policy
+(:mod:`repro.core.admission`) decides from that bound.
+
+One :class:`StatsCatalog` serves the whole testbed: it hangs off the
+shared schema :class:`~repro.db.catalog.Catalog` (``catalog.stats``,
+attached by ``PierNetwork``), so every engine's ``stream_append`` and
+the coordinator's epoch-close feedback update the same view the
+planner reads. All methods take ``now`` explicitly -- the catalog
+holds no clock, which keeps it trivially unit-testable.
+
+Rates are bucketed EWMAs: appends accumulate in a fixed-width bucket,
+and each rollover folds ``count / bucket_width`` into the running rate
+with weight ``alpha``. A half-full current bucket never skews the
+estimate downward because it is only folded once it closes; before the
+first rollover the partial bucket itself is the (best-effort)
+estimate. :meth:`seed` lets tests and cold-start deployments declare
+rates up front -- admission decisions are only as good as the stats,
+and a fresh catalog admits everything (no rate means a zero bound).
+"""
+
+
+class _BucketedRate:
+    """EWMA of an event rate, observed through fixed-width buckets."""
+
+    __slots__ = ("bucket", "alpha", "rate", "_count", "_t0", "_seeded")
+
+    def __init__(self, bucket=5.0, alpha=0.5):
+        self.bucket = bucket
+        self.alpha = alpha
+        self.rate = 0.0  # events/sec, EWMA over closed buckets
+        self._count = 0.0
+        self._t0 = None
+        self._seeded = False
+
+    def seed(self, rate):
+        self.rate = float(rate)
+        self._seeded = True
+
+    def note(self, n, now):
+        if self._t0 is None:
+            self._t0 = now
+        elif now - self._t0 >= self.bucket:
+            self._roll(now)
+        self._count += n
+
+    def _roll(self, now):
+        # Fold every *elapsed* bucket: a long silent gap contributes
+        # zero-rate buckets, so the estimate decays instead of pinning
+        # at the last busy bucket's rate.
+        while now - self._t0 >= self.bucket:
+            observed = self._count / self.bucket
+            if self._seeded or self.rate > 0.0:
+                self.rate += self.alpha * (observed - self.rate)
+            else:
+                self.rate = observed
+            self._seeded = True
+            self._count = 0.0
+            self._t0 += self.bucket
+
+    def value(self, now=None):
+        if now is not None and self._t0 is not None:
+            if now - self._t0 >= self.bucket:
+                self._roll(now)
+            elif not self._seeded and now > self._t0 and self._count:
+                # Cold start, mid-bucket: the partial bucket is all we
+                # have; use it rather than claiming a zero rate.
+                return self._count / (now - self._t0)
+        return self.rate
+
+
+class TableStats:
+    """Observed behaviour of one table's append stream."""
+
+    __slots__ = ("rate", "row_bytes", "rows_seen")
+
+    def __init__(self, bucket=5.0, alpha=0.5):
+        self.rate = _BucketedRate(bucket=bucket, alpha=alpha)
+        self.row_bytes = 0.0  # EWMA of serialized row size
+        self.rows_seen = 0
+
+    def note_append(self, nbytes, now):
+        self.rate.note(1, now)
+        self.rows_seen += 1
+        if self.row_bytes == 0.0:
+            self.row_bytes = float(nbytes)
+        else:
+            self.row_bytes += 0.2 * (nbytes - self.row_bytes)
+
+
+class StatsCatalog:
+    """Shared arrival-rate / cardinality view for planning and admission.
+
+    ``note_append`` is the hot-path hook (every ``stream_append`` on
+    every engine lands here); ``note_group_count`` is the feedback
+    loop (the coordinator reports each closed aggregate epoch's group
+    count under the plan's ``stats_key``).
+    """
+
+    def __init__(self, bucket=5.0, alpha=0.5):
+        self._bucket = bucket
+        self._alpha = alpha
+        self._tables = {}  # table name -> TableStats
+        self._groups = {}  # stats key -> EWMA group cardinality
+
+    # -- ingestion ------------------------------------------------------
+    def note_append(self, table, nbytes, now):
+        stats = self._tables.get(table)
+        if stats is None:
+            stats = self._tables[table] = TableStats(
+                bucket=self._bucket, alpha=self._alpha
+            )
+        stats.note_append(nbytes, now)
+
+    def note_group_count(self, stats_key, n):
+        prev = self._groups.get(stats_key)
+        if prev is None:
+            self._groups[stats_key] = float(n)
+        else:
+            self._groups[stats_key] = prev + 0.5 * (n - prev)
+
+    # -- seeding (cold start / tests) ----------------------------------
+    def seed(self, table, rate=None, row_bytes=None):
+        stats = self._tables.get(table)
+        if stats is None:
+            stats = self._tables[table] = TableStats(
+                bucket=self._bucket, alpha=self._alpha
+            )
+        if rate is not None:
+            stats.rate.seed(rate)
+        if row_bytes is not None:
+            stats.row_bytes = float(row_bytes)
+
+    def seed_groups(self, stats_key, n):
+        self._groups[stats_key] = float(n)
+
+    # -- planner-facing reads ------------------------------------------
+    def arrival_rate(self, table, now=None):
+        """Observed appends/sec for ``table`` (0.0 when never seen)."""
+        stats = self._tables.get(table)
+        return stats.rate.value(now) if stats is not None else 0.0
+
+    def avg_row_bytes(self, table, default=48.0):
+        stats = self._tables.get(table)
+        if stats is None or stats.row_bytes == 0.0:
+            return default
+        return stats.row_bytes
+
+    def group_cardinality(self, stats_key, default=None):
+        value = self._groups.get(stats_key)
+        return value if value is not None else default
+
+    def tables(self):
+        return list(self._tables)
+
+    def __repr__(self):
+        return "StatsCatalog({} tables, {} group keys)".format(
+            len(self._tables), len(self._groups)
+        )

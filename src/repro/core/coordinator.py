@@ -25,9 +25,17 @@ seconds means the fixpoint is reached.
 
 
 class EpochResult:
-    """What one epoch of one query produced."""
+    """What one epoch of one query produced.
 
-    def __init__(self, qid, epoch, t0, rows, columns, reporters, closed_at):
+    ``approximate`` labels answers the admission policy degraded
+    (sketch-swapped aggregates, sampled scans): a list of the applied
+    degradation records from ``plan.metadata["admission"]``, or None
+    for exact answers. Degraded queries are never silently wrong --
+    every result they produce carries the label.
+    """
+
+    def __init__(self, qid, epoch, t0, rows, columns, reporters, closed_at,
+                 approximate=None):
         self.qid = qid
         self.epoch = epoch
         self.t0 = t0
@@ -35,6 +43,7 @@ class EpochResult:
         self.columns = columns
         self.reporters = reporters  # addresses that contributed rows
         self.closed_at = closed_at
+        self.approximate = approximate
 
     def dicts(self):
         if self.columns is None:
@@ -149,11 +158,24 @@ class Coordinator:
         for node_rows in handle.raw_replace.pop(epoch, {}).values():
             rows.extend(node_rows)
         rows = self._finish(handle.plan, rows)
+        metadata = handle.plan.metadata
+        if handle.plan.finishing.get("aggregate") is not None:
+            # Close the cardinality feedback loop: observed group counts
+            # feed the admission cost bounder's exchange/fold terms.
+            stats_key = metadata.get("stats_key")
+            stats = getattr(self.engine.catalog, "stats", None)
+            if stats_key and stats is not None:
+                stats.note_group_count(stats_key, len(rows))
+        admission = metadata.get("admission")
+        approximate = None
+        if admission and admission.get("approximate"):
+            approximate = admission.get("degradations")
         result = EpochResult(
             handle.qid, epoch, t_k, rows,
-            handle.plan.metadata.get("columns"),
+            metadata.get("columns"),
             handle.reporters.pop(epoch, set()),
             self.clock.now,
+            approximate=approximate,
         )
         handle.results[epoch] = result
         if handle.on_epoch is not None:

@@ -684,6 +684,36 @@ class StandingExecution(_ExecutionBase):
         self._early_scan = {}  # epoch -> [(rows, pane)] from a prefix stage
         self._open_epochs = {epoch: t0}  # epoch -> t_k, ascending
         self._sealed_through = epoch - 1  # epochs <= this are closed here
+        # Adaptive ring: the planner records the plan's *true* flush
+        # horizon (no static cap since it was retired); the execution
+        # decides how many epoch states actually stay live. Start
+        # clamped at ring_max_overlap, widen by one whenever a boundary
+        # saw late-straggler drops, narrow after a run of quiet
+        # boundaries -- but never below what the tail demonstrably
+        # needs (the staleness high-water mark of recent deliveries).
+        # Paned plans opt out: their pane retention is sized from the
+        # planned width, so the ring must not outgrow it.
+        config = getattr(engine, "config", None)
+        self._adaptive_ring = (
+            bool(getattr(config, "adaptive_ring", True))
+            and getattr(plan, "pane", None) is None
+        )
+        self._ring_max = max(1, int(getattr(config, "ring_max_overlap", 64)))
+        self._ring_quiet = max(1, int(
+            getattr(config, "ring_quiet_boundaries", 4)
+        ))
+        if self._adaptive_ring or self.live_epochs > self._ring_max:
+            self.live_epochs = min(self.live_epochs, self._ring_max)
+        # The planned width stays the floor: it is the flush horizon
+        # the timing walk proved the plan needs, so narrowing below it
+        # would seal epochs before their own flushes fire. Adaptation
+        # happens above it -- widen past the plan on observed drops,
+        # then decay back.
+        self._ring_floor = self.live_epochs
+        self.late_drops = 0  # total late drops at this execution
+        self._drops_since_boundary = 0
+        self._quiet_boundaries = 0
+        self._stale_high = 0  # max delivery staleness seen recently
 
     @property
     def overlap(self):
@@ -700,6 +730,8 @@ class StandingExecution(_ExecutionBase):
         """Epoch boundary: open ``k``, sealing every epoch <= ``k - N``."""
         if self.closed:
             return
+        if self._adaptive_ring:
+            self._resize_ring()
         for stale in sorted(
             e for e in self._open_epochs if e <= k - self.live_epochs
         ):
@@ -724,6 +756,41 @@ class StandingExecution(_ExecutionBase):
             self.deliver_batch(op_id, port, rows, k, pane)
         for rows, pane in self._early_scan.pop(k, ()):
             self.deliver_scan(rows, k, pane)
+
+    def _resize_ring(self):
+        """Adapt the ring width to the observed straggler tail.
+
+        Widen by one after any boundary interval that dropped late
+        rows (capped at ``ring_max_overlap``); after ``ring_quiet``
+        drop-free boundaries, narrow by one back toward the planned
+        floor -- but never below the recent delivery-staleness
+        high-water mark + 1, so a tail that genuinely uses the extra
+        width keeps it and the widen/narrow pair cannot oscillate
+        against real stragglers. The staleness mark decays one epoch
+        per boundary, letting a spike age out.
+        """
+        if self._drops_since_boundary:
+            self._drops_since_boundary = 0
+            self._quiet_boundaries = 0
+            if self.live_epochs < self._ring_max:
+                self.live_epochs += 1
+                if hasattr(self.engine, "ring_widenings"):
+                    self.engine.ring_widenings += 1
+        else:
+            self._quiet_boundaries += 1
+            needed = max(self._ring_floor, self._stale_high + 1)
+            if (self._quiet_boundaries >= self._ring_quiet
+                    and self.live_epochs > needed):
+                self.live_epochs -= 1
+                self._quiet_boundaries = 0
+        if self._stale_high > 0:
+            self._stale_high -= 1
+
+    def _note_late_drop(self):
+        self.late_drops += 1
+        self._drops_since_boundary += 1
+        if hasattr(self.engine, "ring_late_drops"):
+            self.engine.ring_late_drops += 1
 
     def _move_context(self, k, t_k):
         self.ctx.epoch = k
@@ -778,6 +845,7 @@ class StandingExecution(_ExecutionBase):
                 # epoch instead; the pane tag, not the epoch, decides
                 # where it lands.
                 if pane is None or not self._open_epochs:
+                    self._note_late_drop()
                     return
                 epoch = min(self._open_epochs)
             elif epoch > self.ctx.epoch + 2:
@@ -787,6 +855,13 @@ class StandingExecution(_ExecutionBase):
                     (op_id, port, list(rows), pane)
                 )
                 return
+        elif epoch < self.ctx.epoch:
+            # An open-but-old epoch: how far behind the newest this
+            # delivery ran is the staleness the adaptive ring must
+            # keep covering when it considers narrowing.
+            stale = self.ctx.epoch - epoch
+            if stale > self._stale_high:
+                self._stale_high = stale
         op = self.ops[op_id]
         with self.ctx.in_epoch(epoch):
             if pane is not None:
@@ -814,6 +889,7 @@ class StandingExecution(_ExecutionBase):
         if epoch not in self._open_epochs:
             if epoch <= self._sealed_through:
                 if pane is None or not self._open_epochs:
+                    self._note_late_drop()
                     return
                 epoch = min(self._open_epochs)
             elif epoch > self.ctx.epoch + 2:

@@ -52,6 +52,7 @@ from repro.core.sharing import (
     SpineSubscriber,
 )
 from repro.db.table import make_fragment
+from repro.util.serde import wire_size
 
 
 class EngineConfig:
@@ -125,6 +126,40 @@ class EngineConfig:
         # otherwise pin post-rejoin forwards onto the backbone for the
         # full TTL.
         cross_region_cache_ttl=30.0,
+        # Adaptive epoch ring: standing executions start their ring at
+        # min(planned width, ring_max_overlap), widen by one on
+        # boundaries that saw late-straggler drops, and narrow back
+        # toward the staleness the tail actually exhibits after
+        # ring_quiet_boundaries drop-free boundaries. This replaces the
+        # planner's retired static cap of 16. Paned plans keep the
+        # planned width (their pane retention is sized from it).
+        adaptive_ring=True,
+        ring_max_overlap=64,
+        ring_quiet_boundaries=4,
+        # Adaptive exchange flush windows: size each exchange's batch
+        # caps from its observed arrival rate, so a hot edge gathers
+        # one flush window's worth of rows into few large messages
+        # instead of capping out at max_batch_rows-sized ones. Off by
+        # default -- the fixed caps are the baseline discipline.
+        adaptive_flush=False,
+        adaptive_flush_max_rows=2048,
+        adaptive_flush_max_bytes=262144,
+        # Owner backpressure: a node whose standing exchange inputs
+        # exceed backpressure_rows_per_sec tells the origins to stretch
+        # their flush windows (and caps) by up to backpressure_factor
+        # for backpressure_ttl seconds ("xbp" direct messages, resent
+        # at most once per TTL). Off by default.
+        backpressure=False,
+        backpressure_rows_per_sec=2000.0,
+        backpressure_factor=4.0,
+        backpressure_ttl=3.0,
+        # Hot-group splitting: when one routing key of a standing
+        # group-partial exchange pushes more than hot_group_threshold
+        # rows in an epoch, later partials shard across
+        # hot_group_shards salted keys (k owners); the coordinator's
+        # duplicate-owner merge re-unifies the group. 0 disables.
+        hot_group_threshold=0,
+        hot_group_shards=4,
     ):
         self.teardown_slack = teardown_slack
         self.tree_hold_delay = tree_hold_delay
@@ -143,6 +178,18 @@ class EngineConfig:
         self.shared_dataflows = shared_dataflows
         self.regional_trees = regional_trees
         self.cross_region_cache_ttl = cross_region_cache_ttl
+        self.adaptive_ring = adaptive_ring
+        self.ring_max_overlap = ring_max_overlap
+        self.ring_quiet_boundaries = ring_quiet_boundaries
+        self.adaptive_flush = adaptive_flush
+        self.adaptive_flush_max_rows = adaptive_flush_max_rows
+        self.adaptive_flush_max_bytes = adaptive_flush_max_bytes
+        self.backpressure = backpressure
+        self.backpressure_rows_per_sec = backpressure_rows_per_sec
+        self.backpressure_factor = backpressure_factor
+        self.backpressure_ttl = backpressure_ttl
+        self.hot_group_threshold = hot_group_threshold
+        self.hot_group_shards = hot_group_shards
 
 
 class _QueryRecord:
@@ -191,6 +238,14 @@ class PierEngine:
         # The region rides along so cross-region owners can expire on
         # the shorter cross_region_cache_ttl.
         self._route_owners = {}
+        # Backpressure: inbound standing-exchange row accounting per
+        # namespace (detection side, this node as owner) and TTL'd
+        # flush-stretch factors (reaction side, this node as sender).
+        self._bp_inflow = {}  # ns -> {"count", "t0", "origins"}
+        self._bp_sent = {}  # ns -> last xbp send time
+        self._bp_stretch = {}  # ns -> (factor, expiry)
+        self.ring_late_drops = 0  # standing-ring drops (adaptive signal)
+        self.ring_widenings = 0  # adaptive-ring widen events
         self._progress_pending = {}  # (qid, epoch) -> count
         self._progress_timer = None
         self._publish_seq = 0
@@ -225,6 +280,12 @@ class PierEngine:
     def stream_append(self, table_name, row, timestamp=None):
         ts = timestamp if timestamp is not None else self.clock.now
         self.fragment(table_name).append(ts, row)
+        # Feed the shared runtime-stats catalog (admission control's
+        # arrival-rate view); the schema catalog carries it when the
+        # testbed enabled stats.
+        stats = getattr(self.catalog, "stats", None)
+        if stats is not None:
+            stats.note_append(table_name, wire_size(row), self.clock.now)
 
     def publish(self, table_name, row, ttl=None, keep_alive=False):
         """Insert into a DHT table: the row travels to its partition owner.
@@ -874,9 +935,16 @@ class PierEngine:
         """
 
         if standing:
+            watch = self.config.backpressure
+
             def deliver(payload, route_msg):
+                rows = payload_rows(payload)
+                if watch:
+                    self._note_exchange_inflow(
+                        ns, len(rows), getattr(route_msg, "origin", None)
+                    )
                 execution.deliver_batch(
-                    op_id, port, payload_rows(payload), payload.get("epoch"),
+                    op_id, port, rows, payload.get("epoch"),
                     payload.get("pane"),
                 )
         else:
@@ -943,6 +1011,68 @@ class PierEngine:
         else:
             execution.deliver_batch(op_id, port, rows)
 
+    # ------------------------------------------------------------------
+    # Owner backpressure (adaptive load management, run-time half)
+    # ------------------------------------------------------------------
+    def _note_exchange_inflow(self, ns, n, origin):
+        """Owner-side arrival accounting for one standing namespace.
+
+        Rates are measured over rolling one-second windows; when a
+        window's rate exceeds ``backpressure_rows_per_sec``, every
+        origin that contributed to it receives an "xbp" direct message
+        asking it to stretch its flush window (rate-limited to one send
+        per TTL per namespace, so a hot edge costs O(origins) control
+        messages per TTL, not per batch).
+        """
+        now = self.clock.now
+        state = self._bp_inflow.get(ns)
+        if state is None or now - state["t0"] >= 1.0:
+            if state is not None:
+                self._maybe_send_backpressure(ns, state, now)
+            state = self._bp_inflow[ns] = {
+                "count": 0, "t0": now, "origins": set(),
+            }
+        state["count"] += n
+        # Route messages carry a NodeRef origin; xbp goes out over
+        # dht.direct, which addresses by string, so normalize here
+        # (also dedupes one origin seen through both shapes).
+        origin = getattr(origin, "address", origin)
+        if origin is not None and origin != self.address:
+            state["origins"].add(origin)
+
+    def _maybe_send_backpressure(self, ns, state, now):
+        elapsed = max(now - state["t0"], 1e-9)
+        rate = state["count"] / elapsed
+        threshold = self.config.backpressure_rows_per_sec
+        if rate <= threshold or not state["origins"]:
+            return
+        last = self._bp_sent.get(ns, -1e18)
+        ttl = self.config.backpressure_ttl
+        if now - last < ttl:
+            return
+        self._bp_sent[ns] = now
+        factor = min(self.config.backpressure_factor, rate / threshold)
+        for origin in state["origins"]:
+            self.dht.direct(origin, {
+                "op": "xbp", "ns": ns, "factor": factor, "ttl": ttl,
+            })
+
+    def exchange_flush_stretch(self, ns):
+        """Current flush-window stretch factor for a namespace (>= 1.0).
+
+        Exchanges multiply their flush delay and batch caps by this
+        while a backpressured owner's TTL is live: fewer, larger
+        messages toward the overloaded node.
+        """
+        entry = self._bp_stretch.get(ns)
+        if entry is None:
+            return 1.0
+        factor, expiry = entry
+        if expiry <= self.clock.now:
+            del self._bp_stretch[ns]
+            return 1.0
+        return factor
+
     def unregister_exchange_input(self, ns):
         self.dht.unregister_delivery(ns)
         combiner = self.combiners.pop(ns, None)
@@ -953,6 +1083,8 @@ class PierEngine:
             self.tree_forwards += combiner.forwarded
             self.tree_hop_shortcuts += combiner.hop_shortcuts
             self.dht.unregister_intercept(combiner.upcall)
+        self._bp_inflow.pop(ns, None)
+        self._bp_sent.pop(ns, None)
         self._drop_undelivered(ns)
 
     def _drop_undelivered(self, ns):
@@ -1191,6 +1323,19 @@ class PierEngine:
         if op == "xowner_stale":
             self._route_owners.pop((payload["ns"], payload["rid"]), None)
             return
+        if op == "xbp":
+            # An overloaded owner asks us to stretch flushes toward it.
+            # Factors do not stack -- the largest live request wins --
+            # and the TTL makes the signal self-expiring soft state.
+            ns = payload["ns"]
+            factor = max(1.0, float(payload["factor"]))
+            expiry = self.clock.now + float(payload.get(
+                "ttl", self.config.backpressure_ttl
+            ))
+            current = self._bp_stretch.get(ns)
+            if current is None or factor >= current[0]:
+                self._bp_stretch[ns] = (factor, expiry)
+            return
         if op == "xplan_reply":
             self._adopt_query(payload)
             return
@@ -1226,6 +1371,9 @@ class PierEngine:
         self._stop_tombstones = {}
         self._exchange_mutes = {}
         self._route_owners = {}
+        self._bp_inflow = {}
+        self._bp_sent = {}
+        self._bp_stretch = {}
         self._progress_pending = {}
         self._progress_timer = None
         self._maintained = {}  # the publisher died; its rows will expire

@@ -199,6 +199,41 @@ class Exchange(Operator):
         # Each epoch's state is {"rows": {rid: [rows]}, "bytes": {rid: n}}.
         self._pending = EpochStateRing(lambda: {"rows": {}, "bytes": {}})
         self._timer = None
+        # Adaptive load management. ``adaptive_flush`` sizes the flush
+        # window and batch caps from the observed arrival rate (EWMA
+        # over one-second windows): hot edges gather a whole window
+        # into few large messages, sparse edges stretch the window to
+        # fill batches. Backpressure ("xbp" from an overloaded owner)
+        # stretches both further via the engine's per-namespace factor.
+        self._clock = getattr(ctx, "clock", None)
+        self._adaptive_flush = (
+            bool(getattr(config, "adaptive_flush", False))
+            and self._flush_delay > 0 and self._clock is not None
+        )
+        self._adaptive_max_rows = getattr(
+            config, "adaptive_flush_max_rows", 2048
+        )
+        self._adaptive_max_bytes = getattr(
+            config, "adaptive_flush_max_bytes", 262144
+        )
+        self._stretch_fn = getattr(ctx.engine, "exchange_flush_stretch", None)
+        self._rate = 0.0  # EWMA rows/sec through this exchange
+        self._rate_count = 0
+        self._rate_t0 = None
+        # Hot-group splitting: standing group-partial edges whose one
+        # routing key crosses the threshold within an epoch shard later
+        # partials across k salted keys (k owners); the query site's
+        # duplicate-owner merge re-unifies the group. Paned edges shard
+        # by pane so each pane's history accumulates at one owner.
+        hot = int(getattr(config, "hot_group_threshold", 0) or 0)
+        self._hot_threshold = (
+            hot if (self._standing
+                    and spec.params.get("key", {}).get("kind") == "group")
+            else 0
+        )
+        self._hot_shards = max(2, int(getattr(config, "hot_group_shards", 4)))
+        self._hot_counts = EpochStateRing(dict)  # epoch -> {rid: rows}
+        self.hot_splits = 0  # rows routed under a shard key (introspection)
 
     def _build_key_fn(self, key_spec):
         kind = key_spec["kind"]
@@ -235,6 +270,77 @@ class Exchange(Operator):
             return lambda batch: batch.rows()
         return lambda batch: ["__root__"] * len(batch)
 
+    def _note_arrivals(self, n):
+        """Fold ``n`` pushed rows into the arrival-rate EWMA (rows/sec,
+        observed through one-second windows)."""
+        now = self._clock.now
+        if self._rate_t0 is None:
+            self._rate_t0 = now
+        elif now - self._rate_t0 >= 1.0:
+            observed = self._rate_count / (now - self._rate_t0)
+            if self._rate == 0.0:
+                self._rate = observed
+            else:
+                self._rate += 0.5 * (observed - self._rate)
+            self._rate_count = 0
+            self._rate_t0 = now
+        self._rate_count += n
+
+    def _flush_plan(self):
+        """Current (delay, max_rows, max_bytes) under load adaptation.
+
+        Static configuration returns the configured trio untouched. With
+        ``adaptive_flush`` the window targets one base-cap batch per
+        flush: sparse edges stretch the delay (up to 8x) so batches
+        fill instead of trickling, hot edges keep the base window but
+        raise the caps to one window's worth of rows, so the edge
+        ships a few large messages instead of many cap-sized ones. A
+        live backpressure stretch multiplies all three on top.
+        """
+        delay = self._flush_delay
+        max_rows = self._max_batch_rows
+        max_bytes = self._max_batch_bytes
+        if self._adaptive_flush and self._rate > 0.0:
+            desired = self._max_batch_rows / self._rate
+            delay = min(max(delay, desired), self._flush_delay * 8.0)
+            target_rows = self._rate * delay
+            if target_rows > max_rows:
+                max_rows = int(min(target_rows, self._adaptive_max_rows))
+                per_row = max(1, max_bytes // max(1, self._max_batch_rows))
+                max_bytes = int(min(
+                    max(max_bytes, max_rows * per_row),
+                    self._adaptive_max_bytes,
+                ))
+        if self._stretch_fn is not None:
+            stretch = self._stretch_fn(self._ns)
+            if stretch > 1.0:
+                delay *= stretch
+                max_rows = int(min(max_rows * stretch,
+                                   self._adaptive_max_rows))
+                max_bytes = int(min(max_bytes * stretch,
+                                    self._adaptive_max_bytes))
+        return delay, max_rows, max_bytes
+
+    def _hot_rid(self, rid, epoch, pane):
+        """Shard a hot group's routing key across k owners.
+
+        Counts pushed rows per (epoch, rid); once a key crosses the
+        threshold its later rows route under ``("hot", rid, shard)``.
+        Paned edges shard by pane (a pane's whole history must
+        accumulate at one owner); unpaned edges round-robin by row
+        count. Delivery, muting, and the final fold are rid-agnostic,
+        and the coordinator merges the k owners' partial states for
+        the group exactly as it merges duplicate owners after churn.
+        """
+        counts = self._hot_counts.state(epoch)
+        n = counts.get(rid, 0) + 1
+        counts[rid] = n
+        if n <= self._hot_threshold:
+            return rid
+        self.hot_splits += 1
+        shard = (pane if pane is not None else n) % self._hot_shards
+        return ("hot", rid, shard)
+
     def push_batch(self, batch, port=0):
         """Vectorized push: routing keys evaluate as columns, the
         per-push invariants (epoch, pane, mute lookup shape) hoist out
@@ -250,32 +356,37 @@ class Exchange(Operator):
         muted_fn = self._muted_fn
         epoch = self._active_epoch() if self._standing else None
         pane = self._current_pane if self._paned else None
+        if self._adaptive_flush:
+            self._note_arrivals(n)
+        hot = self._hot_threshold and epoch is not None
         if self._flush_delay <= 0:
             for row, rid in zip(rows, rids):
                 if muted_fn is not None and muted_fn(self._ns, rid):
                     continue
+                if hot:
+                    rid = self._hot_rid(rid, epoch, pane)
                 self._route(rid, [row], epoch, pane)
             return
+        delay, max_rows, max_bytes = self._flush_plan()
         pending = self._pending.state(epoch)
         held_rows = pending["rows"]
         held_bytes = pending["bytes"]
         for row, rid in zip(rows, rids):
             if muted_fn is not None and muted_fn(self._ns, rid):
                 continue
+            if hot:
+                rid = self._hot_rid(rid, epoch, pane)
             bucket = (pane, rid)
             bucket_rows = held_rows.setdefault(bucket, [])
             bucket_rows.append(row)
             size = held_bytes.get(bucket, 0) + wire_size(row)
             held_bytes[bucket] = size
-            if (len(bucket_rows) >= self._max_batch_rows
-                    or size >= self._max_batch_bytes):
+            if len(bucket_rows) >= max_rows or size >= max_bytes:
                 del held_rows[bucket]
                 del held_bytes[bucket]
                 self._route(rid, bucket_rows, epoch, pane)
         if self._timer is None and held_rows:
-            self._timer = self.ctx.dht.set_timer(
-                self._flush_delay, self._flush_pending
-            )
+            self._timer = self.ctx.dht.set_timer(delay, self._flush_pending)
 
     def push(self, row, port=0):
         rid = self._key_fn(row)
@@ -283,9 +394,14 @@ class Exchange(Operator):
             return  # receiver NACKed this key: it would only drop the row
         epoch = self._active_epoch() if self._standing else None
         pane = self._current_pane if self._paned else None
+        if self._adaptive_flush:
+            self._note_arrivals(1)
+        if self._hot_threshold and epoch is not None:
+            rid = self._hot_rid(rid, epoch, pane)
         if self._flush_delay <= 0:
             self._route(rid, [row], epoch, pane)
             return
+        delay, max_rows, max_bytes = self._flush_plan()
         pending = self._pending.state(epoch)
         # Batches are keyed by (pane, rid): a pane-tagged exchange must
         # never mix two panes' rows in one message, because the tag is
@@ -295,15 +411,13 @@ class Exchange(Operator):
         rows.append(row)
         size = pending["bytes"].get(bucket, 0) + wire_size(row)
         pending["bytes"][bucket] = size
-        if len(rows) >= self._max_batch_rows or size >= self._max_batch_bytes:
+        if len(rows) >= max_rows or size >= max_bytes:
             del pending["rows"][bucket]
             del pending["bytes"][bucket]
             self._route(rid, rows, epoch, pane)
             return
         if self._timer is None:
-            self._timer = self.ctx.dht.set_timer(
-                self._flush_delay, self._flush_pending
-            )
+            self._timer = self.ctx.dht.set_timer(delay, self._flush_pending)
 
     def _flush_pending(self, epoch=None):
         """Ship pending batches -- all of them, or just one epoch's."""
@@ -454,6 +568,8 @@ class Exchange(Operator):
         # as the rebuild path's teardown flush landed in closed
         # executions.
         self._flush_pending(k)
+        if self._hot_threshold:
+            self._hot_counts.seal(k)
 
     def teardown(self):
         # Best effort, like the unbatched path: a row pushed just before

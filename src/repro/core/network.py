@@ -21,6 +21,7 @@ The clock only advances inside :meth:`advance` / :meth:`run_sql`, so
 callers interleave data changes, churn and queries deterministically.
 """
 
+from repro.core.catalog import StatsCatalog
 from repro.core.coordinator import Coordinator
 from repro.core.engine import EngineConfig, PierEngine
 from repro.core.planner import PlannerTiming, plan_query
@@ -46,7 +47,7 @@ class PierConfig:
 
     def __init__(self, dht=None, engine=None, timing=None, network=None,
                  bootstrap="oracle", latency_scale=0.15, loss_rate=0.0,
-                 trace=False):
+                 trace=False, admission=None):
         self.dht = dht if dht is not None else DhtConfig()
         self.engine = engine if engine is not None else EngineConfig()
         self.timing = timing if timing is not None else PlannerTiming()
@@ -56,6 +57,8 @@ class PierConfig:
         self.bootstrap = bootstrap
         self.latency_scale = latency_scale
         self.trace = trace
+        # An AdmissionPolicy (core.admission), or None to admit all.
+        self.admission = admission
 
 
 class PierNode:
@@ -103,6 +106,11 @@ class PierNetwork:
         )
         self.trace = TraceRecorder(self.clock, enabled=self.config.trace)
         self.catalog = Catalog()
+        # Runtime stats ride on the shared schema catalog: every
+        # engine's stream_append and the coordinators' epoch-close
+        # feedback update the same view the planner's cost bounder and
+        # the admission policy read.
+        self.catalog.stats = StatsCatalog()
         self.nodes = {}
         self._churn = None
 
@@ -224,9 +232,25 @@ class PierNetwork:
     # Queries
     # ------------------------------------------------------------------
     def compile_sql(self, sql, options=None):
-        """Parse + plan without running (EXPLAIN-style introspection)."""
+        """Parse, admit, and plan without running.
+
+        When the config carries an admission policy, the logical query
+        walks the degradation ladder *before* planning (so signatures
+        reflect what runs) and the decision is stamped into
+        ``plan.metadata["admission"]`` -- degraded answers surface as
+        labeled-approximate results, and over-budget queries raise
+        :class:`~repro.core.admission.AdmissionError` here, before any
+        dissemination.
+        """
         logical = parse_query(sql, options)
-        return plan_query(logical, self.catalog, self.config.timing)
+        decision = None
+        policy = getattr(self.config, "admission", None)
+        if policy is not None:
+            decision = policy.admit(logical, self.catalog, now=self.now)
+        plan = plan_query(logical, self.catalog, self.config.timing)
+        if decision is not None:
+            plan.metadata["admission"] = decision.as_dict()
+        return plan
 
     def explain_sql(self, sql, options=None):
         """Human-readable physical plan (ops, edges, flush deadlines)."""

@@ -154,6 +154,8 @@ class FetchMatches(Operator):
         super().__init__(ctx, spec)
         probe_schema = spec.params["probe_schema"]
         self._probe_key = spec.params["probe_key"].compile(probe_schema)
+        self._batch_probe_key = spec.params["probe_key"].compile_batch(
+            probe_schema)
         self._table = spec.params["table"]
         residual = spec.params.get("residual")
         if residual is not None:
@@ -195,6 +197,44 @@ class FetchMatches(Operator):
             self._table, key,
             lambda values: self._fetched(epoch, key, values),
         )
+
+    def push_batch(self, batch, port=0):
+        """Vectorized probe: evaluate the probe keys as one column,
+        then split the batch into cache hits (joined immediately),
+        piggybacks on an in-flight fetch, and novel keys -- issuing a
+        single ``get`` per distinct novel key instead of one dispatch
+        round per row. Cache hits release in batch-row order and
+        waiting lists grow in batch-row order, so emitted output and
+        the state left behind are row-identical to the unrolled path.
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        epoch = self._active_epoch()
+        entry = self._epochs.state(epoch)
+        keys = self._batch_probe_key(batch)
+        pane = self._current_pane if self._paned else None
+        cache = entry["cache"]
+        waiting = entry["waiting"]
+        dedup = self._dedup
+        novel = []  # distinct keys needing a fetch, in first-seen order
+        for row, key in zip(batch.rows(), keys):
+            if dedup and key in cache:
+                if pane is not None:
+                    self.announce_pane(pane)
+                self._join(row, cache[key])
+                continue
+            queue = waiting.get(key)
+            if queue is not None:
+                queue.append((row, pane))
+            else:
+                waiting[key] = [(row, pane)]
+                novel.append(key)
+        for key in novel:
+            self.ctx.dht.get(
+                self._table, key,
+                lambda values, key=key: self._fetched(epoch, key, values),
+            )
 
     def _fetched(self, epoch, key, values):
         # The reply lands asynchronously: re-enter the epoch the probe

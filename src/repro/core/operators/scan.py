@@ -42,10 +42,24 @@ width in seconds, the others in panes) and switches on the pane-emission
 mode described above.
 """
 
+import zlib
+
 from repro.core.batch import RowBatch
 from repro.core.dataflow import Operator
 from repro.core.operators import register_operator
 from repro.db.window import pane_index, window_pane_range
+
+
+def _sample_keep(row, threshold):
+    """Deterministic Bernoulli sampling by row content.
+
+    Admission-degraded plans (``params["sample"]``) keep a row iff its
+    content hash falls under the rate threshold. CRC32 of the repr is
+    stable across nodes and processes (unlike ``hash()`` under hash
+    randomization), so every replica of a row makes the same keep/drop
+    decision and joins stay consistent across fragments.
+    """
+    return zlib.crc32(repr(row).encode("utf-8")) % 1000000 < threshold
 
 
 @register_operator("scan")
@@ -63,6 +77,15 @@ class Scan(Operator):
             and getattr(config, "columnar_batches", True)
         )
         self._paned = bool(spec.params.get("paned")) and self._standing
+        # Admission-control sampling: emit only a deterministic
+        # hash-sampled fraction of scanned rows. Every row is still
+        # *examined* (and charged to rows_scanned) -- sampling sheds
+        # downstream exchange and fold load, not scan effort -- which
+        # is exactly how the planner's cost bounder models it.
+        sample = spec.params.get("sample")
+        self._sample_threshold = (
+            int(float(sample) * 1000000) if sample is not None else None
+        )
         # Prefix-fed: a shared scan stage feeds this execution via
         # StandingExecution.deliver_scan; this scan goes passive (no
         # subscription, no per-epoch emission) and only relays injected
@@ -94,6 +117,9 @@ class Scan(Operator):
     def _emit_rows(self, rows):
         """Emit one scan wave: a single RowBatch in columnar mode, a
         row loop otherwise. ``rows`` is taken over by the batch."""
+        if self._sample_threshold is not None and rows:
+            threshold = self._sample_threshold
+            rows = [r for r in rows if _sample_keep(r, threshold)]
         if not rows:
             return
         if self._batch and len(rows) > 1:

@@ -109,8 +109,160 @@ def plan_query(lq, catalog, timing=None):
     """Compile a LogicalQuery against a catalog into a QueryPlan."""
     timing = timing if timing is not None else PlannerTiming()
     if lq.recursive is not None:
-        return _plan_recursive(lq, catalog, timing)
-    return _plan_flat(lq, catalog, timing)
+        plan = _plan_recursive(lq, catalog, timing)
+    else:
+        plan = _plan_flat(lq, catalog, timing)
+    # Admission-time annotations. The cost bound is recomputed here
+    # (not passed in) so EXPLAIN output always reflects the stats the
+    # plan was admitted against; the stats key is what the coordinator
+    # reports observed group cardinalities back under.
+    bound = bound_query_cost(lq, catalog)
+    if bound is not None:
+        plan.metadata["cost"] = bound.as_dict()
+    key = query_stats_key(lq)
+    if key is not None:
+        plan.metadata["stats_key"] = key
+    sample = lq.options.get("sample_rate")
+    if sample is not None:
+        for spec in plan.ops_of_kind("scan"):
+            spec.params["sample"] = sample
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Cost bounding (admission control's plan-time half)
+# ----------------------------------------------------------------------
+
+#: Nominal state-size multipliers for the exchange-byte bound. A
+#: COUNT(DISTINCT x) partial carries the group's value *set*, so its
+#: wire size grows with distinct values per group; the sketch swap
+#: (APPROX_COUNT_DISTINCT) replaces it with a constant-size HLL whose
+#: error is documented at ~1.04/sqrt(2^precision). The factors are
+#: deliberately coarse -- this is a *bound* used to refuse or degrade
+#: queries, not a cardinality estimator.
+_DISTINCT_STATE_FACTOR = 32.0
+_SKETCH_STATE_FACTOR = 4.0
+
+#: Nominal fan-in for the partial-aggregation exchange bound: with
+#: per-node partial aggregation, at most ~this many contributing nodes
+#: ship each group per epoch (flush waves x tree combining), so
+#: exchange rows are bounded by ``groups * fan-in`` when the group
+#: cardinality is known, whatever the raw row rate.
+_GROUP_FANIN = 16.0
+
+#: Unit weights for the scalar budget: one unit per row scanned, per
+#: 64 exchange bytes, and two per owner group fold, all per second.
+_W_EXCHANGE_BYTES = 1.0 / 64.0
+_W_FOLD = 2.0
+
+
+class CostBound:
+    """Per-epoch cost bound for a continuous query, from catalog stats.
+
+    ``rows_scanned`` is the standing-scan examination bound (stream
+    subscriptions touch each arriving row O(1) times, so it is
+    ``sum(table arrival rate) * EVERY``); ``exchange_rows`` /
+    ``exchange_bytes`` bound what crosses the network per epoch after
+    partial aggregation and sampling; ``fold_groups`` bounds owner-side
+    group folds per epoch. ``units_per_sec`` collapses them into the
+    scalar the admission budget is expressed in -- amortized over the
+    epoch period, so widening EVERY genuinely cheapens group-bound
+    queries (their per-epoch group fold and exchange terms amortize)
+    while the raw scan-rate term stays put.
+    """
+
+    __slots__ = ("rows_scanned", "exchange_rows", "exchange_bytes",
+                 "fold_groups", "every")
+
+    def __init__(self, rows_scanned, exchange_rows, exchange_bytes,
+                 fold_groups, every):
+        self.rows_scanned = rows_scanned
+        self.exchange_rows = exchange_rows
+        self.exchange_bytes = exchange_bytes
+        self.fold_groups = fold_groups
+        self.every = every
+
+    def units_per_sec(self):
+        per_epoch = (
+            self.rows_scanned
+            + self.exchange_bytes * _W_EXCHANGE_BYTES
+            + self.fold_groups * _W_FOLD
+        )
+        return per_epoch / self.every
+
+    def as_dict(self):
+        return {
+            "rows_scanned": round(self.rows_scanned, 2),
+            "exchange_rows": round(self.exchange_rows, 2),
+            "exchange_bytes": round(self.exchange_bytes, 2),
+            "fold_groups": round(self.fold_groups, 2),
+            "every": self.every,
+            "units_per_sec": round(self.units_per_sec(), 2),
+        }
+
+
+def query_stats_key(lq):
+    """The key group-cardinality feedback files under: the scanned
+    tables plus the canonical GROUP BY shape. Different predicates over
+    the same grouping share one cardinality estimate -- coarse, but the
+    feedback loop converges on whatever actually closes epochs."""
+    if not lq.tables:
+        return None
+    tables = ",".join(sorted(name for name, _alias in lq.tables))
+    groups = ";".join(str(e) for e in lq.group_by)
+    return "{}|{}".format(tables, groups)
+
+
+def _distinct_flavor(lq):
+    """Which COUNT_DISTINCT family the query uses, if any."""
+    for item, _name in lq.select_items:
+        func = getattr(item, "func_name", None)
+        if func == "COUNT_DISTINCT":
+            return "exact"
+        if func == "APPROX_COUNT_DISTINCT":
+            return "sketch"
+    return None
+
+
+def bound_query_cost(lq, catalog, now=None):
+    """Bound ``lq``'s per-epoch cost from the catalog's runtime stats.
+
+    Returns a :class:`CostBound`, or ``None`` when the query is not
+    continuous (one-shots are a single epoch of work; the standing load
+    problem admission exists for does not arise) or the catalog carries
+    no :class:`~repro.core.catalog.StatsCatalog`. Tables the stats have
+    never seen contribute zero -- a cold catalog admits everything,
+    which is the honest default (see ``StatsCatalog.seed``).
+    """
+    if lq.every is None:
+        return None
+    stats = getattr(catalog, "stats", None)
+    if stats is None:
+        return None
+    rate = 0.0
+    row_bytes = 0.0
+    for name, _alias in lq.tables:
+        table_rate = stats.arrival_rate(name, now)
+        rate += table_rate
+        row_bytes = max(row_bytes, stats.avg_row_bytes(name))
+    rows_scanned = rate * lq.every
+    sample = float(lq.options.get("sample_rate", 1.0))
+    exchange_rows = rows_scanned * sample
+    fold_groups = exchange_rows
+    if lq.group_by:
+        groups = stats.group_cardinality(query_stats_key(lq))
+        if groups is not None:
+            exchange_rows = min(exchange_rows, groups * _GROUP_FANIN)
+            fold_groups = min(fold_groups, groups * _GROUP_FANIN)
+    state_factor = 1.0
+    flavor = _distinct_flavor(lq)
+    if flavor == "exact":
+        state_factor = _DISTINCT_STATE_FACTOR
+    elif flavor == "sketch":
+        state_factor = _SKETCH_STATE_FACTOR
+    exchange_bytes = exchange_rows * row_bytes * state_factor
+    return CostBound(rows_scanned, exchange_rows, exchange_bytes,
+                     fold_groups, lq.every)
 
 
 # ----------------------------------------------------------------------
@@ -258,16 +410,6 @@ def _plan_flat(lq, catalog, timing):
 
 _STANDING_XFER_MARGIN = 1.0  # flush window + worst simulated RTT
 
-# Ring-width ceiling: a runaway horizon/period ratio would make every
-# operator hold that many live epoch states, so the ring width clamps
-# here. A clamped ring seals an epoch before its last flush would have
-# fired, degrading to partial answers for that epoch -- the standard
-# soft-state trade -- rather than falling back to a second execution
-# discipline (the rebuild path was deleted once its ablation numbers
-# were snapshotted in benchmarks/baselines/). In practice the timing
-# walk bounds horizons to ~10s, so only sub-second periods get near it.
-_STANDING_MAX_OVERLAP = 16
-
 
 def _epoch_overlap(b, lq):
     """Epoch ring width N for a continuous plan.
@@ -309,8 +451,13 @@ def _epoch_overlap(b, lq):
     for op_id, offset in b.flush_offsets.items():
         margin = _STANDING_XFER_MARGIN if feeds_exchange(op_id) else 0.0
         horizon = max(horizon, offset + margin)
-    overlap = max(1, math.ceil(horizon / lq.every - 1e-9))
-    return min(overlap, _STANDING_MAX_OVERLAP)
+    # No static ceiling here: the plan records the *true* horizon, and
+    # the engine's adaptive ring (EngineConfig.adaptive_ring /
+    # ring_max_overlap) decides how many epoch states to actually keep
+    # live -- starting clamped, widening on observed late-straggler
+    # drops, narrowing when the tail is quiet. The retired static cap
+    # of 16 lives on only as history in benchmarks/baselines/.
+    return max(1, math.ceil(horizon / lq.every - 1e-9))
 
 
 def _mark_paned(b, logical, lowered, lq):

@@ -13,13 +13,23 @@ from repro.util.stats import Counter
 
 
 class NetworkConfig:
-    """Tunables for message transport."""
+    """Tunables for message transport.
 
-    def __init__(self, loss_rate=0.0, count_bytes=True):
+    ``service_time`` models receive-side processing capacity: each
+    node handles one message per ``service_time`` seconds, so messages
+    converging on one destination queue behind each other and delivery
+    lag grows with offered load instead of staying a pure propagation
+    delay. 0 (the default) keeps the classic infinitely-fast receiver
+    -- the load-management benchmarks turn it on to make overload
+    *visible* as tail latency.
+    """
+
+    def __init__(self, loss_rate=0.0, count_bytes=True, service_time=0.0):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         self.loss_rate = loss_rate
         self.count_bytes = count_bytes
+        self.service_time = service_time
 
 
 class Network:
@@ -37,6 +47,9 @@ class Network:
         # site" metric the in-network-aggregation claim is about.
         self.inbound_bytes = {}
         self.inbound_messages = {}
+        # Per-destination service queue (config.service_time > 0):
+        # when each receiver is busy-until.
+        self._busy_until = {}
 
     # ------------------------------------------------------------------
     # Node registry
@@ -133,6 +146,19 @@ class Network:
                 self.counters.add("messages_lost")
                 return
         delay = self.latency.delay(src, dst)
+        service = self.config.service_time
+        if service > 0.0:
+            # Queue behind the destination's in-flight work: the
+            # message is handled when the receiver frees up, one
+            # service_time after whichever is later -- its arrival or
+            # the previous message's completion.
+            now = self.clock.now
+            arrival = now + delay
+            start = max(arrival, self._busy_until.get(dst, 0.0))
+            done = start + service
+            self._busy_until[dst] = done
+            self.counters.add("service_wait", start - arrival)
+            delay = done - now
         self.clock.schedule(delay, self._deliver, src, dst, payload)
 
     def _count_exchange_hop(self, message, size, cross=False):

@@ -631,6 +631,194 @@ class TestSymmetricHashJoinParity:
 
 
 # ----------------------------------------------------------------------
+# Fetch-matches: vectorized probe == row-at-a-time, async replies incl.
+# ----------------------------------------------------------------------
+class FetchDht(StubDht):
+    """DHT stub capturing ``get`` calls for deterministic release."""
+
+    def __init__(self, table_rows):
+        self.table_rows = table_rows  # key -> [row tuples]
+        self.pending = []  # (key, callback) in dispatch order
+        self.gets = 0
+
+    def get(self, table, key, callback):
+        self.gets += 1
+        self.pending.append((key, callback))
+
+    def release_all(self):
+        """Answer every outstanding fetch in dispatch order."""
+        pending, self.pending = self.pending, []
+        for key, callback in pending:
+            rows = self.table_rows.get(key, [])
+            callback([(i, row) for i, row in enumerate(rows)])
+
+
+class PaneSink(Sink):
+    """Sink recording pane announcements interleaved with rows."""
+
+    def __init__(self):
+        super().__init__()
+        self.events = []
+
+    def open_pane(self, pane):
+        self.events.append(("pane", pane))
+
+    def push(self, row, port=0):
+        super().push(row)
+        self.events.append(("row", row))
+
+
+class TestFetchMatchesParity:
+    TABLE = Schema.of(("k", INT), ("t", STR))
+
+    def _build(self, table_rows, residual=None, dedup=False, paned=False):
+        params = {
+            "probe_schema": SCHEMA, "table": "inner",
+            "table_schema": self.TABLE,
+            "probe_key": col("b"),
+        }
+        if residual is not None:
+            params["residual"] = residual
+        if dedup:
+            params["dedup_keys"] = True
+        if paned:
+            params["paned"] = {"width": 1.0, "every": 1, "window": 3}
+        ctx = StubCtx(standing=paned)
+        ctx.dht = FetchDht(table_rows)
+        op = create_operator(ctx, OpSpec("x", "fetch_matches", params))
+        sink = PaneSink()
+        op.wire(sink, 0)
+        return op, sink, ctx.dht
+
+    @staticmethod
+    def _table_for(rng):
+        # Keys 0..9 (matching column b's range); some keys have several
+        # matches, some none at all.
+        return {
+            k: [(k, "t{}".format(j)) for j in range(rng.randint(0, 2))]
+            for k in range(10)
+        }
+
+    def _run(self, rows, batch_mode, table_rows, release="end", **kwargs):
+        op, sink, dht = self._build(table_rows, **kwargs)
+        chunks = ([rows[i:i + 4] for i in range(0, len(rows), 4)]
+                  if rows else [[]])
+        for chunk in chunks:
+            if batch_mode:
+                op.push_batch(RowBatch.from_rows(chunk, SCHEMA))
+            else:
+                for row in chunk:
+                    op.push(row)
+            if release == "eager":
+                dht.release_all()
+        dht.release_all()
+        return op, sink, dht
+
+    @pytest.mark.parametrize("release", ["end", "eager"])
+    @pytest.mark.parametrize("n", SIZES)
+    def test_parity_random(self, n, release):
+        # Exact equality: join release order (waiting lists drained in
+        # batch-row order per fetched key) is part of the contract.
+        rng = random.Random(980 + n)
+        table_rows = self._table_for(rng)
+        rows = random_rows(rng, n)
+        _op, by_row, dht_row = self._run(rows, False, table_rows,
+                                         release=release)
+        _op, by_batch, dht_batch = self._run(rows, True, table_rows,
+                                             release=release)
+        assert by_row.rows == by_batch.rows
+        # One get per distinct in-flight key in both modes: repeats
+        # piggyback on the waiting list, never re-dispatch.
+        assert dht_row.gets == dht_batch.gets
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_parity_with_residual(self, n):
+        rng = random.Random(990 + n)
+        table_rows = self._table_for(rng)
+        rows = random_rows(rng, n)
+        residual = BinaryOp(">", col("a"), lit(0))
+        _op, by_row, _ = self._run(rows, False, table_rows,
+                                   residual=residual)
+        _op, by_batch, _ = self._run(rows, True, table_rows,
+                                     residual=residual)
+        assert by_row.rows == by_batch.rows
+
+    def test_waiting_lists_identical_before_release(self):
+        # The state left behind mid-flight must match too: repeats of a
+        # key queue behind the first probe in batch-row order.
+        rows = [(1, 3, "x"), (2, 3, "y"), (3, 5, "z"), (4, 3, "w")]
+        table_rows = {3: [(3, "p")], 5: []}
+
+        def waiting(batch_mode):
+            op, _sink, dht = self._build(table_rows)
+            if batch_mode:
+                op.push_batch(RowBatch.from_rows(rows, SCHEMA))
+            else:
+                for row in rows:
+                    op.push(row)
+            entry = op._epochs.peek(0)
+            return entry["waiting"], dht.gets
+
+        row_waiting, row_gets = waiting(False)
+        batch_waiting, batch_gets = waiting(True)
+        assert row_waiting == batch_waiting
+        assert row_gets == batch_gets == 2  # keys 3 and 5, once each
+        assert [p for p, _pane in batch_waiting[3]] == [
+            (1, 3, "x"), (2, 3, "y"), (4, 3, "w")]
+
+    def test_dedup_cache_hits_skip_refetch(self):
+        table_rows = {7: [(7, "p")]}
+        op, sink, dht = self._build(table_rows, dedup=True)
+        op.push_batch(RowBatch.from_rows([(1, 7, "x")], SCHEMA))
+        dht.release_all()
+        assert sink.rows == [(1, 7, "x", 7, "p")]
+        # Second batch on the same key: joined straight from the cache,
+        # no new get dispatched.
+        op.push_batch(RowBatch.from_rows(
+            [(2, 7, "y"), (3, 7, "z")], SCHEMA))
+        assert dht.gets == 1
+        assert sink.rows == [(1, 7, "x", 7, "p"), (2, 7, "y", 7, "p"),
+                             (3, 7, "z", 7, "p")]
+
+    def test_pane_announcements_replay_parity(self):
+        # Paned standing plan: joins released by an async reply must be
+        # re-announced under their probe row's pane, identically in
+        # both modes.
+        rng = random.Random(995)
+        table_rows = self._table_for(rng)
+        rows = random_rows(rng, 10)
+        panes = sorted(rng.randint(0, 2) for _ in rows)
+
+        def run(batch_mode):
+            op, sink, dht = self._build(table_rows, paned=True)
+            for pane in sorted(set(panes)):
+                chunk = [r for r, p in zip(rows, panes) if p == pane]
+                op.open_pane(pane)
+                if batch_mode:
+                    op.push_batch(RowBatch.from_rows(chunk, SCHEMA))
+                else:
+                    for row in chunk:
+                        op.push(row)
+            dht.release_all()
+            return sink.events
+
+        assert run(False) == run(True)
+
+    def test_empty_batch_is_inert(self):
+        op, sink, dht = self._build({})
+        op.push_batch(RowBatch.from_rows([], SCHEMA))
+        assert dht.gets == 0 and sink.rows == []
+
+    def test_sealed_epoch_drops_late_reply(self):
+        op, sink, dht = self._build({3: [(3, "p")]})
+        op.ctx.epoch = op.ctx.active_epoch = 1
+        op.push_batch(RowBatch.from_rows([(1, 3, "x")], SCHEMA))
+        op.seal_epoch(1)
+        dht.release_all()  # reply lands after the epoch closed
+        assert sink.rows == []
+
+
+# ----------------------------------------------------------------------
 # Bloom stage: vectorized buffer/fold + batch-granularity release
 # ----------------------------------------------------------------------
 class TestBloomStageParity:

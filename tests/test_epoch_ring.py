@@ -10,7 +10,7 @@ from repro.core.dataflow import EpochStateRing, Operator, StandingExecution
 from repro.core.network import PierNetwork
 from repro.core.operators import register_operator
 from repro.core.opgraph import OpSpec, QueryPlan
-from repro.core.planner import _STANDING_MAX_OVERLAP, _STANDING_XFER_MARGIN
+from repro.core.planner import _STANDING_XFER_MARGIN
 
 
 # ----------------------------------------------------------------------
@@ -104,14 +104,27 @@ class TestPlannerRingWidth:
         assert plan.ops_of_kind("bloom_stage")
         assert plan.standing
 
-    def test_absurd_ratio_clamps_the_ring(self, net):
-        # Sub-~0.6s periods against a ~9.1s horizon would want dozens
-        # of live epoch states; with the rebuild path retired the plan
-        # still runs standing, just with the ring clamped at the cap
-        # (stragglers past the clamped horizon are dropped as late).
+    def test_absurd_ratio_plans_true_horizon_engine_clamps(self):
+        # Sub-~0.6s periods against a ~9.1s horizon want dozens of live
+        # epoch states. The plan now records the *true* horizon (the
+        # static cap of 16 is retired); the engine's adaptive ring
+        # clamps the live width at EngineConfig.ring_max_overlap.
+        from repro.core.engine import EngineConfig
+        from repro.core.network import PierConfig
+
+        net = PierNetwork(nodes=8, seed=321, config=PierConfig(
+            engine=EngineConfig(ring_max_overlap=8)))
+        net.create_stream_table("s", [("v", "FLOAT")], window=60.0)
         plan = net.compile_sql(GROUPED_SQL.format(0.5))
         assert plan.standing
-        assert plan.epoch_overlap == _STANDING_MAX_OVERLAP
+        assert plan.epoch_overlap > 16  # unclamped true horizon
+        handle = net.submit_sql(GROUPED_SQL.format(0.5))
+        net.advance(1.0)
+        engine = net.node(net.addresses()[0]).engine
+        execution = engine.queries[handle.qid].execution
+        assert isinstance(execution, StandingExecution)
+        assert execution.live_epochs == 8  # engine-side clamp
+        handle.stop()
 
 
 # ----------------------------------------------------------------------

@@ -32,6 +32,7 @@ legitimately moves (and say why in the commit).
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -39,6 +40,15 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 RESULTS_DIR = REPO / "benchmarks" / "results"
 BASELINES_DIR = REPO / "benchmarks" / "baselines"
 DEFAULT_TOLERANCE = 0.20
+
+
+def _rel(path):
+    """Repo-relative path for messages; absolute when outside the repo
+    (e.g. dirs monkeypatched to a tmp sandbox in tests)."""
+    try:
+        return path.relative_to(REPO)
+    except ValueError:
+        return path
 
 
 def _load(path):
@@ -82,7 +92,7 @@ def record(tolerance):
         out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n",
                        encoding="utf-8")
         print("recorded {} ({} metrics)".format(
-            out.relative_to(REPO), len(baseline["metrics"])))
+            _rel(out), len(baseline["metrics"])))
     return 0
 
 
@@ -112,14 +122,54 @@ def _check_metric(key, spec, got, tolerance, failures):
     return "ok" if ok else "FAIL"
 
 
+def _band_for(spec, tolerance):
+    """Human-readable band column for the drift table."""
+    if spec["kind"] == "exact":
+        return "exact"
+    want = spec["value"]
+    span = abs(want) * tolerance if want else tolerance
+    return "[{:.4f}, {:.4f}]".format(want - span, want + span)
+
+
+def _write_step_summary(rows, failures):
+    """Append the per-metric drift table to ``$GITHUB_STEP_SUMMARY``.
+
+    GitHub renders the file as markdown on the Actions run page, so a
+    failed gate shows *which* metric drifted and by how much without
+    digging through the job log. A no-op outside Actions (or when the
+    variable is unset), so local runs are unaffected.
+    """
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    lines = ["## Benchmark drift", ""]
+    lines.append("| bench | metric | measured | baseline | band | verdict |")
+    lines.append("| --- | --- | --- | --- | --- | --- |")
+    for bench, metric, got, want, band, verdict in rows:
+        mark = {"ok": ":white_check_mark:"}.get(verdict, ":x:")
+        lines.append("| {} | {} | {} | {} | {} | {} {} |".format(
+            bench, metric, got, want, band, mark, verdict))
+    lines.append("")
+    if failures:
+        lines.append("**check_bench: {} failure(s)** -- re-record with "
+                     "`python tools/check_bench.py --record` if "
+                     "intentional.".format(len(failures)))
+    else:
+        lines.append("**check_bench: all baselines hold**")
+    lines.append("")
+    with open(summary_path, "a", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
 def check(tolerance_override=None):
     baselines = sorted(BASELINES_DIR.glob("*.json"))
     if not baselines:
         raise SystemExit(
             "check_bench: no baselines under {} -- record them with "
-            "--record".format(BASELINES_DIR.relative_to(REPO))
+            "--record".format(_rel(BASELINES_DIR))
         )
     failures = []
+    rows = []  # (bench, metric, measured, baseline, band, verdict)
     for path in baselines:
         baseline = _load(path)
         name = baseline["bench"]
@@ -131,7 +181,8 @@ def check(tolerance_override=None):
             failures.append("{}: no results file -- did the bench run?"
                             .format(name))
             print("{:<24} MISSING ({} not written)".format(
-                name, result_path.relative_to(REPO)))
+                name, _rel(result_path)))
+            rows.append((name, "(all)", "-", "-", "-", "NO RESULTS"))
             continue
         results = _load(result_path)
         if results.get("scale") != baseline.get("scale"):
@@ -139,6 +190,8 @@ def check(tolerance_override=None):
                 "{}: scale mismatch (baseline {}, results {})".format(
                     name, baseline.get("scale"), results.get("scale"))
             )
+            rows.append((name, "(all)", str(results.get("scale")),
+                         str(baseline.get("scale")), "-", "SCALE MISMATCH"))
             continue
         got_metrics = results.get("metrics", {})
         before = len(failures)
@@ -148,11 +201,15 @@ def check(tolerance_override=None):
             print("{:<24} {:<32} {:>12} (baseline {}) {}".format(
                 name, key, _fmt(got_metrics.get(key)), _fmt(spec["value"]),
                 verdict))
+            rows.append((name, key, _fmt(got_metrics.get(key)),
+                         _fmt(spec["value"]), _band_for(spec, tolerance),
+                         verdict))
         if len(failures) == before:
             extra = sorted(set(got_metrics) - set(baseline["metrics"]))
             if extra:
                 print("{:<24} note: unbaselined metrics {}".format(
                     name, ", ".join(extra)))
+    _write_step_summary(rows, failures)
     if failures:
         print("\ncheck_bench: {} failure(s):".format(len(failures)))
         for failure in failures:
